@@ -1,0 +1,75 @@
+//! The backend abstraction: anything that can execute a DMT workload.
+
+use crate::{RunConfig, Stats, ThreadFn};
+
+/// The result of running a workload to completion under some backend.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutput {
+    /// Per-thread output streams concatenated in thread-ID order.
+    pub output: Vec<u8>,
+    /// Aggregated profiling counters.
+    pub stats: Stats,
+}
+
+impl RunOutput {
+    /// A stable 64-bit digest of the output bytes (FNV-1a), used by the
+    /// determinism tests to compare runs cheaply.
+    #[must_use]
+    pub fn output_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.output {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// A deterministic-multithreading execution engine.
+///
+/// Implementations: `rfdet-core` (the paper), `rfdet-dthreads`,
+/// `rfdet-quantum`, `rfdet-native`. Each spins up a *main thread* (tid 0)
+/// running `root`; the root spawns workers through its
+/// [`crate::DmtCtx::spawn`].
+pub trait DmtBackend: Send + Sync {
+    /// Human-readable backend name, used in experiment tables
+    /// ("pthreads", "RFDet-ci", "RFDet-pf", "DThreads", "CoreDet-q").
+    fn name(&self) -> String;
+
+    /// Whether the backend guarantees deterministic execution
+    /// (strong determinism: identical results even with data races).
+    fn is_deterministic(&self) -> bool;
+
+    /// Runs `root` as the main thread and blocks until the whole thread
+    /// tree has finished.
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = RunOutput {
+            output: b"hello".to_vec(),
+            stats: Stats::default(),
+        };
+        let b = RunOutput {
+            output: b"hello".to_vec(),
+            stats: Stats::default(),
+        };
+        let c = RunOutput {
+            output: b"hellp".to_vec(),
+            stats: Stats::default(),
+        };
+        assert_eq!(a.output_digest(), b.output_digest());
+        assert_ne!(a.output_digest(), c.output_digest());
+    }
+
+    #[test]
+    fn empty_digest_is_fnv_offset_basis() {
+        let empty = RunOutput::default();
+        assert_eq!(empty.output_digest(), 0xcbf2_9ce4_8422_2325);
+    }
+}

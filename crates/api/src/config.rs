@@ -1,0 +1,177 @@
+//! Run configuration shared by all backends.
+
+use serde::{Deserialize, Serialize};
+
+/// How RFDet monitors memory modifications (paper §4.2 and Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorMode {
+    /// Compile-time instrumentation (RFDet-ci): every instrumented store
+    /// performs the cheap Figure-4 check (is this page already snapshotted
+    /// in the current slice?).
+    Ci,
+    /// Page protection (RFDet-pf): pages are write-protected at slice
+    /// start; the first store to a page takes a simulated fault that pays
+    /// a configurable extra cost before snapshotting (models the SIGSEGV
+    /// trap + `mprotect` syscalls the paper measures as slower).
+    Pf,
+}
+
+/// RFDet-specific options (the §4.5 optimizations and monitoring mode).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RfdetOpts {
+    /// Store-monitoring strategy.
+    pub monitor: MonitorMode,
+    /// Keep the current slice open when re-acquiring a sync var last
+    /// released by this same thread (§4.5 "Slice Merging").
+    pub slice_merging: bool,
+    /// Pre-merge happens-before slices while queued on a contended lock
+    /// (§4.5 "Prelock").
+    pub prelock: bool,
+    /// Defer applying propagated modifications until the page is actually
+    /// touched (§4.5 "Lazy Writes").
+    pub lazy_writes: bool,
+    /// Simulated cost, in no-op iterations, of one page fault in `Pf` mode
+    /// (trap + two `mprotect` calls). Zero disables the cost model.
+    pub fault_cost_spins: u32,
+}
+
+impl Default for RfdetOpts {
+    fn default() -> Self {
+        Self {
+            monitor: MonitorMode::Ci,
+            slice_merging: true,
+            prelock: true,
+            lazy_writes: false,
+            fault_cost_spins: 2000,
+        }
+    }
+}
+
+/// Configuration for one run of a workload under some backend.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Size of the logical shared memory space, in bytes.
+    pub space_bytes: u64,
+    /// Page size (power of two). The paper uses the OS page size, 4096.
+    pub page_size: u64,
+    /// Capacity of the metadata space in bytes (the paper evaluates 256 MB
+    /// and 512 MB, §5.4). Slices are garbage-collected when usage crosses
+    /// `gc_threshold` of this capacity.
+    pub meta_capacity_bytes: u64,
+    /// Fraction of `meta_capacity_bytes` at which GC triggers (paper: 0.9).
+    pub gc_threshold: f64,
+    /// Additional GC trigger: live-slice count. The paper's metadata
+    /// pressure comes mostly from 4 KiB page snapshots, so its byte
+    /// threshold fires early; our sealed slices store only byte diffs,
+    /// so a pure byte threshold would let slice-pointer lists grow until
+    /// the Figure-5 scan dominates. Bounding live slices keeps
+    /// propagation amortized-O(live slices) exactly as in the paper.
+    pub meta_max_slices: u64,
+    /// RFDet-specific options (ignored by other backends).
+    pub rfdet: RfdetOpts,
+    /// Quantum length in ticks for the CoreDet/DMP-style backend
+    /// (ignored by other backends).
+    pub quantum_ticks: u64,
+    /// When `Some(seed)`, deterministic backends inject pseudo-random
+    /// physical delays at internal scheduling points. Results must be
+    /// bit-identical for every seed — this is the failure-injection hook
+    /// used by the determinism tests.
+    pub jitter_seed: Option<u64>,
+    /// Upper bound on injected delay per point, in microseconds.
+    pub jitter_max_us: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            space_bytes: 16 << 20,
+            page_size: 4096,
+            meta_capacity_bytes: 256 << 20,
+            gc_threshold: 0.9,
+            meta_max_slices: 1024,
+            rfdet: RfdetOpts::default(),
+            quantum_ticks: 10_000,
+            jitter_seed: None,
+            jitter_max_us: 50,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A small configuration suitable for unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            space_bytes: 1 << 20,
+            meta_capacity_bytes: 4 << 20,
+            ..Self::default()
+        }
+    }
+
+    /// Number of pages in the logical space.
+    #[must_use]
+    pub fn num_pages(&self) -> u64 {
+        self.space_bytes.div_ceil(self.page_size)
+    }
+
+    /// Validates invariants (power-of-two page size, nonzero space).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; called by every backend at run
+    /// start so misconfiguration fails fast.
+    pub fn validate(&self) {
+        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
+        assert!(self.space_bytes > 0, "space_bytes must be nonzero");
+        assert!(
+            self.space_bytes.is_multiple_of(self.page_size),
+            "space_bytes must be page-aligned"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.gc_threshold),
+            "gc_threshold must be in [0,1]"
+        );
+        assert!(self.quantum_ticks > 0, "quantum_ticks must be nonzero");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RunConfig::default().validate();
+        RunConfig::small().validate();
+    }
+
+    #[test]
+    fn num_pages_rounds_up() {
+        let mut c = RunConfig::small();
+        c.space_bytes = 4096 * 3;
+        assert_eq!(c.num_pages(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_page_size() {
+        let mut c = RunConfig::small();
+        c.page_size = 1000;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn rejects_unaligned_space() {
+        let mut c = RunConfig::small();
+        c.space_bytes = 4096 + 7;
+        c.validate();
+    }
+
+    #[test]
+    fn small_config_is_smaller() {
+        let small = RunConfig::small();
+        let full = RunConfig::default();
+        assert!(small.space_bytes < full.space_bytes);
+        assert!(small.meta_capacity_bytes < full.meta_capacity_bytes);
+    }
+}

@@ -1,0 +1,40 @@
+//! The backend-independent DMT programming surface.
+//!
+//! RFDet (the paper) interposes on POSIX pthreads: programs call
+//! `pthread_mutex_lock`, `pthread_create`, … and the runtime substitutes
+//! deterministic implementations. In this reproduction the equivalent
+//! surface is the [`DmtCtx`] trait: workloads are written once against
+//! `&mut dyn DmtCtx` and can then run on any backend —
+//!
+//! * `rfdet-core` — the paper's contribution (DLRC, no global barriers),
+//! * `rfdet-dthreads` — the DThreads comparison point,
+//! * `rfdet-quantum` — a CoreDet/DMP-style lockstep-quantum design,
+//! * `rfdet-native` — plain nondeterministic "pthreads".
+//!
+//! Shared memory is a flat logical byte space addressed by [`Addr`];
+//! deterministic backends give every thread a private view of it and
+//! propagate modifications according to their memory model. `tick`
+//! models the compile-time instruction-count instrumentation the paper
+//! inserts in every basic block (§4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod config;
+mod ctx;
+mod pod;
+mod rng;
+mod stats;
+
+pub use backend::{DmtBackend, RunOutput};
+pub use config::{MonitorMode, RfdetOpts, RunConfig};
+pub use ctx::{AtomicOp, BarrierId, CondId, DmtCtx, DmtCtxExt, MutexId, ThreadFn, ThreadHandle};
+pub use pod::Pod;
+pub use rng::DetRng;
+pub use stats::Stats;
+
+pub use rfdet_vclock::Tid;
+
+/// A byte address in the logical shared memory space.
+pub type Addr = u64;

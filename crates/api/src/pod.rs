@@ -1,0 +1,117 @@
+//! Plain-old-data values that can live in the logical shared space.
+
+/// A fixed-size value with a defined little-endian byte representation.
+///
+/// The C++ memory model defines memory actions over scalars, and the paper
+/// tracks modifications at byte granularity for exactly that reason (§4.6).
+/// `Pod` is the typed veneer: every access is converted to/from bytes at
+/// the API boundary, so backends only ever see byte reads and writes.
+///
+/// Implemented without `unsafe` via the integer `to_le_bytes` family.
+pub trait Pod: Copy + Sized + 'static {
+    /// Size of the value in bytes (`== std::mem::size_of::<Self>()` for all
+    /// provided impls).
+    const SIZE: usize;
+
+    /// Serializes into `out`, which has length `Self::SIZE`.
+    fn store(self, out: &mut [u8]);
+
+    /// Deserializes from `bytes`, which has length `Self::SIZE`.
+    fn load(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn store(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn load(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("Pod::load length"))
+            }
+        }
+    )*};
+}
+
+impl_pod_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Pod for bool {
+    const SIZE: usize = 1;
+    #[inline]
+    fn store(self, out: &mut [u8]) {
+        out[0] = u8::from(self);
+    }
+    #[inline]
+    fn load(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Pod + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.store(&mut buf);
+        assert_eq!(T::load(&buf), v);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0xABu8);
+        roundtrip(-7i8);
+        roundtrip(0xBEEFu16);
+        roundtrip(-12345i16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(i32::MIN);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN + 1);
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        roundtrip(std::f32::consts::PI);
+        roundtrip(-0.0f64);
+        roundtrip(f64::MAX);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.store(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn byte_granularity_merge_example_from_paper() {
+        // §4.6: y=256 (thread T2) and y=255 (thread T3) merged at byte
+        // granularity over initial y=0 yields 511. Reproduce the arithmetic
+        // that makes that happen: T3's diff touches byte 0 only, T2's diff
+        // touches byte 1 only.
+        let mut base = [0u8; 4];
+        let mut w2 = [0u8; 4];
+        256u32.store(&mut w2);
+        let mut w3 = [0u8; 4];
+        255u32.store(&mut w3);
+        // diff-and-apply both writers' modified bytes onto the base
+        for i in 0..4 {
+            if w3[i] != 0 {
+                base[i] = w3[i];
+            }
+            if w2[i] != 0 {
+                base[i] = w2[i];
+            }
+        }
+        assert_eq!(u32::load(&base), 511);
+    }
+}

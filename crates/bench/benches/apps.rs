@@ -1,0 +1,45 @@
+//! Criterion end-to-end benchmarks: representative applications on each
+//! backend at test scale (fast enough for criterion's sampling). The
+//! full paper-scale sweeps live in the `fig7`/`fig8`/`fig9` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfdet_api::{DmtBackend, RunConfig};
+use rfdet_core::RfdetBackend;
+use rfdet_dthreads::DthreadsBackend;
+use rfdet_native::NativeBackend;
+use rfdet_quantum::QuantumBackend;
+use rfdet_workloads::{by_name, Params, Size};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::small();
+    c.space_bytes = 4 << 20;
+    c
+}
+
+fn backends() -> Vec<Box<dyn DmtBackend>> {
+    vec![
+        Box::new(NativeBackend),
+        Box::new(RfdetBackend::ci()),
+        Box::new(RfdetBackend::pf()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ]
+}
+
+fn bench_apps(c: &mut Criterion) {
+    // One sync-light and one sync-heavy representative per suite.
+    for app in ["fft", "ocean", "linear_regression", "racey"] {
+        let w = by_name(app).expect("workload registered");
+        let mut group = c.benchmark_group(format!("app/{app}"));
+        group.sample_size(10);
+        for backend in backends() {
+            group.bench_function(BenchmarkId::from_parameter(backend.name()), |bench| {
+                bench.iter(|| backend.run(&cfg(), (w.factory)(Params::new(2, Size::Test))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Criterion micro-benchmarks of the runtime's building blocks: the
+//! costs Figure 7 decomposes into (store instrumentation, page
+//! snapshot + diff, propagation filtering, Kendo arbitration).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rfdet_mem::{diff, PrivateSpace};
+use rfdet_meta::{MetaSpace, SliceRec};
+use rfdet_vclock::VClock;
+use std::hint::black_box;
+
+fn bench_vclock(c: &mut Criterion) {
+    let a = VClock::from_components(vec![5, 3, 9, 1, 7, 2, 8, 4]);
+    let b = VClock::from_components(vec![6, 3, 9, 2, 7, 2, 8, 4]);
+    c.bench_function("vclock/leq", |bench| {
+        bench.iter(|| black_box(black_box(&a).leq(black_box(&b))))
+    });
+    c.bench_function("vclock/join", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.join(black_box(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_space(c: &mut Criterion) {
+    c.bench_function("space/write_u64", |bench| {
+        let mut s = PrivateSpace::new(1 << 20, 4096);
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 8) % (1 << 16);
+            s.write(i, &7u64.to_le_bytes());
+        })
+    });
+    c.bench_function("space/read_u64", |bench| {
+        let mut s = PrivateSpace::new(1 << 20, 4096);
+        s.write(0, &[1u8; 4096]);
+        let mut buf = [0u8; 8];
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 8) % 4096;
+            s.read(i, &mut buf);
+            black_box(buf);
+        })
+    });
+    c.bench_function("space/fork_cow", |bench| {
+        let mut s = PrivateSpace::new(1 << 20, 4096);
+        for p in 0..64u64 {
+            s.write(p * 4096, &[1u8]);
+        }
+        bench.iter(|| black_box(s.fork()))
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let snapshot = vec![0u8; 4096];
+    let mut sparse = snapshot.clone();
+    for i in (0..4096).step_by(512) {
+        sparse[i] = 1;
+    }
+    let dense: Vec<u8> = (0..4096).map(|i| (i % 251) as u8 + 1).collect();
+    c.bench_function("diff/page_sparse", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            diff::diff_page(0, black_box(&snapshot), black_box(&sparse), &mut out);
+            black_box(out)
+        })
+    });
+    c.bench_function("diff/page_dense", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            diff::diff_page(0, black_box(&snapshot), black_box(&dense), &mut out);
+            black_box(out)
+        })
+    });
+    c.bench_function("diff/page_identical", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            diff::diff_page(0, black_box(&snapshot), black_box(&snapshot), &mut out);
+            black_box(out)
+        })
+    });
+}
+
+fn bench_meta(c: &mut Criterion) {
+    c.bench_function("meta/publish_slice", |bench| {
+        let meta = MetaSpace::new(1 << 30, 0.9);
+        meta.register_thread();
+        let mut seq = 0u64;
+        bench.iter(|| {
+            seq += 1;
+            let rec = SliceRec::new(
+                0,
+                seq,
+                VClock::from_components(vec![seq]),
+                vec![rfdet_mem::ModRun::new(0, vec![1, 2, 3, 4].into())],
+            );
+            black_box(meta.publish_slice(rec))
+        })
+    });
+    c.bench_function("meta/propagation_cursor_1000", |bench| {
+        // Same 1000-slice list, but scanned the way the runtime does:
+        // from a cursor with prefix-closed early exit — this is why
+        // propagation is O(new slices) instead of O(list).
+        let meta = MetaSpace::new(1 << 30, 0.9);
+        meta.register_thread();
+        for seq in 0..1000u64 {
+            let rec = SliceRec::new(0, seq, VClock::from_components(vec![seq + 1]), vec![]);
+            meta.publish_slice(rec);
+        }
+        let upper = VClock::from_components(vec![805]);
+        let lower = VClock::from_components(vec![800]);
+        bench.iter(|| {
+            let (batch, _, cursor) =
+                meta.filter_list_from(0, black_box(&upper), black_box(&lower), 800, true);
+            black_box((batch, cursor))
+        })
+    });
+    c.bench_function("meta/propagation_filter_1000", |bench| {
+        // Filtering cost over a 1000-slice list (the Figure-5 loop body).
+        let meta = MetaSpace::new(1 << 30, 0.9);
+        meta.register_thread();
+        for seq in 0..1000u64 {
+            let rec = SliceRec::new(
+                0,
+                seq,
+                VClock::from_components(vec![seq + 1, seq / 2]),
+                vec![],
+            );
+            meta.publish_slice(rec);
+        }
+        let upper = VClock::from_components(vec![800, 400]);
+        let lower = VClock::from_components(vec![300, 150]);
+        bench.iter(|| {
+            let list = meta.snapshot_list(0);
+            let picked: usize = list
+                .iter()
+                .filter(|s| s.time.leq(&upper) && !s.time.leq(&lower))
+                .count();
+            black_box(picked)
+        })
+    });
+}
+
+fn bench_kendo(c: &mut Criterion) {
+    c.bench_function("kendo/tick", |bench| {
+        let k = rfdet_kendo::KendoState::new();
+        let h = k.register(0);
+        bench.iter(|| h.tick(1))
+    });
+    c.bench_function("kendo/uncontended_turn", |bench| {
+        let k = rfdet_kendo::KendoState::new();
+        let h = k.register(0);
+        bench.iter(|| {
+            k.wait_for_turn(&h);
+            h.tick(1);
+        })
+    });
+}
+
+fn bench_sync_ops(c: &mut Criterion) {
+    use rfdet_api::{AtomicOp, DmtBackend, DmtCtx, MutexId, RunConfig};
+    // End-to-end cost of one uncontended deterministic sync op (the unit
+    // the Figure-7 overheads are made of). Measured by running a fixed
+    // batch inside one RFDet instance per iteration.
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    c.bench_function("rfdet/1000_uncontended_lock_unlock", |bench| {
+        bench.iter(|| {
+            rfdet_core::RfdetBackend::ci().run(
+                &cfg,
+                Box::new(|ctx: &mut dyn DmtCtx| {
+                    for _ in 0..1000 {
+                        ctx.lock(MutexId(1));
+                        ctx.unlock(MutexId(1));
+                    }
+                }),
+            )
+        })
+    });
+    c.bench_function("rfdet/1000_atomic_fetch_add", |bench| {
+        bench.iter(|| {
+            rfdet_core::RfdetBackend::ci().run(
+                &cfg,
+                Box::new(|ctx: &mut dyn DmtCtx| {
+                    for _ in 0..1000 {
+                        ctx.atomic_rmw(4096, AtomicOp::Add(1));
+                    }
+                }),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vclock,
+    bench_space,
+    bench_diff,
+    bench_meta,
+    bench_kendo,
+    bench_sync_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! §5.1 determinism experiment: run *racey* repeatedly with 2, 4 and 8
+//! threads under both RFDet monitoring modes (plus DThreads and the
+//! quantum backend for comparison) and verify every run produces the
+//! same signature. The paper runs 1000 repetitions per configuration;
+//! default here is 30 (`--runs N` to change), with jitter injection
+//! varied across runs to stress physical timing.
+
+use rfdet_api::DmtBackend;
+use rfdet_bench::{bench_config, render_table, BenchOpts};
+use rfdet_core::RfdetBackend;
+use rfdet_dthreads::DthreadsBackend;
+use rfdet_quantum::QuantumBackend;
+use rfdet_workloads::{by_name, Params};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let racey = by_name("racey").expect("racey registered");
+    let backends: Vec<Box<dyn DmtBackend>> = vec![
+        Box::new(RfdetBackend::ci()),
+        Box::new(RfdetBackend::pf()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ];
+    println!(
+        "racey determinism: {} runs per configuration, jitter varied per run\n",
+        opts.runs
+    );
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for backend in &backends {
+        for threads in [2usize, 4, 8] {
+            let mut signatures = std::collections::HashSet::new();
+            let mut first = String::new();
+            for run in 0..opts.runs {
+                let mut cfg = bench_config();
+                // Vary physical timing run to run.
+                cfg.jitter_seed = if run % 2 == 0 { None } else { Some(u64::from(run)) };
+                let out = backend.run(&cfg, (racey.factory)(Params::new(threads, opts.size)));
+                let sig = String::from_utf8_lossy(&out.output).trim().to_owned();
+                if run == 0 {
+                    first = sig.clone();
+                }
+                signatures.insert(sig);
+            }
+            let ok = signatures.len() == 1;
+            all_ok &= ok;
+            rows.push(vec![
+                backend.name(),
+                threads.to_string(),
+                opts.runs.to_string(),
+                signatures.len().to_string(),
+                if ok { "DETERMINISTIC".into() } else { "NONDETERMINISTIC".into() },
+                first,
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["backend", "threads", "runs", "distinct", "verdict", "signature"],
+            &rows
+        )
+    );
+    if all_ok {
+        println!("PASS: every configuration produced one signature across all runs.");
+    } else {
+        println!("FAIL: some configuration diverged!");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Experiment harness shared by the `fig7`/`fig8`/`fig9`/`table1`/
+//! `racey_det`/`ablation_barriers` binaries (one per paper table/figure —
+//! see DESIGN.md §5 for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rfdet_api::{DmtBackend, RunConfig, RunOutput};
+use rfdet_workloads::{Params, Size, Workload};
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Worker thread count (paper default: 4).
+    pub threads: usize,
+    /// Timed repetitions per cell (mean is reported).
+    pub reps: u32,
+    /// Input scale.
+    pub size: Size,
+    /// Run only workloads whose name contains this substring.
+    pub filter: Option<String>,
+    /// Repetition count for determinism checks.
+    pub runs: u32,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            reps: 3,
+            size: Size::Bench,
+            filter: None,
+            runs: 30,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `--threads N --reps N --runs N --size test|bench
+    /// --filter S --quick` from `std::env::args`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    opts.threads = args[i + 1].parse().expect("--threads N");
+                    i += 2;
+                }
+                "--reps" => {
+                    opts.reps = args[i + 1].parse().expect("--reps N");
+                    i += 2;
+                }
+                "--runs" => {
+                    opts.runs = args[i + 1].parse().expect("--runs N");
+                    i += 2;
+                }
+                "--size" => {
+                    opts.size = match args[i + 1].as_str() {
+                        "test" => Size::Test,
+                        "bench" => Size::Bench,
+                        other => panic!("unknown size {other}"),
+                    };
+                    i += 2;
+                }
+                "--filter" => {
+                    opts.filter = Some(args[i + 1].clone());
+                    i += 2;
+                }
+                "--quick" => {
+                    opts.reps = 1;
+                    opts.runs = 5;
+                    opts.size = Size::Test;
+                    i += 1;
+                }
+                other => panic!("unknown argument {other} (see --threads/--reps/--runs/--size/--filter/--quick)"),
+            }
+        }
+        opts
+    }
+
+    /// Applies the workload filter.
+    #[must_use]
+    pub fn selected(&self, all: Vec<Workload>) -> Vec<Workload> {
+        match &self.filter {
+            None => all,
+            Some(f) => all.into_iter().filter(|w| w.name.contains(f.as_str())).collect(),
+        }
+    }
+}
+
+/// The standard experiment configuration (16 MiB space, paper-like
+/// 256 MiB metadata cap).
+#[must_use]
+pub fn bench_config() -> RunConfig {
+    RunConfig::default()
+}
+
+/// Times `reps` runs of a workload on a backend; returns the mean wall
+/// time and the last run's output (for stats and checksums).
+pub fn time_workload(
+    backend: &dyn DmtBackend,
+    cfg: &RunConfig,
+    w: &Workload,
+    params: Params,
+    reps: u32,
+) -> (Duration, RunOutput) {
+    assert!(reps > 0);
+    let mut total = Duration::ZERO;
+    let mut last = RunOutput::default();
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = backend.run(cfg, (w.factory)(params));
+        total += start.elapsed();
+    }
+    (total / reps, last)
+}
+
+/// Geometric mean of a nonempty slice of positive ratios.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Renders an aligned text table.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration as fractional milliseconds.
+#[must_use]
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    fn default_opts_match_paper() {
+        let o = BenchOpts::default();
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.size, Size::Bench);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+    }
+}

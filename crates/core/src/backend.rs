@@ -1,0 +1,209 @@
+//! The [`RfdetBackend`] entry point.
+
+use crate::ctx::RfdetCtx;
+use crate::shared::RuntimeShared;
+use rfdet_api::{DmtBackend, MonitorMode, RunConfig, RunOutput, ThreadFn};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// The RFDet deterministic-multithreading backend.
+///
+/// Each [`DmtBackend::run`] call builds a fresh isolated runtime:
+/// metadata space, Kendo arbitration state, and a main-thread context on
+/// the calling thread. Worker threads are real OS threads; determinism
+/// comes from the DLRC protocol, not from scheduling control.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RfdetBackend {
+    /// Optional monitor-mode override applied on top of the run config
+    /// (`Some(Ci)` → "RFDet-ci", `Some(Pf)` → "RFDet-pf").
+    pub monitor_override: Option<MonitorMode>,
+}
+
+impl RfdetBackend {
+    /// Backend preconfigured for compile-time-instrumentation monitoring.
+    #[must_use]
+    pub fn ci() -> Self {
+        Self {
+            monitor_override: Some(MonitorMode::Ci),
+        }
+    }
+
+    /// Backend preconfigured for page-protection monitoring.
+    #[must_use]
+    pub fn pf() -> Self {
+        Self {
+            monitor_override: Some(MonitorMode::Pf),
+        }
+    }
+}
+
+impl DmtBackend for RfdetBackend {
+    fn name(&self) -> String {
+        match self.monitor_override {
+            Some(MonitorMode::Ci) => "RFDet-ci".to_owned(),
+            Some(MonitorMode::Pf) => "RFDet-pf".to_owned(),
+            None => "RFDet".to_owned(),
+        }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
+        let mut cfg = cfg.clone();
+        if let Some(m) = self.monitor_override {
+            cfg.rfdet.monitor = m;
+        }
+        let shared = Arc::new(RuntimeShared::new(cfg));
+        let mut main = RfdetCtx::new_main(Arc::clone(&shared));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            root(&mut main);
+            main.on_exit();
+        }));
+        if let Err(payload) = result {
+            shared.record_panic(0, payload);
+        }
+        // Harvest every worker; children may keep spawning while we join,
+        // so loop until the handle map stays empty.
+        loop {
+            let handles: Vec<_> = {
+                let mut map = shared.os_handles.lock();
+                map.drain().map(|(_, h)| h).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                // Worker panics were already routed through record_panic.
+                let _ = h.join();
+            }
+        }
+        if let Some(payload) = shared.panic_payload.lock().take() {
+            resume_unwind(payload);
+        }
+        RunOutput {
+            output: shared.meta.collect_output(),
+            stats: shared.meta.stats.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfdet_api::{DmtCtxExt, MutexId};
+
+    fn small() -> RunConfig {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.fault_cost_spins = 0;
+        cfg
+    }
+
+    #[test]
+    fn names_reflect_monitor_mode() {
+        assert_eq!(RfdetBackend::ci().name(), "RFDet-ci");
+        assert_eq!(RfdetBackend::pf().name(), "RFDet-pf");
+        assert_eq!(RfdetBackend::default().name(), "RFDet");
+        assert!(RfdetBackend::ci().is_deterministic());
+    }
+
+    #[test]
+    fn single_threaded_run_produces_output() {
+        let out = RfdetBackend::ci().run(
+            &small(),
+            Box::new(|ctx| {
+                ctx.write::<u64>(128, 9);
+                let v: u64 = ctx.read(128);
+                ctx.emit_str(&format!("v={v}"));
+            }),
+        );
+        assert_eq!(out.output, b"v=9");
+        assert_eq!(out.stats.stores, 1);
+        assert_eq!(out.stats.loads, 1);
+    }
+
+    #[test]
+    fn spawn_join_propagates_child_writes() {
+        let out = RfdetBackend::ci().run(
+            &small(),
+            Box::new(|ctx| {
+                let h = ctx.spawn(Box::new(|ctx| {
+                    ctx.write::<u64>(256, 1234);
+                }));
+                ctx.join(h);
+                let v: u64 = ctx.read(256);
+                ctx.emit_str(&format!("{v}"));
+            }),
+        );
+        assert_eq!(out.output, b"1234");
+        assert_eq!(out.stats.forks, 1);
+        assert_eq!(out.stats.joins, 1);
+    }
+
+    #[test]
+    fn child_inherits_parent_memory_at_fork() {
+        let out = RfdetBackend::ci().run(
+            &small(),
+            Box::new(|ctx| {
+                ctx.write::<u64>(64, 77);
+                let h = ctx.spawn(Box::new(|ctx| {
+                    let v: u64 = ctx.read(64);
+                    ctx.emit_str(&format!("child={v};"));
+                }));
+                ctx.write::<u64>(64, 88); // after fork: child must not see
+                ctx.join(h);
+                ctx.emit_str("done;");
+            }),
+        );
+        // Output streams concatenate in tid order: main (0) then child (1).
+        assert_eq!(out.output, b"done;child=77;");
+    }
+
+    #[test]
+    fn mutex_critical_sections_compose() {
+        let out = RfdetBackend::ci().run(
+            &small(),
+            Box::new(|ctx| {
+                let m = MutexId(1);
+                let handles: Vec<_> = (0..3)
+                    .map(|_| {
+                        ctx.spawn(Box::new(move |ctx| {
+                            for _ in 0..50 {
+                                ctx.lock(m);
+                                let v: u64 = ctx.read(512);
+                                ctx.tick(5);
+                                ctx.write(512, v + 1);
+                                ctx.unlock(m);
+                            }
+                        }))
+                    })
+                    .collect();
+                for h in handles {
+                    ctx.join(h);
+                }
+                let v: u64 = ctx.read(512);
+                ctx.emit_str(&format!("{v}"));
+            }),
+        );
+        assert_eq!(out.output, b"150");
+        assert_eq!(out.stats.locks, 150);
+        assert_eq!(out.stats.unlocks, 150);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            RfdetBackend::ci().run(
+                &small(),
+                Box::new(|ctx| {
+                    let h = ctx.spawn(Box::new(|_ctx| {
+                        panic!("worker exploded");
+                    }));
+                    ctx.join(h);
+                }),
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate out of run()");
+    }
+}

@@ -1,0 +1,348 @@
+//! The per-thread RFDet context: memory access paths and `DmtCtx` glue.
+
+use crate::handoff::Mailbox;
+use crate::shared::RuntimeShared;
+use parking_lot::Mutex;
+use rfdet_api::{
+    Addr, BarrierId, CondId, DmtCtx, MonitorMode, MutexId, Stats, ThreadFn, ThreadHandle, Tid,
+};
+use rfdet_kendo::{Jitter, KendoHandle};
+use rfdet_mem::{ModRun, PageFlags, PrivateSpace, ThreadHeap};
+use rfdet_meta::ThreadMeta;
+use rfdet_vclock::VClock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The per-thread view of the RFDet runtime.
+///
+/// Owns the thread's private memory space, the in-progress slice (page
+/// snapshots taken at first write, paper Figure 4), the vector clock, the
+/// lazy-write pending queues, and the thread-local profiling counters.
+pub struct RfdetCtx {
+    pub(crate) shared: Arc<RuntimeShared>,
+    pub(crate) kendo: KendoHandle,
+    pub(crate) tid: Tid,
+    pub(crate) space: PrivateSpace,
+    /// Emulated page protection: `WRITE_PROTECT` drives `pf` monitoring,
+    /// `NO_ACCESS` marks pages with pending lazy-write modifications.
+    pub(crate) flags: PageFlags,
+    /// Lazy-writes pending queues, per page, in propagation order. The
+    /// runs are deep copies so GC never invalidates them.
+    pub(crate) pending: BTreeMap<usize, Vec<ModRun>>,
+    /// Current vector clock.
+    pub(crate) vc: VClock,
+    /// Timestamp of the in-progress slice (the clock at its start).
+    pub(crate) slice_start: VClock,
+    pub(crate) slice_seq: u64,
+    /// Pages snapshotted in the current slice (sorted for deterministic
+    /// diff order).
+    pub(crate) snapshots: BTreeMap<usize, Box<[u8]>>,
+    /// Per-source absolute positions in other threads' slice lists:
+    /// everything before the cursor was already filtered-or-propagated
+    /// under an earlier upper limit (see `SliceList` for the closure
+    /// property that makes this sound).
+    pub(crate) cursors: std::collections::HashMap<Tid, u64>,
+    pub(crate) heap: ThreadHeap,
+    pub(crate) stats: Stats,
+    pub(crate) jitter: Option<Jitter>,
+    pub(crate) meta_thread: Arc<ThreadMeta>,
+    pub(crate) mailbox: Arc<Mutex<Mailbox>>,
+    /// A slice publication crossed the GC threshold; a pass runs at the
+    /// next off-turn point.
+    pub(crate) gc_pending: bool,
+    exited: bool,
+}
+
+impl RfdetCtx {
+    /// Bootstraps the main-thread context (tid 0). Must be called exactly
+    /// once per [`RuntimeShared`].
+    pub(crate) fn new_main(shared: Arc<RuntimeShared>) -> Self {
+        assert_eq!(shared.meta.num_threads(), 0, "main context already exists");
+        let meta_thread = shared.meta.register_thread();
+        let kendo = shared.kendo.register(0);
+        let mailbox = shared.register_mailbox();
+        let mut vc = VClock::new();
+        vc.tick(0);
+        let mut ctx = Self::from_parts(shared, kendo, meta_thread, mailbox, None, vc);
+        ctx.publish_vcs();
+        ctx.begin_slice();
+        ctx
+    }
+
+    /// Builds a child context from pieces prepared inside the parent's
+    /// turn (see `sync::spawn_impl`).
+    pub(crate) fn from_parts(
+        shared: Arc<RuntimeShared>,
+        kendo: KendoHandle,
+        meta_thread: Arc<ThreadMeta>,
+        mailbox: Arc<Mutex<Mailbox>>,
+        space: Option<PrivateSpace>,
+        vc: VClock,
+    ) -> Self {
+        let tid = kendo.tid();
+        let cfg = &shared.cfg;
+        let space = space.unwrap_or_else(|| PrivateSpace::new(cfg.space_bytes, cfg.page_size));
+        let flags = PageFlags::new(space.num_pages());
+        let heap = shared.strips.heap_for(tid);
+        let jitter = cfg
+            .jitter_seed
+            .map(|seed| Jitter::new(seed, tid, cfg.jitter_max_us));
+        let slice_start = vc.clone();
+        let mut ctx = Self {
+            shared,
+            kendo,
+            tid,
+            space,
+            flags,
+            pending: BTreeMap::new(),
+            vc,
+            slice_start,
+            slice_seq: 0,
+            snapshots: BTreeMap::new(),
+            cursors: std::collections::HashMap::new(),
+            heap,
+            stats: Stats::default(),
+            jitter,
+            meta_thread,
+            mailbox,
+            gc_pending: false,
+            exited: false,
+        };
+        // `begin_slice` applies pf protection; safe to call here because
+        // the slice state is empty.
+        ctx.begin_slice();
+        ctx
+    }
+
+    /// The deterministic thread ID.
+    #[must_use]
+    pub fn thread_id(&self) -> Tid {
+        self.tid
+    }
+
+    /// Publishes both clocks (post-propagation and in-turn views agree at
+    /// this point).
+    pub(crate) fn publish_vcs(&self) {
+        self.shared.meta.publish_vc(self.tid, &self.vc);
+        self.shared.meta.publish_turn_vc(self.tid, &self.vc);
+    }
+
+    #[inline]
+    fn page_range(&self, addr: Addr, len: usize) -> (usize, usize) {
+        let first = self.space.page_of(addr);
+        let last = self.space.page_of(addr + len.saturating_sub(1) as u64);
+        (first, last)
+    }
+
+    /// Applies the pending lazy-write modifications of `page` and lifts
+    /// its protection (paper §4.5 *Lazy Writes*: "when a memory access
+    /// hits one of these pages, we write the modifications of the page
+    /// into the local memory and unprotect the page").
+    #[cold]
+    pub(crate) fn lazy_fault(&mut self, page: usize) {
+        let Some(queue) = self.pending.remove(&page) else {
+            return;
+        };
+        self.stats.page_faults += 1;
+        self.pay_fault_cost();
+        // Overlay the queued runs so each byte is written once, with the
+        // newest value — the memory-write saving §4.5 describes.
+        let page_size = self.space.page_size();
+        let base = self.space.page_base(page);
+        let mut overlay: Vec<Option<u8>> = vec![None; page_size];
+        let mut duplicate_bytes: u64 = 0;
+        for run in &queue {
+            let off = (run.addr - base) as usize;
+            for (i, &b) in run.data.iter().enumerate() {
+                if overlay[off + i].is_some() {
+                    duplicate_bytes += 1;
+                }
+                overlay[off + i] = Some(b);
+            }
+        }
+        self.stats.lazy_elided_bytes += duplicate_bytes;
+        let mut i = 0;
+        while i < page_size {
+            if overlay[i].is_none() {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut data = Vec::new();
+            while i < page_size {
+                match overlay[i] {
+                    Some(b) => {
+                        data.push(b);
+                        i += 1;
+                    }
+                    None => break,
+                }
+            }
+            let run = ModRun::new(base + start as u64, data.into());
+            self.stats.mod_bytes_applied += run.len() as u64;
+            self.space.apply_run(&run);
+        }
+        self.flags.unprotect(page, PageFlags::NO_ACCESS);
+    }
+
+    /// Simulated cost of a page fault (trap + `mprotect` syscalls).
+    pub(crate) fn pay_fault_cost(&self) {
+        for _ in 0..self.shared.cfg.rfdet.fault_cost_spins {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The Figure-4 store instrumentation: snapshot the page the first
+    /// time it is written within the current slice.
+    #[inline]
+    fn record_store(&mut self, page: usize) {
+        match self.shared.cfg.rfdet.monitor {
+            MonitorMode::Ci => {
+                if !self.snapshots.contains_key(&page) {
+                    let snap = self.space.snapshot_page(page);
+                    self.snapshots.insert(page, snap);
+                    self.stats.stores_with_copy += 1;
+                }
+            }
+            MonitorMode::Pf => {
+                if self.flags.is_protected(page, PageFlags::WRITE_PROTECT) {
+                    // Simulated write fault.
+                    self.stats.page_faults += 1;
+                    self.pay_fault_cost();
+                    let snap = self.space.snapshot_page(page);
+                    self.snapshots.insert(page, snap);
+                    self.stats.stores_with_copy += 1;
+                    self.flags.unprotect(page, PageFlags::WRITE_PROTECT);
+                }
+            }
+        }
+    }
+
+    /// Read without advancing the Kendo clock — for use *inside* a turn
+    /// (atomic operations), where a tick would release the turn early.
+    pub(crate) fn read_in_turn(&mut self, addr: Addr, buf: &mut [u8]) {
+        if !buf.is_empty() && !self.pending.is_empty() {
+            let (first, last) = self.page_range(addr, buf.len());
+            for page in first..=last {
+                if self.flags.is_protected(page, PageFlags::NO_ACCESS) {
+                    self.lazy_fault(page);
+                }
+            }
+        }
+        self.stats.loads += 1;
+        self.space.read(addr, buf);
+    }
+
+    /// Write without advancing the Kendo clock (see [`Self::read_in_turn`]);
+    /// still goes through the Figure-4 store instrumentation.
+    pub(crate) fn write_in_turn(&mut self, addr: Addr, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let (first, last) = self.page_range(addr, data.len());
+        for page in first..=last {
+            if !self.pending.is_empty() && self.flags.is_protected(page, PageFlags::NO_ACCESS) {
+                self.lazy_fault(page);
+            }
+            self.record_store(page);
+        }
+        self.stats.stores += 1;
+        self.space.write(addr, data);
+    }
+
+    pub(crate) fn jitter_pause(&mut self) {
+        if let Some(j) = &mut self.jitter {
+            j.pause();
+        }
+    }
+
+    /// The thread-exit operation (release of `SyncKey::Thread(tid)`).
+    /// Idempotent; called by the runtime when the entry function returns.
+    pub(crate) fn on_exit(&mut self) {
+        if self.exited {
+            return;
+        }
+        self.exited = true;
+        crate::sync::exit_impl(self);
+    }
+}
+
+impl DmtCtx for RfdetCtx {
+    fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    #[inline]
+    fn tick(&mut self, n: u64) {
+        self.kendo.tick(n);
+    }
+
+    fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.kendo.tick(1);
+        self.read_in_turn(addr, buf);
+    }
+
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        self.kendo.tick(1);
+        self.write_in_turn(addr, data);
+    }
+
+    fn lock(&mut self, m: MutexId) {
+        crate::sync::lock_impl(self, m);
+    }
+
+    fn unlock(&mut self, m: MutexId) {
+        crate::sync::unlock_impl(self, m);
+    }
+
+    fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        crate::sync::wait_impl(self, c, m);
+    }
+
+    fn cond_signal(&mut self, c: CondId) {
+        crate::sync::signal_impl(self, c, false);
+    }
+
+    fn cond_broadcast(&mut self, c: CondId) {
+        crate::sync::signal_impl(self, c, true);
+    }
+
+    fn barrier(&mut self, b: BarrierId, parties: usize) {
+        crate::sync::barrier_impl(self, b, parties);
+    }
+
+    fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
+        crate::sync::spawn_impl(self, f)
+    }
+
+    fn join(&mut self, h: ThreadHandle) {
+        crate::sync::join_impl(self, h);
+    }
+
+    fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        self.kendo.tick(1);
+        self.stats.shared_bytes += size;
+        self.heap.alloc(size, align)
+    }
+
+    fn dealloc(&mut self, addr: Addr) {
+        self.kendo.tick(1);
+        self.heap.dealloc(addr);
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.meta_thread.output.lock().extend_from_slice(bytes);
+    }
+
+    fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
+        crate::sync::atomic_impl(self, addr, Some(op), None)
+    }
+
+    fn atomic_load(&mut self, addr: Addr) -> u64 {
+        crate::sync::atomic_impl(self, addr, None, None)
+    }
+
+    fn atomic_store(&mut self, addr: Addr, value: u64) {
+        crate::sync::atomic_impl(self, addr, None, Some(value));
+    }
+}

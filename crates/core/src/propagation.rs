@@ -1,0 +1,332 @@
+//! Memory modification propagation (paper §4.3, Figure 5).
+
+use crate::ctx::RfdetCtx;
+use crate::handoff::{BarrierHandoff, Mailbox};
+use rfdet_api::Tid;
+use rfdet_mem::PageFlags;
+use rfdet_meta::SliceRef;
+use std::sync::Arc;
+use rfdet_vclock::VClock;
+use std::collections::HashSet;
+
+impl RfdetCtx {
+    /// `DoMemoryModificationPropagation` (Figure 5): pull from `from`'s
+    /// slice-pointer list every slice `S` with
+    /// `S.time ≤ upper` (*upperlimit*: S happens-before the release we
+    /// synchronized with) and `¬(S.time ≤ lower)` (*lowerlimit*: not
+    /// already seen), apply its modifications in list order, and append it
+    /// to our own list (transitive propagation).
+    pub(crate) fn propagate_from(&mut self, from: Tid, upper: &VClock, lower: &VClock) {
+        let cursor = self.cursors.get(&from).copied().unwrap_or(0);
+        // `upper` is a release time of `from`, so the list is
+        // prefix-closed under it: start at the cursor, stop at the first
+        // entry above the limit.
+        let (batch, redundant, new_cursor) =
+            self.shared
+                .meta
+                .filter_list_from(from, upper, lower, cursor, true);
+        self.cursors.insert(from, new_cursor);
+        self.stats.slices_filtered_redundant += redundant;
+        for s in &batch {
+            self.stats.slices_propagated += 1;
+            self.apply_slice(s);
+        }
+        self.shared.meta.append_to_list(self.tid, &batch);
+    }
+
+    /// Barrier-merge propagation: everything that happened before the
+    /// barrier, from every participant, merged in ascending-tid order
+    /// (§4.1: "the thread with the smallest ID merges its modifications
+    /// first"), deduplicated across lists.
+    pub(crate) fn propagate_barrier(&mut self, b: &BarrierHandoff, lower: &VClock) {
+        let mut seen: HashSet<(Tid, u64)> = HashSet::new();
+        let mut participants = b.participants.clone();
+        participants.sort_unstable();
+        for &p in &participants {
+            if p == self.tid {
+                continue;
+            }
+            let (filtered, _) = self.shared.meta.filter_list(p, &b.upper, lower);
+            let batch: Vec<SliceRef> = filtered
+                .into_iter()
+                .filter(|s| seen.insert((s.tid, s.seq)))
+                .collect();
+            for s in &batch {
+                self.stats.slices_propagated += 1;
+                self.apply_slice(s);
+            }
+            self.shared.meta.append_to_list(self.tid, &batch);
+        }
+    }
+
+    /// Applies one slice's modifications to local memory — directly, or
+    /// deferred into per-page pending queues when lazy writes are on.
+    pub(crate) fn apply_slice(&mut self, s: &SliceRef) {
+        if self.shared.cfg.rfdet.lazy_writes {
+            for run in &s.mods {
+                let page = self.space.page_of(run.addr);
+                self.stats.lazy_deferred_bytes += run.len() as u64;
+                self.pending.entry(page).or_default().push(run.clone());
+                self.flags.protect(page, PageFlags::NO_ACCESS);
+            }
+        } else {
+            for run in &s.mods {
+                self.stats.mod_bytes_applied += run.len() as u64;
+                self.space.apply_run(run);
+            }
+        }
+    }
+
+    /// Prelock pre-merge (§4.5): while blocked behind `source` (the lock
+    /// predecessor, or the join target), merge every slice that must
+    /// happen-before our eventual acquire — everything at or below the
+    /// source's *published* clock, which always precedes the release we
+    /// will synchronize with. Runs fully off the critical path, and also
+    /// advances our own published clock so a long park does not pin the
+    /// garbage collector (the §5.4 pathology).
+    ///
+    /// The round holds our mailbox lock: a waker deposits its handoff
+    /// into that mailbox *before* waking us, so while we hold it the
+    /// source cannot have completed the release — its published clock is
+    /// therefore still a sound (pre-release) bound.
+    pub(crate) fn premerge_round(&mut self, source: Tid) {
+        let mailbox = Arc::clone(&self.mailbox);
+        let guard = mailbox.lock();
+        if !guard.is_empty() {
+            // A handoff is already in flight; the wake path takes over.
+            return;
+        }
+        let mut bound = self.shared.meta.published_vc(source);
+        // Off-by-one guard: the source's *open* (unpublished) slice is
+        // timestamped with exactly this published value (timestamps are
+        // pre-tick clocks), so claiming `≤ bound` as seen would lose its
+        // writes. Stepping the source's own component back one excludes
+        // precisely that open slice: every published slice of the source
+        // is strictly older in the source component, and no foreign slice
+        // can reach it.
+        let sc = bound.get(source);
+        if sc == 0 {
+            return;
+        }
+        bound.set(source, sc - 1);
+        let lower = self.vc.clone();
+        if bound.leq(&lower) {
+            return;
+        }
+        let cursor = self.cursors.get(&source).copied().unwrap_or(0);
+        let (batch, _, new_cursor) =
+            self.shared
+                .meta
+                .filter_list_from(source, &bound, &lower, cursor, true);
+        self.cursors.insert(source, new_cursor);
+        for s in &batch {
+            self.stats.prelock_premerged += 1;
+            self.apply_slice(s);
+        }
+        self.shared.meta.append_to_list(self.tid, &batch);
+        self.vc.join(&bound);
+        // Everything ≤ bound is now reflected (or queued) locally.
+        self.shared.meta.publish_vc(self.tid, &self.vc);
+    }
+
+    /// Consumes a wakeup mailbox: joins each deposited release time into
+    /// the vector clock and propagates from its source, in deposit order.
+    /// Pre-merged slices are excluded automatically: the pre-merge joined
+    /// their times into `vc`, so the lowerlimit filters them.
+    pub(crate) fn apply_mailbox(&mut self, mail: Mailbox) {
+        if let Some(b) = mail.barrier {
+            let lower = self.vc.clone();
+            self.vc.join(&b.upper);
+            self.propagate_barrier(&b, &lower);
+        }
+        for src in mail.sources {
+            let lower = self.vc.clone();
+            self.vc.join(&src.time);
+            self.propagate_from(src.from, &src.time, &lower);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shared::RuntimeShared;
+    use crate::RfdetCtx;
+    use rfdet_api::{DmtCtxExt, RunConfig};
+    use rfdet_vclock::VClock;
+    use std::sync::Arc;
+
+    /// Builds two sibling contexts sharing one runtime, bypassing spawn
+    /// (unit-level plumbing only; real spawning is tested in sync.rs).
+    fn two_ctxs(lazy: bool) -> (RfdetCtx, RfdetCtx) {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.lazy_writes = lazy;
+        cfg.rfdet.fault_cost_spins = 0;
+        let shared = Arc::new(RuntimeShared::new(cfg));
+        let a = RfdetCtx::new_main(Arc::clone(&shared));
+        let meta = shared.meta.register_thread();
+        let kendo = shared.kendo.register(1);
+        let mb = shared.register_mailbox();
+        let mut vc = VClock::new();
+        vc.tick(1);
+        let b = RfdetCtx::from_parts(shared, kendo, meta, mb, None, vc);
+        (a, b)
+    }
+
+    #[test]
+    fn propagation_transfers_happens_before_slices() {
+        let (mut a, mut b) = two_ctxs(false);
+        a.write::<u64>(64, 99);
+        let release_time = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        assert_eq!(b.read::<u64>(64), 0, "not visible before propagation");
+        let lower = b.vc.clone();
+        b.vc.join(&release_time);
+        b.propagate_from(0, &release_time, &lower);
+        assert_eq!(b.read::<u64>(64), 99);
+        assert_eq!(b.stats.slices_propagated, 1);
+    }
+
+    #[test]
+    fn upperlimit_excludes_later_slices() {
+        let (mut a, mut b) = two_ctxs(false);
+        a.write::<u64>(64, 1);
+        let release_time = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+        a.begin_slice();
+        a.write::<u64>(64, 2); // x=2 after the release: must stay hidden
+        a.end_slice();
+
+        let lower = b.vc.clone();
+        b.vc.join(&release_time);
+        b.propagate_from(0, &release_time, &lower);
+        assert_eq!(b.read::<u64>(64), 1, "Figure 6: x=2 is not yet visible");
+    }
+
+    #[test]
+    fn lowerlimit_filters_already_seen() {
+        let (mut a, mut b) = two_ctxs(false);
+        a.write::<u64>(64, 1);
+        let t1 = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        let lower = b.vc.clone();
+        b.vc.join(&t1);
+        b.propagate_from(0, &t1, &lower);
+        assert_eq!(b.stats.slices_propagated, 1);
+
+        // Second propagation from the same release: nothing new — the
+        // cursor skips the already-consumed prefix outright (and the
+        // lowerlimit would filter anything it still scanned).
+        let applied_before = b.stats.mod_bytes_applied;
+        let lower2 = b.vc.clone();
+        b.propagate_from(0, &t1, &lower2);
+        assert_eq!(b.stats.slices_propagated, 1);
+        assert_eq!(
+            b.stats.mod_bytes_applied, applied_before,
+            "no re-application"
+        );
+    }
+
+    #[test]
+    fn transitive_propagation_through_middle_thread() {
+        // T0 -> T1 -> (T1's list now carries T0's slice) — a third context
+        // pulling from T1 sees T0's write without ever talking to T0.
+        let (mut a, mut b) = two_ctxs(false);
+        a.write::<u64>(64, 42);
+        let t_rel = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        let lower = b.vc.clone();
+        b.vc.join(&t_rel);
+        b.propagate_from(0, &t_rel, &lower);
+        b.end_slice(); // publish b's (empty) slice; list already has T0's
+        let b_rel = b.vc.clone();
+        b.vc.tick(1);
+
+        // Third thread:
+        let shared = Arc::clone(&b.shared);
+        let meta = shared.meta.register_thread();
+        let kendo = shared.kendo.register(9);
+        let mb = shared.register_mailbox();
+        let mut vc = VClock::new();
+        vc.tick(2);
+        let mut c = RfdetCtx::from_parts(shared, kendo, meta, mb, None, vc);
+        let lower = c.vc.clone();
+        c.vc.join(&b_rel);
+        c.propagate_from(1, &b_rel, &lower);
+        assert_eq!(c.read::<u64>(64), 42, "transitivity via slice pointers");
+    }
+
+    #[test]
+    fn lazy_writes_defer_until_access() {
+        let (mut a, mut b) = two_ctxs(true);
+        a.write::<u64>(64, 7);
+        let t = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        let lower = b.vc.clone();
+        b.vc.join(&t);
+        b.propagate_from(0, &t, &lower);
+        assert!(b.stats.lazy_deferred_bytes >= 1);
+        assert_eq!(b.stats.mod_bytes_applied, 0, "nothing applied yet");
+        assert_eq!(b.read::<u64>(64), 7, "fault applies on first access");
+        assert!(b.stats.mod_bytes_applied >= 1);
+        assert_eq!(b.stats.page_faults, 1);
+    }
+
+    #[test]
+    fn lazy_writes_elide_superseded_values() {
+        let (mut a, mut b) = two_ctxs(true);
+        // Two updates to the same location across two slices.
+        a.write::<u64>(64, 1);
+        let t1 = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+        a.begin_slice();
+        a.write::<u64>(64, 2);
+        let t2 = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        let lower = b.vc.clone();
+        b.vc.join(&t1);
+        b.propagate_from(0, &t1, &lower);
+        let lower = b.vc.clone();
+        b.vc.join(&t2);
+        b.propagate_from(0, &t2, &lower);
+        assert_eq!(b.read::<u64>(64), 2, "newest value wins");
+        // Byte-granularity diffing means each update is one changed byte;
+        // the first one is superseded before the fault applies it.
+        assert!(
+            b.stats.lazy_elided_bytes >= 1,
+            "the first update's byte was never written (elided {})",
+            b.stats.lazy_elided_bytes
+        );
+    }
+
+    #[test]
+    fn conflicting_concurrent_writes_remote_wins_in_order() {
+        // Two propagation sources applied in deposit order: the later one
+        // overwrites — the deterministic "remote overwrites local" policy.
+        let (mut a, mut b) = two_ctxs(false);
+        a.write::<u64>(64, 5);
+        let t = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        b.write::<u64>(64, 6); // b's own concurrent write
+        b.end_slice();
+        b.vc.tick(1);
+        b.begin_slice();
+        let lower = b.vc.clone();
+        b.vc.join(&t);
+        b.propagate_from(0, &t, &lower);
+        assert_eq!(b.read::<u64>(64), 5, "remote write overwrites local");
+    }
+}

@@ -1,0 +1,148 @@
+//! Run-wide shared state.
+
+use crate::handoff::Mailbox;
+use parking_lot::{Mutex, RwLock};
+use rfdet_api::{RunConfig, Tid};
+use rfdet_kendo::KendoState;
+use rfdet_mem::StripAllocator;
+use rfdet_meta::MetaSpace;
+use rfdet_vclock::VClock;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Logical-clock increment charged per synchronization operation (the
+/// paper weights ticks by memory instructions; sync ops get a small fixed
+/// surcharge so back-to-back sync ops still rotate turns fairly).
+pub(crate) const SYNC_TICK: u64 = 5;
+
+/// State of one application mutex.
+#[derive(Debug, Default)]
+pub(crate) struct MutexState {
+    /// Current owner.
+    pub owner: Option<Tid>,
+    /// Reservation queue (paper §4.5 *Prelock*): deterministic
+    /// acquisition order, fixed at enqueue time inside the Kendo turn.
+    pub queue: VecDeque<Tid>,
+}
+
+/// State of one application barrier.
+#[derive(Debug, Default)]
+pub(crate) struct BarrierState {
+    /// `(tid, release time)` of each arrival this episode.
+    pub arrivals: Vec<(Tid, VClock)>,
+}
+
+/// All deterministic queueing state. Touched **only inside Kendo turns**,
+/// so although a `Mutex` guards it physically, its contents evolve in a
+/// deterministic order.
+#[derive(Debug, Default)]
+pub(crate) struct SyncQueues {
+    pub mutexes: HashMap<u32, MutexState>,
+    /// Condvar wait queues: `(waiter, mutex to reacquire)` in deterministic
+    /// arrival order.
+    pub conds: HashMap<u32, VecDeque<(Tid, u32)>>,
+    pub barriers: HashMap<u32, BarrierState>,
+    /// Joiners parked on a not-yet-finished thread.
+    pub join_waiters: HashMap<Tid, Vec<Tid>>,
+    /// Threads that have executed their exit operation.
+    pub finished: HashSet<Tid>,
+}
+
+/// Everything shared by all threads of one RFDet run.
+pub(crate) struct RuntimeShared {
+    pub cfg: RunConfig,
+    pub kendo: KendoState,
+    pub meta: MetaSpace,
+    pub strips: StripAllocator,
+    pub queues: Mutex<SyncQueues>,
+    /// Wakeup mailboxes, indexed by tid.
+    pub mailboxes: RwLock<Vec<Arc<Mutex<Mailbox>>>>,
+    /// OS join handles of spawned threads, harvested at run teardown.
+    pub os_handles: Mutex<HashMap<Tid, std::thread::JoinHandle<()>>>,
+    /// First panic payload captured from a worker thread.
+    pub panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl RuntimeShared {
+    pub fn new(cfg: RunConfig) -> Self {
+        cfg.validate();
+        let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
+        Self {
+            kendo: KendoState::new(),
+            meta: MetaSpace::with_max_slices(
+                cfg.meta_capacity_bytes as usize,
+                cfg.gc_threshold,
+                cfg.meta_max_slices as usize,
+            ),
+            strips: StripAllocator::new(heap_base, cfg.space_bytes - heap_base),
+            queues: Mutex::new(SyncQueues::default()),
+            mailboxes: RwLock::new(Vec::new()),
+            os_handles: Mutex::new(HashMap::new()),
+            panic_payload: Mutex::new(None),
+            cfg,
+        }
+    }
+
+    /// Registers the mailbox for the next thread (call in tid order,
+    /// inside the creating turn).
+    pub fn register_mailbox(&self) -> Arc<Mutex<Mailbox>> {
+        let mut boxes = self.mailboxes.write();
+        let mb = Arc::new(Mutex::new(Mailbox::default()));
+        boxes.push(Arc::clone(&mb));
+        mb
+    }
+
+    /// Mailbox of an arbitrary thread (for depositing handoffs).
+    pub fn mailbox(&self, tid: Tid) -> Arc<Mutex<Mailbox>> {
+        Arc::clone(&self.mailboxes.read()[tid as usize])
+    }
+
+    /// Records a worker panic (first wins) and aborts the protocol.
+    pub fn record_panic(&self, tid: Tid, payload: Box<dyn std::any::Any + Send>) {
+        {
+            let mut slot = self.panic_payload.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.kendo.set_abort();
+        self.kendo.finish_forced(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_construction_validates_config() {
+        let s = RuntimeShared::new(RunConfig::small());
+        assert_eq!(s.meta.num_threads(), 0);
+        assert_eq!(s.kendo.num_threads(), 0);
+        assert!(s.strips.strip_size() > 0);
+    }
+
+    #[test]
+    fn mailboxes_register_in_order() {
+        let s = RuntimeShared::new(RunConfig::small());
+        let a = s.register_mailbox();
+        let _b = s.register_mailbox();
+        a.lock().sources.push(crate::handoff::AcquireSource {
+            from: 9,
+            time: VClock::new(),
+        });
+        assert_eq!(s.mailbox(0).lock().sources.len(), 1);
+        assert!(s.mailbox(1).lock().is_empty());
+    }
+
+    #[test]
+    fn record_panic_keeps_first_payload_and_aborts() {
+        let s = RuntimeShared::new(RunConfig::small());
+        let _h = s.kendo.register(0);
+        s.record_panic(0, Box::new("first"));
+        s.record_panic(0, Box::new("second"));
+        assert!(s.kendo.aborted());
+        let payload = s.panic_payload.lock().take().unwrap();
+        assert_eq!(*payload.downcast::<&str>().unwrap(), "first");
+    }
+}

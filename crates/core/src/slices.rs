@@ -1,0 +1,167 @@
+//! Slice lifecycle (paper §4.2).
+//!
+//! A *slice* is a synchronization-free interval of one thread's execution.
+//! Every synchronization operation ends the current slice: the pages
+//! snapshotted by the store instrumentation are diffed byte-by-byte
+//! against their current contents, the resulting modification list is
+//! sealed into a [`rfdet_meta::SliceRec`] stamped with the slice's vector
+//! time, and the record is published to the metadata space.
+
+use crate::ctx::RfdetCtx;
+use rfdet_api::MonitorMode;
+use rfdet_mem::{diff, PageFlags};
+use rfdet_meta::SliceRec;
+
+impl RfdetCtx {
+    /// Ends the current slice: diff, seal, publish. Runs GC if the
+    /// publication crossed the metadata threshold (§4.5).
+    pub(crate) fn end_slice(&mut self) {
+        let mut mods = Vec::new();
+        let snapshots = std::mem::take(&mut self.snapshots);
+        // BTreeMap iteration is page-index order — the deterministic
+        // modification order within a slice.
+        for (page, snap) in snapshots {
+            let Some(current) = self.space.page(page) else {
+                // Snapshot taken but page never materialized: impossible
+                // through the write path, and harmless (no diff).
+                continue;
+            };
+            diff::diff_page(self.space.page_base(page), &snap, current.bytes(), &mut mods);
+        }
+        self.stats.slices += 1;
+        if !mods.is_empty() {
+            let rec = SliceRec::new(self.tid, self.slice_seq, self.slice_start.clone(), mods);
+            let (_slice, gc_needed) = self.shared.meta.publish_slice(rec);
+            // Defer the pass itself: end_slice runs inside the Kendo
+            // turn, and a GC scan there would serialize every thread.
+            self.gc_pending |= gc_needed;
+        }
+        self.slice_seq += 1;
+    }
+
+    /// Runs a deferred GC pass (call off-turn).
+    pub(crate) fn run_pending_gc(&mut self) {
+        if self.gc_pending {
+            self.gc_pending = false;
+            self.shared.meta.run_gc();
+        }
+    }
+
+    /// Starts a new slice at the current vector clock. In `pf` mode this
+    /// re-protects the whole space so first writes fault (§4.2: "protect
+    /// shared memory with no write permission at the beginning of each
+    /// slice").
+    pub(crate) fn begin_slice(&mut self) {
+        self.slice_start = self.vc.clone();
+        debug_assert!(self.snapshots.is_empty(), "begin_slice with open snapshots");
+        if self.shared.cfg.rfdet.monitor == MonitorMode::Pf {
+            self.flags.protect_all(PageFlags::WRITE_PROTECT);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shared::RuntimeShared;
+    use crate::RfdetCtx;
+    use rfdet_api::{DmtCtx as _, DmtCtxExt, MonitorMode, RunConfig};
+    use std::sync::Arc;
+
+    fn ctx_with(monitor: MonitorMode) -> RfdetCtx {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.monitor = monitor;
+        cfg.rfdet.fault_cost_spins = 0;
+        RfdetCtx::new_main(Arc::new(RuntimeShared::new(cfg)))
+    }
+
+    #[test]
+    fn first_write_snapshots_page_ci() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        ctx.write::<u64>(100, 7);
+        assert_eq!(ctx.stats.stores_with_copy, 1);
+        ctx.write::<u64>(108, 8); // same page: no second snapshot
+        assert_eq!(ctx.stats.stores_with_copy, 1);
+        ctx.write::<u64>(5000, 9); // second page
+        assert_eq!(ctx.stats.stores_with_copy, 2);
+        assert_eq!(ctx.stats.stores, 3);
+    }
+
+    #[test]
+    fn pf_mode_counts_faults() {
+        let mut ctx = ctx_with(MonitorMode::Pf);
+        ctx.write::<u64>(100, 7);
+        ctx.write::<u64>(108, 8);
+        assert_eq!(ctx.stats.page_faults, 1, "one fault per page per slice");
+        assert_eq!(ctx.stats.stores_with_copy, 1);
+    }
+
+    #[test]
+    fn end_slice_publishes_byte_diffs() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        ctx.write::<u32>(16, 0xAABBCCDD);
+        ctx.end_slice();
+        let list = ctx.shared.meta.snapshot_list(0);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].mod_bytes(), 4);
+        assert_eq!(list[0].tid, 0);
+        assert_eq!(list[0].time, ctx.vc, "slice stamped with its start time");
+    }
+
+    #[test]
+    fn redundant_writes_publish_nothing() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        // Write zero over fresh (zero) memory — §4.6: the slice must be
+        // empty and is not published.
+        ctx.write::<u64>(64, 0);
+        ctx.end_slice();
+        assert!(ctx.shared.meta.snapshot_list(0).is_empty());
+        assert_eq!(ctx.stats.slices, 1, "the slice still happened");
+    }
+
+    #[test]
+    fn slice_seq_advances_and_snapshots_reset() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        ctx.write::<u8>(0, 1);
+        ctx.end_slice();
+        ctx.begin_slice();
+        ctx.write::<u8>(1, 2);
+        assert_eq!(
+            ctx.stats.stores_with_copy, 2,
+            "same page snapshots again in a new slice"
+        );
+        ctx.end_slice();
+        let list = ctx.shared.meta.snapshot_list(0);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].seq, 0);
+        assert_eq!(list[1].seq, 1);
+    }
+
+    #[test]
+    fn pf_reprotects_each_slice() {
+        let mut ctx = ctx_with(MonitorMode::Pf);
+        ctx.write::<u8>(0, 1);
+        ctx.end_slice();
+        ctx.begin_slice();
+        ctx.write::<u8>(0, 2);
+        assert_eq!(ctx.stats.page_faults, 2);
+    }
+
+    #[test]
+    fn reads_do_not_snapshot() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        let _: u64 = ctx.read(128);
+        assert_eq!(ctx.stats.stores_with_copy, 0);
+        assert_eq!(ctx.stats.loads, 1);
+        ctx.end_slice();
+        assert!(ctx.shared.meta.snapshot_list(0).is_empty());
+    }
+
+    #[test]
+    fn alloc_tracks_shared_bytes() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        let a = ctx.alloc(100, 8);
+        assert!(a >= rfdet_mem::heap_base(ctx.shared.cfg.space_bytes));
+        assert_eq!(ctx.stats.shared_bytes, 100);
+        ctx.dealloc(a);
+    }
+}

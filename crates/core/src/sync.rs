@@ -1,0 +1,531 @@
+//! Deterministic synchronization operations (paper §4.1).
+//!
+//! Every operation follows the same shape:
+//!
+//! 1. `wait_for_turn` — Kendo admits the op at a deterministic point in
+//!    the global synchronization order;
+//! 2. *in turn*: end the current slice, record releases in the internal
+//!    sync-var table, tick the vector clock, mutate the deterministic
+//!    queues, deposit handoffs into blocked threads' mailboxes, publish
+//!    the in-turn clock, and finally tick the Kendo clock (releasing the
+//!    turn);
+//! 3. *off turn*: the actual memory-modification propagation — the
+//!    expensive part — runs in parallel with other threads' turns. This
+//!    is exactly what "no global barriers" buys.
+//!
+//! Blocking operations park **after** their final tick; their waker
+//! deposits the acquire edges and reactivates them with a deterministic
+//! clock from inside its own turn.
+
+use crate::ctx::RfdetCtx;
+use crate::handoff::{AcquireSource, BarrierHandoff};
+use crate::shared::SYNC_TICK;
+use rfdet_api::{BarrierId, CondId, MutexId, ThreadFn, ThreadHandle, Tid};
+use rfdet_meta::{SyncKey, SyncVar};
+use rfdet_vclock::VClock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Ends the slice, optionally records a release, ticks the vector clock.
+/// Returns the release time (`lower` — the just-ended slice's timestamp).
+fn op_boundary(ctx: &mut RfdetCtx, release: Option<SyncKey>) -> VClock {
+    let lower = ctx.vc.clone();
+    ctx.end_slice();
+    if let Some(key) = release {
+        let tid = ctx.tid;
+        let time = lower.clone();
+        ctx.shared
+            .meta
+            .with_sync_var(key, |v| v.record_release(tid, time));
+    }
+    ctx.vc.tick(ctx.tid);
+    lower
+}
+
+/// Post-propagation epilogue shared by every operation (runs off-turn).
+fn op_epilogue(ctx: &mut RfdetCtx) {
+    ctx.begin_slice();
+    ctx.shared.meta.publish_vc(ctx.tid, &ctx.vc);
+    ctx.run_pending_gc();
+}
+
+/// Blocks, consumes the wakeup mailbox, and finishes the acquire. When
+/// `premerge_source` is set (and the prelock optimization is on), the
+/// park loop keeps pre-merging the source's published slices off the
+/// critical path (§4.5).
+fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
+    let kendo_handle = ctx.kendo.clone();
+    let shared = Arc::clone(&ctx.shared);
+    match premerge_source.filter(|_| ctx.shared.cfg.rfdet.prelock) {
+        Some(src) => {
+            // First round immediately, then periodically while parked.
+            ctx.premerge_round(src);
+            shared
+                .kendo
+                .park_until_active_with(&kendo_handle, || ctx.premerge_round(src));
+        }
+        None => shared.kendo.park_until_active(&kendo_handle),
+    }
+    let mail = ctx.mailbox.lock().drain();
+    debug_assert!(!mail.is_empty(), "woken without a handoff");
+    ctx.apply_mailbox(mail);
+    debug_assert_eq!(
+        ctx.vc,
+        ctx.shared.meta.turn_vc(ctx.tid),
+        "post-wake clock must equal the in-turn published clock"
+    );
+    op_epilogue(ctx);
+}
+
+enum LockPath {
+    /// Lock taken immediately; propagate from the recorded release.
+    Fast(SyncVar),
+    /// Same-thread re-acquire: keep the slice open (§4.5 slice merging).
+    Merged,
+    /// Enqueued behind `pred` (the prelock pre-merge source).
+    Queued { pred: Tid },
+}
+
+pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.locks += 1;
+    let key = SyncKey::Mutex(m.0);
+    let path = {
+        let mut q = ctx.shared.queues.lock();
+        let mx = q.mutexes.entry(m.0).or_default();
+        assert_ne!(
+            mx.owner,
+            Some(ctx.tid),
+            "recursive lock of mutex {} by thread {}",
+            m.0,
+            ctx.tid
+        );
+        if mx.owner.is_none() && mx.queue.is_empty() {
+            mx.owner = Some(ctx.tid);
+            drop(q);
+            let sv = ctx.shared.meta.with_sync_var(key, |v| v.clone());
+            if ctx.shared.cfg.rfdet.slice_merging && sv.last_tid == Some(ctx.tid) {
+                LockPath::Merged
+            } else {
+                LockPath::Fast(sv)
+            }
+        } else {
+            let pred = mx
+                .queue
+                .back()
+                .copied()
+                .or(mx.owner)
+                .expect("contended mutex must have an owner or queue");
+            mx.queue.push_back(ctx.tid);
+            drop(q);
+            LockPath::Queued { pred }
+        }
+    };
+    match path {
+        LockPath::Merged => {
+            ctx.stats.slices_merged += 1;
+            ctx.kendo.tick(SYNC_TICK);
+        }
+        LockPath::Fast(sv) => {
+            op_boundary(ctx, None);
+            let propagate = sv.needs_propagation(ctx.tid);
+            let turn_vc = if propagate {
+                ctx.vc.joined(&sv.last_time)
+            } else {
+                ctx.vc.clone()
+            };
+            ctx.shared.meta.publish_turn_vc(ctx.tid, &turn_vc);
+            ctx.kendo.tick(SYNC_TICK);
+            // Turn released — propagation proceeds in parallel with other
+            // threads' synchronization. No global barrier anywhere.
+            if propagate {
+                let lower = ctx.vc.clone();
+                ctx.vc.join(&sv.last_time);
+                let from = sv.last_tid.expect("needs_propagation implies a releaser");
+                ctx.propagate_from(from, &sv.last_time, &lower);
+            }
+            op_epilogue(ctx);
+        }
+        LockPath::Queued { pred } => {
+            op_boundary(ctx, None);
+            ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+            ctx.shared.kendo.block(&ctx.kendo);
+            ctx.kendo.tick(SYNC_TICK);
+            // §4.5 Prelock: merge everything that must happen-before our
+            // eventual acquire while the lock holder still works.
+            block_and_acquire(ctx, Some(pred));
+        }
+    }
+}
+
+pub(crate) fn unlock_impl(ctx: &mut RfdetCtx, m: MutexId) {
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.unlocks += 1;
+    let lower = op_boundary(ctx, Some(SyncKey::Mutex(m.0)));
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    let next = {
+        let mut q = ctx.shared.queues.lock();
+        let mx = q
+            .mutexes
+            .get_mut(&m.0)
+            .unwrap_or_else(|| panic!("unlock of never-locked mutex {}", m.0));
+        assert_eq!(
+            mx.owner,
+            Some(ctx.tid),
+            "thread {} unlocking mutex {} it does not hold",
+            ctx.tid,
+            m.0
+        );
+        mx.owner = mx.queue.pop_front();
+        mx.owner
+    };
+    if let Some(w) = next {
+        handoff_release(ctx, w, lower);
+        ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
+    }
+    ctx.kendo.tick(SYNC_TICK);
+    op_epilogue(ctx);
+}
+
+/// Deposits a release edge into a blocked thread's mailbox and extends its
+/// in-turn clock — both inside the caller's turn.
+fn handoff_release(ctx: &RfdetCtx, target: Tid, time: VClock) {
+    ctx.shared.mailbox(target).lock().sources.push(AcquireSource {
+        from: ctx.tid,
+        time: time.clone(),
+    });
+    ctx.shared.meta.join_turn_vc(target, &time);
+}
+
+pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.waits += 1;
+    // cond_wait releases the mutex…
+    let lower = op_boundary(ctx, Some(SyncKey::Mutex(m.0)));
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    let next = {
+        let mut q = ctx.shared.queues.lock();
+        let mx = q
+            .mutexes
+            .get_mut(&m.0)
+            .unwrap_or_else(|| panic!("cond_wait with never-locked mutex {}", m.0));
+        assert_eq!(
+            mx.owner,
+            Some(ctx.tid),
+            "thread {} waiting on cond {} without holding mutex {}",
+            ctx.tid,
+            c.0,
+            m.0
+        );
+        mx.owner = mx.queue.pop_front();
+        let next = mx.owner;
+        q.conds.entry(c.0).or_default().push_back((ctx.tid, m.0));
+        next
+    };
+    if let Some(w) = next {
+        handoff_release(ctx, w, lower);
+        ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
+    }
+    // …then blocks until signalled (and until it re-owns the mutex: the
+    // signaler either grants it immediately or moves us to the mutex
+    // queue, in which case the eventual unlocker completes the wakeup).
+    ctx.shared.kendo.block(&ctx.kendo);
+    ctx.kendo.tick(SYNC_TICK);
+    block_and_acquire(ctx, None);
+}
+
+pub(crate) fn signal_impl(ctx: &mut RfdetCtx, c: CondId, broadcast: bool) {
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.signals += 1;
+    let lower = op_boundary(ctx, Some(SyncKey::Cond(c.0)));
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    // Pop waiters deterministically (FIFO — enqueue order was itself
+    // turn-ordered) and arrange each one's mutex re-acquisition.
+    let mut wake_now: Vec<Tid> = Vec::new();
+    {
+        let mut q = ctx.shared.queues.lock();
+        let queue = q.conds.entry(c.0).or_default();
+        let n = if broadcast { queue.len() } else { usize::from(!queue.is_empty()) };
+        let popped: Vec<(Tid, u32)> = queue.drain(..n).collect();
+        for (w, mid) in popped {
+            // The signal edge (release of the condvar).
+            ctx.shared.mailbox(w).lock().sources.push(AcquireSource {
+                from: ctx.tid,
+                time: lower.clone(),
+            });
+            ctx.shared.meta.join_turn_vc(w, &lower);
+            let mx = q.mutexes.entry(mid).or_default();
+            if mx.owner.is_none() && mx.queue.is_empty() {
+                // Mutex free: grant it to the waiter right now, with the
+                // mutex's own release edge.
+                mx.owner = Some(w);
+                let sv = ctx
+                    .shared
+                    .meta
+                    .with_sync_var(SyncKey::Mutex(mid), |v| v.clone());
+                if sv.needs_propagation(w) {
+                    ctx.shared.mailbox(w).lock().sources.push(AcquireSource {
+                        from: sv.last_tid.expect("propagation implies releaser"),
+                        time: sv.last_time.clone(),
+                    });
+                    ctx.shared.meta.join_turn_vc(w, &sv.last_time);
+                }
+                wake_now.push(w);
+            } else {
+                // Mutex busy: park the waiter in the reservation queue;
+                // the unlocker will finish the handoff.
+                mx.queue.push_back(w);
+            }
+        }
+    }
+    for w in wake_now {
+        ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
+    }
+    ctx.kendo.tick(SYNC_TICK);
+    op_epilogue(ctx);
+}
+
+pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
+    assert!(parties > 0, "barrier with zero parties");
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.barriers += 1;
+    let lower = op_boundary(ctx, Some(SyncKey::Barrier(b.0)));
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    let arrivals = {
+        let mut q = ctx.shared.queues.lock();
+        let st = q.barriers.entry(b.0).or_default();
+        st.arrivals.push((ctx.tid, lower));
+        assert!(
+            st.arrivals.len() <= parties,
+            "barrier {} overfull: {} arrivals for {} parties",
+            b.0,
+            st.arrivals.len(),
+            parties
+        );
+        if st.arrivals.len() == parties {
+            Some(std::mem::take(&mut st.arrivals))
+        } else {
+            None
+        }
+    };
+    match arrivals {
+        None => {
+            ctx.shared.kendo.block(&ctx.kendo);
+            ctx.kendo.tick(SYNC_TICK);
+            block_and_acquire(ctx, None);
+        }
+        Some(arrivals) => {
+            // Last arriver: compute the merged view and release everyone.
+            let mut upper = VClock::new();
+            for (_, t) in &arrivals {
+                upper.join(t);
+            }
+            let participants: Vec<Tid> = arrivals.iter().map(|(t, _)| *t).collect();
+            let handoff = BarrierHandoff {
+                participants: participants.clone(),
+                upper: upper.clone(),
+            };
+            for &w in &participants {
+                if w == ctx.tid {
+                    continue;
+                }
+                ctx.shared.mailbox(w).lock().barrier = Some(handoff.clone());
+                ctx.shared.meta.join_turn_vc(w, &upper);
+                ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
+            }
+            ctx.shared.meta.join_turn_vc(ctx.tid, &upper);
+            ctx.kendo.tick(SYNC_TICK);
+            // Own merge, off turn.
+            let my_lower = ctx.vc.clone();
+            ctx.vc.join(&upper);
+            ctx.propagate_barrier(&handoff, &my_lower);
+            op_epilogue(ctx);
+        }
+    }
+}
+
+pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.forks += 1;
+    // Lazy pending must be materialized before the child inherits the
+    // space, or the child would read stale bytes.
+    ctx.flush_pending();
+    op_boundary(ctx, None); // create is a release; the child inherits
+                            // memory directly, no sync var needed (§4.1)
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+
+    // Deterministic registration inside the parent's turn.
+    let child_meta = ctx.shared.meta.register_thread();
+    let child_tid = child_meta.tid;
+    let child_kendo = ctx.shared.kendo.register(ctx.kendo.clock() + 1);
+    assert_eq!(child_kendo.tid(), child_tid, "registry tid mismatch");
+    let child_mailbox = ctx.shared.register_mailbox();
+    let mut child_vc = ctx.vc.clone();
+    child_vc.tick(child_tid);
+    // The child inherits the parent's memory (COW fork) and, for
+    // transitive propagation, the parent's slice-pointer list.
+    let child_space = ctx.space.fork();
+    child_meta.slice_list.lock().entries = ctx.shared.meta.snapshot_list(ctx.tid);
+    // The child has (by inheritance) seen everything the parent saw, so
+    // the parent's propagation cursors are valid starting points.
+    let child_cursors = ctx.cursors.clone();
+    ctx.shared.meta.publish_vc(child_tid, &child_vc);
+    ctx.shared.meta.publish_turn_vc(child_tid, &child_vc);
+
+    let shared = Arc::clone(&ctx.shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("rfdet-{child_tid}"))
+        .spawn(move || {
+            let mut child = RfdetCtx::from_parts(
+                Arc::clone(&shared),
+                child_kendo,
+                child_meta,
+                child_mailbox,
+                Some(child_space),
+                child_vc,
+            );
+            child.cursors = child_cursors;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                f(&mut child);
+                child.on_exit();
+            }));
+            if let Err(payload) = result {
+                shared.record_panic(child_tid, payload);
+            }
+        })
+        .expect("failed to spawn OS thread");
+    ctx.shared.os_handles.lock().insert(child_tid, handle);
+    ctx.kendo.tick(SYNC_TICK);
+    op_epilogue(ctx);
+    ThreadHandle(child_tid)
+}
+
+pub(crate) fn join_impl(ctx: &mut RfdetCtx, h: ThreadHandle) {
+    let target = h.0;
+    assert_ne!(target, ctx.tid, "thread joining itself");
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.joins += 1;
+    let already_finished = {
+        let mut q = ctx.shared.queues.lock();
+        if q.finished.contains(&target) {
+            true
+        } else {
+            q.join_waiters.entry(target).or_default().push(ctx.tid);
+            false
+        }
+    };
+    if already_finished {
+        let sv = ctx
+            .shared
+            .meta
+            .with_sync_var(SyncKey::Thread(target), |v| v.clone());
+        op_boundary(ctx, None);
+        let turn_vc = ctx.vc.joined(&sv.last_time);
+        ctx.shared.meta.publish_turn_vc(ctx.tid, &turn_vc);
+        ctx.kendo.tick(SYNC_TICK);
+        let lower = ctx.vc.clone();
+        ctx.vc.join(&sv.last_time);
+        ctx.propagate_from(target, &sv.last_time, &lower);
+        op_epilogue(ctx);
+    } else {
+        op_boundary(ctx, None);
+        ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+        ctx.shared.kendo.block(&ctx.kendo);
+        ctx.kendo.tick(SYNC_TICK);
+        // The join target's published clock always precedes its exit
+        // time, so it is a sound prelock source for the parked joiner.
+        block_and_acquire(ctx, Some(target));
+    }
+}
+
+/// Low-level atomics (the §4.6/§6 extension).
+///
+/// An atomic operation is a synchronization operation that both acquires
+/// and releases the cell's internal sync var. Unlike mutexes there is no
+/// ownership to hand off, so the whole read-modify-write — including the
+/// acquire-side propagation — executes inside one Kendo turn; this keeps
+/// consecutive atomics on the same cell strictly serialized (otherwise a
+/// second thread could read the sync var between our acquire and our
+/// release and miss our update). Atomic cells are expected to carry tiny
+/// modification sets, so the in-turn propagation is short.
+pub(crate) fn atomic_impl(
+    ctx: &mut RfdetCtx,
+    addr: rfdet_api::Addr,
+    op: Option<rfdet_api::AtomicOp>,
+    store: Option<u64>,
+) -> u64 {
+    assert_eq!(addr % 8, 0, "atomic cells must be 8-byte aligned");
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.stats.locks += 1; // counted with lock-class sync ops
+    let key = SyncKey::Atomic(addr);
+    let sv = ctx.shared.meta.with_sync_var(key, |v| v.clone());
+    // Acquire boundary: close the current slice, join the cell's last
+    // release, and propagate — all in turn (see above).
+    op_boundary(ctx, None);
+    if sv.needs_propagation(ctx.tid) {
+        let lower = ctx.vc.clone();
+        ctx.vc.join(&sv.last_time);
+        let from = sv.last_tid.expect("propagation implies a releaser");
+        ctx.propagate_from(from, &sv.last_time, &lower);
+    }
+    ctx.begin_slice();
+    // The modification itself, through the instrumented in-turn path (a
+    // normal write would tick the Kendo clock and release the turn).
+    let mut buf = [0u8; 8];
+    ctx.read_in_turn(addr, &mut buf);
+    let old = u64::from_le_bytes(buf);
+    match (op, store) {
+        (Some(op), None) => ctx.write_in_turn(addr, &op.apply(old).to_le_bytes()),
+        (None, Some(v)) => ctx.write_in_turn(addr, &v.to_le_bytes()),
+        (None, None) => {} // pure load
+        (Some(_), Some(_)) => unreachable!("rmw and store are exclusive"),
+    }
+    // Release boundary: publish the one-op slice and record the release.
+    op_boundary(ctx, Some(key));
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.kendo.tick(SYNC_TICK);
+    op_epilogue(ctx);
+    old
+}
+
+/// The implicit exit operation: releases `SyncKey::Thread(tid)` and wakes
+/// joiners. Runs when the thread's entry function returns.
+pub(crate) fn exit_impl(ctx: &mut RfdetCtx) {
+    ctx.jitter_pause();
+    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    let lower = op_boundary(ctx, Some(SyncKey::Thread(ctx.tid)));
+    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.shared.meta.publish_vc(ctx.tid, &ctx.vc);
+    let waiters = {
+        let mut q = ctx.shared.queues.lock();
+        q.finished.insert(ctx.tid);
+        q.join_waiters.remove(&ctx.tid).unwrap_or_default()
+    };
+    for w in waiters {
+        handoff_release(ctx, w, lower.clone());
+        ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
+    }
+    ctx.shared.meta.mark_dead(ctx.tid);
+    // Flush thread-local profiling into the shared aggregate.
+    ctx.stats.private_pages = ctx.space.materialized_pages() as u64;
+    ctx.shared.meta.stats.merge(&ctx.stats);
+    ctx.shared.kendo.finish(&ctx.kendo);
+}
+
+impl RfdetCtx {
+    /// Applies every lazy-pending page (used before forking a child).
+    pub(crate) fn flush_pending(&mut self) {
+        let pages: Vec<usize> = self.pending.keys().copied().collect();
+        for p in pages {
+            self.lazy_fault(p);
+        }
+    }
+}

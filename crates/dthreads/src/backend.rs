@@ -1,0 +1,62 @@
+//! The [`DthreadsBackend`] entry point and the shared lockstep driver.
+
+use crate::ctx::DtCtx;
+use crate::engine::{Engine, EngineMode};
+use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn};
+use std::sync::Arc;
+
+/// Drives one complete run of the lockstep engine in `mode`. Shared by
+/// the DThreads and quantum backends.
+pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, root: ThreadFn) -> RunOutput {
+    let engine = Arc::new(Engine::new(cfg, mode));
+    let (tid, image) = engine.register_main();
+    let mut main = DtCtx::new(Arc::clone(&engine), tid, image);
+    root(&mut main);
+    main.exit();
+    loop {
+        let handles: Vec<_> = {
+            let mut map = engine.handles.lock();
+            map.drain().map(|(_, h)| h).collect()
+        };
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+    // Report the global store's materialized size as the run's shared
+    // footprint (workloads lay data out directly, so allocator byte
+    // counts alone would under-report).
+    engine
+        .meta
+        .stats
+        .shared_bytes
+        .fetch_add(engine.global_store_bytes(), std::sync::atomic::Ordering::Relaxed);
+    RunOutput {
+        output: engine.meta.collect_output(),
+        stats: engine.meta.stats.snapshot(),
+    }
+}
+
+/// The DThreads-model backend: strong determinism via isolated threads,
+/// a global fence at every synchronization operation, and serial
+/// token-order commits (paper §2; compared against throughout §5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DthreadsBackend;
+
+impl DmtBackend for DthreadsBackend {
+    fn name(&self) -> String {
+        "DThreads".to_owned()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
+        run_lockstep(cfg, EngineMode::SyncOnly, root)
+    }
+}

@@ -1,0 +1,245 @@
+//! The per-thread DThreads context.
+
+use crate::engine::{ChildSeed, Engine, EngineMode, PendingOp};
+use rfdet_api::{
+    Addr, BarrierId, CondId, DmtCtx, MutexId, Stats, ThreadFn, ThreadHandle, Tid,
+};
+use rfdet_mem::{diff, ModRun, PrivateSpace, ThreadHeap};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-thread context: a private view of the global store plus the store
+/// instrumentation that collects the interval's diff.
+pub(crate) struct DtCtx {
+    pub engine: Arc<Engine>,
+    pub tid: Tid,
+    pub space: PrivateSpace,
+    /// Pages snapshotted this parallel interval (first-write snapshot, as
+    /// in RFDet's `ci` monitoring — DThreads itself uses `mprotect`
+    /// twins; the collected diff is identical).
+    snapshots: BTreeMap<usize, Box<[u8]>>,
+    /// Remaining tick budget in quantum mode.
+    budget: u64,
+    /// Tid of the child created by the most recent `Spawn` op.
+    last_spawned_tid: Option<Tid>,
+    pub heap: ThreadHeap,
+    pub stats: Stats,
+}
+
+impl DtCtx {
+    pub fn new(engine: Arc<Engine>, tid: Tid, space: PrivateSpace) -> Self {
+        let heap = engine.strips.heap_for(tid);
+        let budget = match engine.mode {
+            EngineMode::SyncOnly => u64::MAX,
+            EngineMode::Quantum(q) => q,
+        };
+        Self {
+            engine,
+            tid,
+            space,
+            snapshots: BTreeMap::new(),
+            budget,
+            last_spawned_tid: None,
+            heap,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Ends the parallel interval: diff all snapshotted pages.
+    fn take_diff(&mut self) -> Vec<ModRun> {
+        let mut mods = Vec::new();
+        for (page, snap) in std::mem::take(&mut self.snapshots) {
+            if let Some(current) = self.space.page(page) {
+                diff::diff_page(
+                    self.space.page_base(page),
+                    &snap,
+                    current.bytes(),
+                    &mut mods,
+                );
+            }
+        }
+        mods
+    }
+
+    /// Arrives at a synchronization point and re-bases on the returned
+    /// global image.
+    fn sync_point(&mut self, op: PendingOp) -> Option<u64> {
+        let diff = self.take_diff();
+        let (image, seed, value) = self.engine.arrive(self.tid, op, diff);
+        if let Some(img) = image {
+            self.space = img;
+        }
+        if let Some(seed) = seed {
+            self.spawn_seed(seed);
+        }
+        if let EngineMode::Quantum(q) = self.engine.mode {
+            self.budget = q;
+        }
+        value
+    }
+
+    fn spawn_seed(&mut self, seed: ChildSeed) {
+        let engine = Arc::clone(&self.engine);
+        let ChildSeed { tid, space, entry } = seed;
+        self.last_spawned_tid = Some(tid);
+        let handle = std::thread::Builder::new()
+            .name(format!("dthreads-{tid}"))
+            .spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut child = DtCtx::new(Arc::clone(&engine), tid, space);
+                    entry(&mut child);
+                    child.exit();
+                }));
+                if let Err(payload) = result {
+                    engine.force_exit(tid);
+                    std::panic::resume_unwind(payload);
+                }
+            })
+            .expect("failed to spawn OS thread");
+        self.engine.handles.lock().insert(tid, handle);
+    }
+
+    pub fn exit(&mut self) {
+        let diff = self.take_diff();
+        let (_, _, _) = self.engine.arrive(self.tid, PendingOp::Exit, diff);
+        self.stats.private_pages = self.space.materialized_pages() as u64;
+        self.engine.meta.stats.merge(&self.stats);
+    }
+
+    #[inline]
+    fn charge(&mut self, n: u64) {
+        if self.budget != u64::MAX {
+            self.budget = self.budget.saturating_sub(n);
+            if self.budget == 0 {
+                // Quantum expired: lockstep round even without sync —
+                // the Figure-1 behaviour of CoreDet/DMP.
+                let _ = self.sync_point(PendingOp::QuantumBreak);
+            }
+        }
+    }
+
+    fn record_store(&mut self, addr: Addr, len: usize) {
+        let first = self.space.page_of(addr);
+        let last = self.space.page_of(addr + len.saturating_sub(1) as u64);
+        for page in first..=last {
+            if !self.snapshots.contains_key(&page) {
+                let snap = self.space.snapshot_page(page);
+                self.snapshots.insert(page, snap);
+                self.stats.stores_with_copy += 1;
+            }
+        }
+    }
+}
+
+impl DmtCtx for DtCtx {
+    fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    fn tick(&mut self, n: u64) {
+        self.charge(n);
+    }
+
+    fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.stats.loads += 1;
+        self.charge(1);
+        self.space.read(addr, buf);
+    }
+
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        self.stats.stores += 1;
+        self.charge(1);
+        if data.is_empty() {
+            return;
+        }
+        self.record_store(addr, data.len());
+        self.space.write(addr, data);
+    }
+
+    fn lock(&mut self, m: MutexId) {
+        self.stats.locks += 1;
+        let _ = self.sync_point(PendingOp::Lock(m.0));
+    }
+
+    fn unlock(&mut self, m: MutexId) {
+        self.stats.unlocks += 1;
+        let _ = self.sync_point(PendingOp::Unlock(m.0));
+    }
+
+    fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        self.stats.waits += 1;
+        let _ = self.sync_point(PendingOp::Wait(c.0, m.0));
+    }
+
+    fn cond_signal(&mut self, c: CondId) {
+        self.stats.signals += 1;
+        let _ = self.sync_point(PendingOp::Signal(c.0, false));
+    }
+
+    fn cond_broadcast(&mut self, c: CondId) {
+        self.stats.signals += 1;
+        let _ = self.sync_point(PendingOp::Signal(c.0, true));
+    }
+
+    fn barrier(&mut self, b: BarrierId, parties: usize) {
+        self.stats.barriers += 1;
+        let _ = self.sync_point(PendingOp::Barrier(b.0, parties));
+    }
+
+    fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
+        self.stats.forks += 1;
+        let _ = self.sync_point(PendingOp::Spawn(f));
+        ThreadHandle(
+            self.last_spawned_tid
+                .take()
+                .expect("spawn must produce a child"),
+        )
+    }
+
+    fn join(&mut self, h: ThreadHandle) {
+        self.stats.joins += 1;
+        let _ = self.sync_point(PendingOp::Join(h.0));
+    }
+
+    fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        self.stats.shared_bytes += size;
+        self.heap.alloc(size, align)
+    }
+
+    fn dealloc(&mut self, addr: Addr) {
+        self.heap.dealloc(addr);
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.engine.meta.emit(self.tid, bytes);
+    }
+
+    fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
+        self.stats.locks += 1;
+        self.sync_point(PendingOp::Atomic {
+            addr,
+            op: Some(op),
+            store: None,
+        })
+        .expect("atomic op returns a value")
+    }
+
+    fn atomic_load(&mut self, addr: Addr) -> u64 {
+        self.stats.locks += 1;
+        self.sync_point(PendingOp::Atomic {
+            addr,
+            op: None,
+            store: None,
+        })
+        .expect("atomic op returns a value")
+    }
+
+    fn atomic_store(&mut self, addr: Addr, value: u64) {
+        self.stats.locks += 1;
+        self.sync_point(PendingOp::Atomic {
+            addr,
+            op: None,
+            store: Some(value),
+        });
+    }
+}

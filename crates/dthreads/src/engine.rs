@@ -1,0 +1,422 @@
+//! The lockstep engine: global fence + serial token-order commit.
+
+use parking_lot::{Condvar, Mutex};
+use rfdet_api::{AtomicOp, RunConfig, ThreadFn, Tid};
+use rfdet_mem::{ModRun, PrivateSpace};
+use rfdet_meta::MetaSpace;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering::Relaxed;
+
+
+/// What ends a parallel phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// DThreads: only synchronization operations end a thread's parallel
+    /// interval.
+    SyncOnly,
+    /// CoreDet/DMP: an interval also ends after the given tick budget
+    /// (the *quantum*), forcing lockstep rounds even without
+    /// synchronization.
+    Quantum(u64),
+}
+
+/// The synchronization operation a thread arrived with.
+pub(crate) enum PendingOp {
+    Noop,
+    QuantumBreak,
+    Lock(u32),
+    Unlock(u32),
+    /// `(cond, mutex)` — releases the mutex and parks.
+    Wait(u32, u32),
+    /// `(cond, broadcast)`.
+    Signal(u32, bool),
+    /// `(barrier, parties)`.
+    Barrier(u32, usize),
+    Spawn(ThreadFn),
+    Join(Tid),
+    Exit,
+    /// Low-level atomic on the global store (the §4.6 extension):
+    /// executed in the serial phase, so it is atomic and deterministic
+    /// by construction. `op` None = pure load; `store` Some = plain
+    /// release store.
+    Atomic {
+        addr: u64,
+        op: Option<AtomicOp>,
+        store: Option<u64>,
+    },
+}
+
+impl PendingOp {
+    /// Short description for stall diagnostics.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            PendingOp::Noop => "noop".into(),
+            PendingOp::QuantumBreak => "quantum".into(),
+            PendingOp::Lock(m) => format!("lock({m})"),
+            PendingOp::Unlock(m) => format!("unlock({m})"),
+            PendingOp::Wait(c, m) => format!("wait({c},{m})"),
+            PendingOp::Signal(c, b) => format!("signal({c},bc={b})"),
+            PendingOp::Barrier(b, p) => format!("barrier({b},{p})"),
+            PendingOp::Spawn(_) => "spawn".into(),
+            PendingOp::Join(t) => format!("join({t})"),
+            PendingOp::Exit => "exit".into(),
+            PendingOp::Atomic { addr, .. } => format!("atomic({addr:#x})"),
+        }
+    }
+}
+
+/// The diff a thread computed for its just-ended parallel interval.
+pub(crate) struct Arrival {
+    pub op: PendingOp,
+    /// Taken (applied to the global store) at most once, on the first
+    /// serial phase that processes this arrival.
+    pub diff: Option<Vec<ModRun>>,
+}
+
+/// Result delivered back to an arrived thread.
+pub(crate) enum Outcome {
+    /// Operation completed; re-base on this image of the global store
+    /// (None for exit).
+    Done(Option<PrivateSpace>),
+}
+
+#[derive(Default)]
+struct Slot {
+    outcome: Option<Outcome>,
+    /// Old value returned by this thread's `Atomic` op.
+    value: Option<u64>,
+    /// Child seed produced by this thread's `Spawn` op, to be turned into
+    /// an OS thread by the spawner itself once its op completes.
+    seed: Option<ChildSeed>,
+}
+
+pub(crate) struct EngineState {
+    pub global: PrivateSpace,
+    /// Threads that participate in the fence (runnable, not parked).
+    active: HashSet<Tid>,
+    /// Threads stopped at their next synchronization operation.
+    arrived: BTreeMap<Tid, Arrival>,
+    slots: Vec<Slot>,
+    lock_owner: HashMap<u32, Option<Tid>>,
+    cond_waiters: HashMap<u32, VecDeque<(Tid, u32)>>,
+    barrier_waiters: HashMap<u32, Vec<Tid>>,
+    join_waiters: HashMap<Tid, Vec<Tid>>,
+    finished: HashSet<Tid>,
+    phase: u64,
+}
+
+/// The engine: one big monitor. Parallel-phase memory accesses never touch
+/// it; only synchronization points do — which is faithful to DThreads,
+/// where the serial phase is globally serialized by the token anyway.
+pub(crate) struct Engine {
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    pub meta: MetaSpace,
+    pub mode: EngineMode,
+
+    pub handles: Mutex<HashMap<Tid, std::thread::JoinHandle<()>>>,
+    pub strips: rfdet_mem::StripAllocator,
+}
+
+/// Everything a freshly spawned thread needs.
+pub(crate) struct ChildSeed {
+    pub tid: Tid,
+    pub space: PrivateSpace,
+    pub entry: ThreadFn,
+}
+
+impl Engine {
+    pub fn new(cfg: &RunConfig, mode: EngineMode) -> Self {
+        cfg.validate();
+        let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
+        Self {
+            state: Mutex::new(EngineState {
+                global: PrivateSpace::new(cfg.space_bytes, cfg.page_size),
+                active: HashSet::new(),
+                arrived: BTreeMap::new(),
+                slots: Vec::new(),
+                lock_owner: HashMap::new(),
+                cond_waiters: HashMap::new(),
+                barrier_waiters: HashMap::new(),
+                join_waiters: HashMap::new(),
+                finished: HashSet::new(),
+                phase: 0,
+            }),
+            cv: Condvar::new(),
+            meta: MetaSpace::new(cfg.meta_capacity_bytes as usize, cfg.gc_threshold),
+            mode,
+            handles: Mutex::new(HashMap::new()),
+            strips: rfdet_mem::StripAllocator::new(heap_base, cfg.space_bytes - heap_base),
+        }
+    }
+
+    /// Registers the main thread (tid 0) and returns its starting image.
+    pub fn register_main(&self) -> (Tid, PrivateSpace) {
+        let tid = self.meta.register_thread().tid;
+        assert_eq!(tid, 0, "main must be the first registration");
+        let mut st = self.state.lock();
+        st.active.insert(tid);
+        st.slots.push(Slot::default());
+        let img = st.global.clone();
+        (tid, img)
+    }
+
+    /// A thread arrives at a synchronization point with its interval diff
+    /// and blocks until its operation completes. Returns the new base
+    /// image (None if the op was `Exit`) and any child seed to spawn.
+    pub fn arrive(
+        &self,
+        tid: Tid,
+        op: PendingOp,
+        diff: Vec<ModRun>,
+    ) -> (Option<PrivateSpace>, Option<ChildSeed>, Option<u64>) {
+        let mut st = self.state.lock();
+        st.arrived.insert(
+            tid,
+            Arrival {
+                op,
+                diff: Some(diff),
+            },
+        );
+        self.maybe_phases(&mut st);
+        loop {
+            if let Some(Outcome::Done(img)) = st.slots[tid as usize].outcome.take() {
+                let seed = st.slots[tid as usize].seed.take();
+                let value = st.slots[tid as usize].value.take();
+                return (img, seed, value);
+            }
+            let timed_out = self
+                .cv
+                .wait_for(&mut st, std::time::Duration::from_secs(20))
+                .timed_out();
+            if timed_out && st.slots[tid as usize].outcome.is_none() {
+                panic!(
+                    "dthreads engine stalled: tid={tid} phase={} active={:?} arrived={:?} \
+                     owners={:?} cond_waiters={:?} barrier_waiters={:?} join_waiters={:?} \
+                     finished={:?}",
+                    st.phase,
+                    st.active,
+                    st.arrived
+                        .iter()
+                        .map(|(t, a)| (*t, a.op.describe()))
+                        .collect::<Vec<_>>(),
+                    st.lock_owner.iter().filter(|(_, o)| o.is_some()).collect::<Vec<_>>(),
+                    st.cond_waiters,
+                    st.barrier_waiters,
+                    st.join_waiters,
+                    st.finished,
+                );
+            }
+        }
+    }
+
+    /// Runs serial phases for as long as the fence condition holds.
+    fn maybe_phases(&self, st: &mut EngineState) {
+        while !st.active.is_empty() && st.arrived.len() == st.active.len() {
+            self.run_serial_phase(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// One serial phase: token order = ascending tid.
+    fn run_serial_phase(&self, st: &mut EngineState) {
+        let order: Vec<Tid> = st.arrived.keys().copied().collect();
+        let mut done: Vec<Tid> = Vec::new();
+        let mut exited: Vec<Tid> = Vec::new();
+        let mut parked = 0usize;
+        let mut spawned = 0usize;
+
+        for tid in order {
+            // Commit the interval's modifications (once).
+            if let Some(diff) = st.arrived.get_mut(&tid).and_then(|a| a.diff.take()) {
+                if !diff.is_empty() {
+                    self.meta.stats.serial_commits.fetch_add(1, Relaxed);
+                    let bytes: u64 = diff.iter().map(|r| r.len() as u64).sum();
+                    self.meta.stats.mod_bytes_applied.fetch_add(bytes, Relaxed);
+                    st.global.apply_runs(&diff);
+                }
+            }
+            // Take the op; a failed Lock puts it back for the next round.
+            let op = std::mem::replace(
+                &mut st.arrived.get_mut(&tid).expect("arrival present").op,
+                PendingOp::Noop,
+            );
+            match op {
+                PendingOp::Noop | PendingOp::QuantumBreak => done.push(tid),
+                PendingOp::Lock(m) => {
+                    let owner = st.lock_owner.entry(m).or_insert(None);
+                    if owner.is_none() {
+                        *owner = Some(tid);
+                        done.push(tid);
+                    } else {
+                        // Retry next phase (stay arrived, diff consumed).
+                        st.arrived.get_mut(&tid).expect("arrival").op = PendingOp::Lock(m);
+                    }
+                }
+                PendingOp::Unlock(m) => {
+                    let owner = st.lock_owner.entry(m).or_insert(None);
+                    assert_eq!(
+                        *owner,
+                        Some(tid),
+                        "thread {tid} unlocking mutex {m} it does not hold"
+                    );
+                    *owner = None;
+                    done.push(tid);
+                }
+                PendingOp::Wait(c, m) => {
+                    let owner = st.lock_owner.entry(m).or_insert(None);
+                    assert_eq!(*owner, Some(tid), "cond_wait without holding mutex {m}");
+                    *owner = None;
+                    st.cond_waiters.entry(c).or_default().push_back((tid, m));
+                    st.active.remove(&tid);
+                    st.arrived.remove(&tid);
+                    parked += 1;
+                }
+                PendingOp::Signal(c, broadcast) => {
+                    let queue = st.cond_waiters.entry(c).or_default();
+                    let n = if broadcast {
+                        queue.len()
+                    } else {
+                        usize::from(!queue.is_empty())
+                    };
+                    let woken: Vec<(Tid, u32)> = queue.drain(..n).collect();
+                    for (w, m) in woken {
+                        // Re-arm as a mutex acquisition next phase.
+                        st.active.insert(w);
+                        st.arrived.insert(
+                            w,
+                            Arrival {
+                                op: PendingOp::Lock(m),
+                                diff: None,
+                            },
+                        );
+                    }
+                    done.push(tid);
+                }
+                PendingOp::Barrier(b, parties) => {
+                    let waiters = st.barrier_waiters.entry(b).or_default();
+                    waiters.push(tid);
+                    if waiters.len() == parties {
+                        let all = std::mem::take(waiters);
+                        for w in all {
+                            if w != tid {
+                                st.active.insert(w);
+                            }
+                            done.push(w);
+                        }
+                    } else {
+                        st.active.remove(&tid);
+                        st.arrived.remove(&tid);
+                        parked += 1;
+                    }
+                }
+                PendingOp::Spawn(entry) => {
+                    let child = self.meta.register_thread().tid;
+                    st.slots.push(Slot::default());
+                    st.active.insert(child);
+                    let seed = ChildSeed {
+                        tid: child,
+                        // The child inherits the global store as of the
+                        // parent's commit (a COW clone).
+                        space: st.global.clone(),
+                        entry,
+                    };
+                    st.slots[tid as usize].seed = Some(seed);
+                    spawned += 1;
+                    done.push(tid);
+                }
+                PendingOp::Join(target) => {
+                    if st.finished.contains(&target) {
+                        done.push(tid);
+                    } else {
+                        st.join_waiters.entry(target).or_default().push(tid);
+                        st.active.remove(&tid);
+                        st.arrived.remove(&tid);
+                        parked += 1;
+                    }
+                }
+                PendingOp::Atomic { addr, op, store } => {
+                    let mut buf = [0u8; 8];
+                    st.global.read(addr, &mut buf);
+                    let old = u64::from_le_bytes(buf);
+                    let new = match (op, store) {
+                        (Some(op), None) => Some(op.apply(old)),
+                        (None, Some(v)) => Some(v),
+                        (None, None) => None,
+                        (Some(_), Some(_)) => unreachable!(),
+                    };
+                    if let Some(new) = new {
+                        st.global.write(addr, &new.to_le_bytes());
+                    }
+                    st.slots[tid as usize].value = Some(old);
+                    done.push(tid);
+                }
+                PendingOp::Exit => {
+                    st.finished.insert(tid);
+                    st.active.remove(&tid);
+                    let joiners = st.join_waiters.remove(&tid).unwrap_or_default();
+                    for j in joiners {
+                        st.active.insert(j);
+                        st.arrived.insert(
+                            j,
+                            Arrival {
+                                op: PendingOp::Noop,
+                                diff: None,
+                            },
+                        );
+                    }
+                    exited.push(tid);
+                }
+            }
+        }
+
+        assert!(
+            !(done.is_empty() && exited.is_empty() && parked == 0 && spawned == 0),
+            "dthreads engine: deterministic deadlock — no operation can \
+             make progress (phase {})",
+            st.phase
+        );
+
+        for tid in done {
+            st.arrived.remove(&tid);
+            let img = st.global.clone();
+            st.slots[tid as usize].outcome = Some(Outcome::Done(Some(img)));
+        }
+        for tid in exited {
+            st.arrived.remove(&tid);
+            st.slots[tid as usize].outcome = Some(Outcome::Done(None));
+        }
+        st.phase += 1;
+        self.meta.stats.global_fences.fetch_add(1, Relaxed);
+    }
+
+    /// Materialized size of the global store, for footprint reporting
+    /// (this is the app's "real" shared footprint — what plain pthreads
+    /// would use).
+    pub fn global_store_bytes(&self) -> u64 {
+        let st = self.state.lock();
+        st.global.materialized_pages() as u64 * st.global.page_size() as u64
+    }
+
+    /// Emergency removal of a panicked thread so the fence can still
+    /// close; joiners are released as if the thread exited.
+    pub fn force_exit(&self, tid: Tid) {
+        let mut st = self.state.lock();
+        st.active.remove(&tid);
+        st.arrived.remove(&tid);
+        st.finished.insert(tid);
+        let joiners = st.join_waiters.remove(&tid).unwrap_or_default();
+        for j in joiners {
+            st.active.insert(j);
+            st.arrived.insert(
+                j,
+                Arrival {
+                    op: PendingOp::Noop,
+                    diff: None,
+                },
+            );
+        }
+        self.maybe_phases(&mut st);
+        self.cv.notify_all();
+    }
+}

@@ -1,0 +1,34 @@
+//! A from-scratch DThreads-model backend (Liu, Curtsinger, Berger —
+//! SOSP'11), the paper's main comparison point, plus the shared
+//! *lockstep engine* also used by the CoreDet/DMP-style quantum backend.
+//!
+//! # The model (paper §2, Figure 1)
+//!
+//! Execution alternates between:
+//!
+//! * a **parallel phase** — threads run isolated in private spaces; the
+//!   phase ends when *every* live thread reaches a synchronization
+//!   operation (this wait is the implicit **global fence** RFDet
+//!   eliminates);
+//! * a **serial phase** — in deterministic token order (ascending thread
+//!   ID), each arrived thread commits its byte-granularity diffs into the
+//!   *global store* and executes its synchronization operation against
+//!   global state; afterwards every thread whose operation completed
+//!   re-bases its private space on the new global store (copy-on-write).
+//!
+//! The two costs the RFDet paper attributes to this design are both
+//! visible here by construction: a compute-heavy thread delays every
+//! fence (imbalance), and all commits serialize through the token.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod ctx;
+mod engine;
+
+pub use backend::DthreadsBackend;
+pub use engine::EngineMode;
+
+// Exposed for the quantum backend, which wraps the same engine.
+pub use backend::run_lockstep;

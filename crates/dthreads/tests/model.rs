@@ -1,0 +1,221 @@
+//! Behavioural tests of the DThreads-model backend.
+
+use rfdet_api::{BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, MutexId, RunConfig};
+use rfdet_dthreads::DthreadsBackend;
+
+fn cfg() -> RunConfig {
+    RunConfig::small()
+}
+
+#[test]
+fn locked_counter_is_exact_and_deterministic() {
+    fn root(ctx: &mut dyn DmtCtx) {
+        let m = MutexId(0);
+        let hs: Vec<_> = (0..4u64)
+            .map(|i| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    for k in 0..50u64 {
+                        ctx.lock(m);
+                        let v: u64 = ctx.read(0);
+                        ctx.write(0, v + i * 100 + k);
+                        ctx.unlock(m);
+                    }
+                }))
+            })
+            .collect();
+        for h in hs {
+            ctx.join(h);
+        }
+        let v: u64 = ctx.read(0);
+        ctx.emit_str(&v.to_string());
+    }
+    let a = DthreadsBackend.run(&cfg(), Box::new(root));
+    let b = DthreadsBackend.run(&cfg(), Box::new(root));
+    let expected: u64 = (0..4u64).flat_map(|i| (0..50u64).map(move |k| i * 100 + k)).sum();
+    assert_eq!(a.output, expected.to_string().as_bytes());
+    assert_eq!(a.output, b.output);
+    assert!(a.stats.global_fences > 0, "fences are the point of this model");
+    assert!(a.stats.serial_commits > 0);
+}
+
+#[test]
+fn racy_writes_resolve_deterministically() {
+    fn root(ctx: &mut dyn DmtCtx) {
+        // Pure W/W race: both children write the same cell, then exit.
+        let t1 = ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
+            ctx.write::<u64>(0, 111);
+        }));
+        let t2 = ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
+            ctx.write::<u64>(0, 222);
+        }));
+        ctx.join(t1);
+        ctx.join(t2);
+        let v: u64 = ctx.read(0);
+        ctx.emit_str(&v.to_string());
+    }
+    let outs: Vec<_> = (0..5).map(|_| DthreadsBackend.run(&cfg(), Box::new(root)).output).collect();
+    for o in &outs[1..] {
+        assert_eq!(o, &outs[0], "race must resolve identically every run");
+    }
+    let v: u64 = String::from_utf8(outs[0].clone()).unwrap().parse().unwrap();
+    assert!(v == 111 || v == 222);
+}
+
+#[test]
+fn isolation_holds_between_sync_points() {
+    fn root(ctx: &mut dyn DmtCtx) {
+        let m = MutexId(0);
+        // Child writes without synchronizing; parent must not see the
+        // write until the child's next sync point commits it.
+        let child = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            ctx.write::<u64>(0, 9);
+            // Spin on ticks without sync: the write stays private.
+            for _ in 0..100 {
+                ctx.tick(1);
+            }
+            ctx.lock(m); // first sync point: commit happens here
+            ctx.unlock(m);
+        }));
+        // Parent polls under the lock.
+        let mut seen_before_commit = false;
+        for _ in 0..3 {
+            ctx.lock(m);
+            let v: u64 = ctx.read(0);
+            if v == 9 {
+                seen_before_commit = true;
+            }
+            ctx.unlock(m);
+        }
+        ctx.join(child);
+        let v: u64 = ctx.read(0);
+        ctx.emit_str(&format!("{v},{seen_before_commit}"));
+    }
+    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    // After join the write is always visible.
+    assert!(out.output.starts_with(b"9,"));
+}
+
+#[test]
+fn condvar_producer_consumer_works() {
+    fn root(ctx: &mut dyn DmtCtx) {
+        let m = MutexId(0);
+        let cv = CondId(0);
+        let consumer = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            let mut total = 0u64;
+            for _ in 0..10 {
+                ctx.lock(m);
+                while ctx.read::<u64>(0) == 0 {
+                    ctx.cond_wait(cv, m);
+                }
+                total += ctx.read::<u64>(8);
+                ctx.write::<u64>(0, 0);
+                ctx.cond_signal(cv);
+                ctx.unlock(m);
+            }
+            ctx.write::<u64>(16, total);
+        }));
+        for i in 1..=10u64 {
+            ctx.lock(m);
+            while ctx.read::<u64>(0) == 1 {
+                ctx.cond_wait(cv, m);
+            }
+            ctx.write::<u64>(8, i);
+            ctx.write::<u64>(0, 1);
+            ctx.cond_signal(cv);
+            ctx.unlock(m);
+        }
+        ctx.join(consumer);
+        let t: u64 = ctx.read(16);
+        ctx.emit_str(&t.to_string());
+    }
+    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    assert_eq!(out.output, b"55");
+    // Note: the deterministic token order can produce perfect
+    // producer/consumer alternation, in which case no cond_wait ever
+    // blocks — so we assert correctness, not wait counts.
+    let again = DthreadsBackend.run(&cfg(), Box::new(root));
+    assert_eq!(again.output, b"55");
+}
+
+#[test]
+fn barriers_work_across_phases() {
+    fn root(ctx: &mut dyn DmtCtx) {
+        let b = BarrierId(0);
+        let hs: Vec<_> = (0..3u64)
+            .map(|i| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    for phase in 0..4u64 {
+                        ctx.write_idx::<u64>(0, i, phase + i);
+                        ctx.barrier(b, 3);
+                        let sum: u64 = (0..3).map(|j| ctx.read_idx::<u64>(0, j)).sum();
+                        ctx.write_idx::<u64>(256, i, sum);
+                        ctx.barrier(b, 3);
+                    }
+                }))
+            })
+            .collect();
+        for h in hs {
+            ctx.join(h);
+        }
+        let v: u64 = ctx.read_idx::<u64>(256, 0);
+        ctx.emit_str(&v.to_string());
+    }
+    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    // Final phase (3): cells are 3, 4, 5 → sum 12.
+    assert_eq!(out.output, b"12");
+}
+
+#[test]
+fn compute_heavy_thread_delays_fences() {
+    // The paper's core criticism: a thread that never synchronizes still
+    // gates every fence. Observable here as: with a compute thread in
+    // the mix, lock-heavy threads make no progress until it arrives.
+    // Functionally we can only check the run completes and is correct —
+    // the *latency* effect is measured by the ablation bench.
+    fn root(ctx: &mut dyn DmtCtx) {
+        let m = MutexId(0);
+        let locker = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            for _ in 0..20 {
+                ctx.lock(m);
+                ctx.update::<u64>(0, |v| v + 1);
+                ctx.unlock(m);
+            }
+        }));
+        let compute = ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
+            for _ in 0..1000 {
+                ctx.tick(10);
+            }
+            ctx.write::<u64>(8, 1);
+        }));
+        ctx.join(locker);
+        ctx.join(compute);
+        let a: u64 = ctx.read(0);
+        let b: u64 = ctx.read(8);
+        ctx.emit_str(&format!("{a},{b}"));
+    }
+    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    assert_eq!(out.output, b"20,1");
+}
+
+#[test]
+fn worker_panic_does_not_hang_the_fence() {
+    let result = std::panic::catch_unwind(|| {
+        DthreadsBackend.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let h = ctx.spawn(Box::new(|_ctx: &mut dyn DmtCtx| {
+                    panic!("dthreads worker dies");
+                }));
+                // Keep synchronizing: without force_exit this would fence
+                // forever on the dead thread.
+                let m = MutexId(0);
+                for _ in 0..5 {
+                    ctx.lock(m);
+                    ctx.unlock(m);
+                }
+                ctx.join(h);
+            }),
+        )
+    });
+    assert!(result.is_err(), "panic must propagate");
+}

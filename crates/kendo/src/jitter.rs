@@ -1,0 +1,78 @@
+//! Failure-injection jitter.
+//!
+//! Determinism means physical timing must not matter. To *test* that, the
+//! runtime can inject pseudo-random delays at its internal scheduling
+//! points; results must be bit-identical for every jitter seed. This is
+//! the failure-injection hook promised in DESIGN.md §8.
+
+use std::time::Duration;
+
+/// A deterministic per-thread jitter source (SplitMix64 over seed ⊕ tid).
+#[derive(Clone, Debug)]
+pub struct Jitter {
+    state: u64,
+    max_us: u64,
+}
+
+impl Jitter {
+    /// Creates a jitter source for one thread.
+    #[must_use]
+    pub fn new(seed: u64, tid: u32, max_us: u64) -> Self {
+        Self {
+            state: seed ^ (u64::from(tid).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            max_us,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Sleeps a pseudo-random duration in `[0, max_us]` µs. Roughly half
+    /// of the calls sleep zero time so fast paths are still exercised.
+    pub fn pause(&mut self) {
+        let r = self.next();
+        if r & 1 == 0 {
+            return;
+        }
+        let us = (r >> 1) % (self.max_us + 1);
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Jitter::new(7, 3, 10);
+        let mut b = Jitter::new(7, 3, 10);
+        for _ in 0..32 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn different_tids_differ() {
+        let mut a = Jitter::new(7, 0, 10);
+        let mut b = Jitter::new(7, 1, 10);
+        assert_ne!(a.next(), b.next());
+    }
+
+    #[test]
+    fn pause_with_zero_max_never_sleeps_long() {
+        let mut j = Jitter::new(1, 0, 0);
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            j.pause();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+}

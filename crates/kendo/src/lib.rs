@@ -1,0 +1,44 @@
+//! Kendo-style deterministic synchronization arbitration (paper §2, §4.1).
+//!
+//! "A thread is allowed to perform synchronization only if it has executed
+//! fewer instructions than all other threads." This crate implements that
+//! rule over *logical* instruction counts (the `instrTick` instrumentation
+//! of §4.1 — the paper deliberately avoids hardware performance counters
+//! because their determinism is unproven).
+//!
+//! # Protocol
+//!
+//! Every thread has a *slot* holding a monotone logical clock and a status
+//! (`Active`, `Blocked`, `Finished`). A synchronization operation may
+//! execute only while its thread is the unique minimum of
+//! `(clock, tid)` over all `Active` threads — [`KendoState::wait_for_turn`]
+//! blocks until then. The operation runs, mutates whatever deterministic
+//! state it needs, and finally calls [`KendoHandle::tick`], which releases
+//! the turn.
+//!
+//! # The invariants that make this deterministic
+//!
+//! 1. Clocks never decrease, and a thread's clock advances only through
+//!    its own execution (or a waker's deterministic handoff).
+//! 2. While a thread holds the turn it is *strictly* minimal, so turn
+//!    bodies are serialized in real time **in `(clock, tid)` order** — the
+//!    same order in every run.
+//! 3. A blocked thread is reactivated only *inside the turn of the thread
+//!    that deterministically causes the wakeup* (unlocker, signaler, last
+//!    barrier arriver, exiting joinee), with a new clock strictly greater
+//!    than the waker's. The reactivated slot is therefore visible to every
+//!    later turn-taker in every run, and the waker stays minimal until its
+//!    own tick.
+//!
+//! Together these give: the sequence of turn bodies, and everything they
+//! observe, is a pure function of logical clocks — physical timing only
+//! affects *when* things happen, never *what* happens.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod jitter;
+mod state;
+
+pub use jitter::Jitter;
+pub use state::{KendoHandle, KendoState, Status};

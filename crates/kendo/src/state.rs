@@ -1,0 +1,542 @@
+//! The arbitration state machine.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex, RwLock};
+use rfdet_vclock::Tid;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Thread status in the arbitration protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Participates in turn arbitration; other threads wait for its clock.
+    Active = 0,
+    /// Physically blocked (on a lock queue, condition variable, join or
+    /// barrier); skipped by the minimum computation. May only be set by
+    /// the thread itself during its own turn, and cleared by a waker
+    /// during *its* turn.
+    Blocked = 1,
+    /// Exited; never returns to the protocol.
+    Finished = 2,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Status::Active,
+            1 => Status::Blocked,
+            2 => Status::Finished,
+            _ => unreachable!("invalid status byte"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    clock: CachePadded<AtomicU64>,
+    status: CachePadded<AtomicU8>,
+    /// Parking support for blocked threads.
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+}
+
+impl Slot {
+    fn new(clock: u64, status: Status) -> Self {
+        Self {
+            clock: CachePadded::new(AtomicU64::new(clock)),
+            status: CachePadded::new(AtomicU8::new(status as u8)),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+        }
+    }
+}
+
+/// A thread's cached handle to its own slot (keeps the hot `tick` path to
+/// one uncontended atomic add).
+#[derive(Clone, Debug)]
+pub struct KendoHandle {
+    slot: Arc<Slot>,
+    tid: Tid,
+}
+
+impl KendoHandle {
+    /// The thread this handle belongs to.
+    #[must_use]
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Advances this thread's logical clock by `n`.
+    #[inline]
+    pub fn tick(&self, n: u64) {
+        self.slot.clock.fetch_add(n, SeqCst);
+    }
+
+    /// This thread's current logical clock.
+    #[inline]
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.slot.clock.load(SeqCst)
+    }
+}
+
+/// The global arbitration state shared by all threads of one run.
+#[derive(Debug, Default)]
+pub struct KendoState {
+    slots: RwLock<Vec<Arc<Slot>>>,
+    /// How long a parked thread waits between deadlock scans.
+    deadlock_after: Option<Duration>,
+    /// Set when some thread panicked: every waiter unwinds instead of
+    /// spinning forever on a protocol that will never advance.
+    abort: AtomicBool,
+    /// Bumped on every non-monotone event (wake, register). The
+    /// `has_turn` scan is not atomic; ticks are monotone so stale reads
+    /// only make the scan conservative, but a *wake* can re-activate a
+    /// blocked thread with a lower clock. Requiring the epoch to be
+    /// unchanged across the scan makes a successful scan sound: any
+    /// wake that lands after a clean scan must come from a turn-holder
+    /// whose clock the scan already saw (and rejected, had it been
+    /// smaller).
+    wake_epoch: AtomicU64,
+}
+
+impl KendoState {
+    /// Creates an empty arbitration state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: RwLock::new(Vec::new()),
+            deadlock_after: Some(Duration::from_secs(30)),
+            abort: AtomicBool::new(false),
+            wake_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Aborts the run: all threads waiting in [`KendoState::wait_for_turn`]
+    /// or [`KendoState::park_until_active`] panic promptly. Used to
+    /// propagate a panic out of one thread without deadlocking the rest.
+    pub fn set_abort(&self) {
+        self.abort.store(true, SeqCst);
+        // Kick every parked thread so they observe the flag.
+        for slot in self.slots.read().iter() {
+            let _guard = slot.park_lock.lock();
+            slot.park_cv.notify_all();
+        }
+    }
+
+    /// `true` once the run has been aborted.
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        self.abort.load(SeqCst)
+    }
+
+    fn check_abort(&self) {
+        assert!(
+            !self.aborted(),
+            "kendo: run aborted because another thread panicked"
+        );
+    }
+
+    /// Overrides the deadlock-detection timeout (`None` disables it).
+    #[must_use]
+    pub fn with_deadlock_timeout(mut self, t: Option<Duration>) -> Self {
+        self.deadlock_after = t;
+        self
+    }
+
+    /// Registers the next thread with an initial clock and returns its
+    /// slot handle. Thread IDs are dense and sequential; callers must
+    /// invoke this under a deterministic order (inside the parent's turn).
+    pub fn register(&self, initial_clock: u64) -> KendoHandle {
+        let mut slots = self.slots.write();
+        let tid = slots.len() as Tid;
+        let slot = Arc::new(Slot::new(initial_clock, Status::Active));
+        slots.push(Arc::clone(&slot));
+        drop(slots);
+        self.wake_epoch.fetch_add(1, SeqCst);
+        KendoHandle { slot, tid }
+    }
+
+    /// Number of registered threads.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// A thread's current clock.
+    #[must_use]
+    pub fn clock_of(&self, tid: Tid) -> u64 {
+        self.slots.read()[tid as usize].clock.load(SeqCst)
+    }
+
+    /// A thread's current status.
+    #[must_use]
+    pub fn status_of(&self, tid: Tid) -> Status {
+        Status::from_u8(self.slots.read()[tid as usize].status.load(SeqCst))
+    }
+
+    /// `true` iff `(clock, tid)` is minimal over all `Active` threads —
+    /// verified by an epoch-stable scan (see `wake_epoch`).
+    fn has_turn(&self, me: &KendoHandle) -> bool {
+        let epoch_before = self.wake_epoch.load(SeqCst);
+        let my_clock = me.clock();
+        let slots = self.slots.read();
+        for (i, s) in slots.iter().enumerate() {
+            if i as Tid == me.tid {
+                continue;
+            }
+            if Status::from_u8(s.status.load(SeqCst)) != Status::Active {
+                continue;
+            }
+            let c = s.clock.load(SeqCst);
+            if (c, i as Tid) < (my_clock, me.tid) {
+                return false;
+            }
+        }
+        drop(slots);
+        // A wake or register slipped in mid-scan: the snapshot may be
+        // inconsistent (a thread observed Blocked may now be Active with
+        // a smaller clock). Retry.
+        self.wake_epoch.load(SeqCst) == epoch_before
+    }
+
+    /// Blocks until the calling thread holds the turn.
+    ///
+    /// On return the caller is the unique minimal active thread and stays
+    /// so until it ticks; everything it does in between is serialized
+    /// against every other turn body, in deterministic order.
+    pub fn wait_for_turn(&self, me: &KendoHandle) {
+        let mut spins: u32 = 0;
+        let start = Instant::now();
+        loop {
+            if self.has_turn(me) {
+                return;
+            }
+            self.check_abort();
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 4096 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(20));
+                if spins.is_multiple_of(1_000) && std::env::var_os("RFDET_KENDO_TRACE").is_some() {
+                    eprintln!(
+                        "[kendo-trace] t{} waiting at clock {}: {}",
+                        me.tid,
+                        me.clock(),
+                        self.debug_state()
+                    );
+                }
+                if let Some(limit) = self.deadlock_after {
+                    if start.elapsed() > limit {
+                        panic!(
+                            "kendo: thread {} starved waiting for its turn for {:?} \
+                             (clock={}, state={})",
+                            me.tid,
+                            limit,
+                            me.clock(),
+                            self.debug_state()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks the calling thread blocked. **Must be called while holding
+    /// the turn**, immediately before the final tick of a blocking
+    /// operation.
+    pub fn block(&self, me: &KendoHandle) {
+        debug_assert!(
+            self.has_turn(me),
+            "block() outside of turn: t{} clock={} state={}",
+            me.tid,
+            me.clock(),
+            self.debug_state()
+        );
+        me.slot.status.store(Status::Blocked as u8, SeqCst);
+    }
+
+    /// Marks the calling thread finished. Must be called while holding
+    /// the turn; the turn is implicitly released (finished threads are
+    /// skipped by arbitration).
+    pub fn finish(&self, me: &KendoHandle) {
+        debug_assert!(self.has_turn(me), "finish() outside of turn");
+        me.slot.status.store(Status::Finished as u8, SeqCst);
+    }
+
+    /// Marks a thread finished without the turn assertion. Only for panic
+    /// cleanup after [`KendoState::set_abort`].
+    pub fn finish_forced(&self, tid: Tid) {
+        self.slots.read()[tid as usize]
+            .status
+            .store(Status::Finished as u8, SeqCst);
+    }
+
+    /// Reactivates a blocked thread with a deterministic new clock.
+    ///
+    /// **Must be called from inside the waker's turn**, and `new_clock`
+    /// must be strictly greater than the waker's current clock — this
+    /// keeps the waker minimal until its own tick and makes the order of
+    /// the wakeup deterministic.
+    pub fn wake(&self, target: Tid, new_clock: u64) {
+        let slot = Arc::clone(&self.slots.read()[target as usize]);
+        debug_assert_eq!(
+            Status::from_u8(slot.status.load(SeqCst)),
+            Status::Blocked,
+            "wake of a non-blocked thread {target}"
+        );
+        // Clock first, then status: a concurrent has_turn() that observes
+        // Active will also observe the new clock or a larger one.
+        slot.clock.store(new_clock, SeqCst);
+        {
+            let _guard = slot.park_lock.lock();
+            slot.status.store(Status::Active as u8, SeqCst);
+            slot.park_cv.notify_all();
+        }
+        self.wake_epoch.fetch_add(1, SeqCst);
+    }
+
+    /// Parks the calling thread until some waker flips it back to
+    /// `Active`. Call after [`KendoState::block`] + the final tick of the
+    /// blocking operation.
+    ///
+    /// Two-stage wait: a yield-polling stage first — a yielding thread
+    /// keeps a tiny vruntime, so the scheduler runs it promptly after the
+    /// waker's store even when a compute-bound thread saturates the CPU
+    /// (futex wakeups on a loaded single CPU otherwise cost a scheduler
+    /// granule per lock handoff, serializing handoff-heavy programs) —
+    /// then a condvar sleep for long parks so join-style waits do not
+    /// burn cycles.
+    pub fn park_until_active(&self, me: &KendoHandle) {
+        self.park_until_active_with(me, || {});
+    }
+
+    /// [`KendoState::park_until_active`] with an idle callback, invoked
+    /// periodically while still parked. RFDet uses this to run prelock
+    /// pre-merging off the critical path (§4.5) and to keep a blocked
+    /// thread's published clock advancing so it does not pin garbage
+    /// collection.
+    pub fn park_until_active_with(&self, me: &KendoHandle, mut on_idle: impl FnMut()) {
+        let start = Instant::now();
+        // Stage 1: poll. Typical lock/condvar handoffs land here; a
+        // yielding thread keeps a tiny vruntime so the scheduler runs it
+        // promptly after the waker's store even on a saturated CPU.
+        let mut polls: u32 = 0;
+        while Status::from_u8(me.slot.status.load(SeqCst)) != Status::Active {
+            self.check_abort();
+            polls += 1;
+            if polls < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            if polls > 20_000 {
+                break; // long park: fall through to sleeping
+            }
+        }
+        // Stage 2: sleep on the slot condvar, doing idle work between
+        // timeouts.
+        let mut guard = me.slot.park_lock.lock();
+        let mut next_idle = Instant::now() + Duration::from_millis(20);
+        while Status::from_u8(me.slot.status.load(SeqCst)) != Status::Active {
+            self.check_abort();
+            me.slot
+                .park_cv
+                .wait_for(&mut guard, Duration::from_millis(20));
+            if Status::from_u8(me.slot.status.load(SeqCst)) == Status::Active {
+                break;
+            }
+            if Instant::now() >= next_idle {
+                // Run the callback without the park lock so wakers are
+                // never blocked on it.
+                drop(guard);
+                on_idle();
+                guard = me.slot.park_lock.lock();
+                next_idle = Instant::now() + Duration::from_millis(20);
+            }
+            if let Some(limit) = self.deadlock_after {
+                if start.elapsed() > limit
+                    && Status::from_u8(me.slot.status.load(SeqCst)) != Status::Active
+                {
+                    panic!(
+                        "kendo: thread {} parked for {:?} without wakeup — \
+                         likely an application deadlock (state={})",
+                        me.tid,
+                        limit,
+                        self.debug_state()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Snapshot of all slots for diagnostics.
+    #[must_use]
+    pub fn debug_state(&self) -> String {
+        let slots = self.slots.read();
+        let mut s = String::new();
+        for (i, slot) in slots.iter().enumerate() {
+            use std::fmt::Write;
+            let _ = write!(
+                s,
+                "[t{} {:?}@{}]",
+                i,
+                Status::from_u8(slot.status.load(SeqCst)),
+                slot.clock.load(SeqCst)
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn register_assigns_sequential_tids() {
+        let k = KendoState::new();
+        assert_eq!(k.register(0).tid(), 0);
+        assert_eq!(k.register(1).tid(), 1);
+        assert_eq!(k.num_threads(), 2);
+    }
+
+    #[test]
+    fn tick_and_clock() {
+        let k = KendoState::new();
+        let h = k.register(5);
+        assert_eq!(h.clock(), 5);
+        h.tick(3);
+        assert_eq!(h.clock(), 8);
+        assert_eq!(k.clock_of(0), 8);
+    }
+
+    #[test]
+    fn single_thread_always_has_turn() {
+        let k = KendoState::new();
+        let h = k.register(0);
+        k.wait_for_turn(&h); // returns immediately
+        h.tick(1);
+        k.wait_for_turn(&h);
+    }
+
+    #[test]
+    fn lower_clock_wins_tie_by_tid() {
+        let k = KendoState::new();
+        let a = k.register(10);
+        let b = k.register(10);
+        // Equal clocks: tid 0 is minimal.
+        assert!(k.has_turn(&a));
+        assert!(!k.has_turn(&b));
+        a.tick(1);
+        assert!(k.has_turn(&b));
+        assert!(!k.has_turn(&a));
+    }
+
+    #[test]
+    fn blocked_threads_are_skipped() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(100);
+        assert!(!k.has_turn(&b));
+        k.block(&a); // a has the turn (clock 0) and blocks itself
+        assert!(k.has_turn(&b));
+    }
+
+    #[test]
+    fn finished_threads_are_skipped() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(100);
+        k.finish(&a);
+        assert!(k.has_turn(&b));
+    }
+
+    #[test]
+    fn wake_restores_participation_with_new_clock() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(50);
+        k.block(&a);
+        assert!(k.has_turn(&b));
+        k.wake(0, 60);
+        assert_eq!(k.clock_of(0), 60);
+        assert_eq!(k.status_of(0), Status::Active);
+        assert!(k.has_turn(&b), "b (50) still beats rewoken a (60)");
+        b.tick(11);
+        assert!(k.has_turn(&a));
+    }
+
+    #[test]
+    fn park_returns_after_wake() {
+        let k = Arc::new(KendoState::new());
+        let a = k.register(0);
+        let _b = k.register(10);
+        k.block(&a);
+        let k2 = Arc::clone(&k);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            k2.wake(0, 42);
+        });
+        k.park_until_active(&a);
+        assert_eq!(a.clock(), 42);
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn turn_order_is_deterministic_under_contention() {
+        // N threads each take 50 turns appending their tid; the resulting
+        // sequence must be a pure function of the tick amounts.
+        fn run() -> Vec<Tid> {
+            let k = Arc::new(KendoState::new());
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let started = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let k = Arc::clone(&k);
+                    let order = Arc::clone(&order);
+                    let started = Arc::clone(&started);
+                    let h = k.register(0);
+                    std::thread::spawn(move || {
+                        started.fetch_add(1, SeqCst);
+                        while started.load(SeqCst) < 4 {
+                            std::hint::spin_loop();
+                        }
+                        for round in 0..50u64 {
+                            k.wait_for_turn(&h);
+                            order.lock().push(h.tid());
+                            // Uneven, deterministic progress per thread.
+                            h.tick(1 + (i + round) % 3);
+                        }
+                        k.wait_for_turn(&h);
+                        k.finish(&h);
+                    })
+                })
+                .collect();
+            for t in handles {
+                t.join().unwrap();
+            }
+            Arc::try_unwrap(order).unwrap().into_inner()
+        }
+        let a = run();
+        let b = run();
+        let c = run();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "starved")]
+    fn starvation_detector_fires() {
+        let k = KendoState::new().with_deadlock_timeout(Some(Duration::from_millis(150)));
+        let _a = k.register(0); // never ticks, never blocked
+        let b = k.register(10);
+        k.wait_for_turn(&b); // can never win
+    }
+}

@@ -1,0 +1,193 @@
+//! Byte-granularity page diffing (paper §4.2 "Monitoring Memory
+//! Modifications" and §4.6 "Correctness of Page Diffing").
+//!
+//! At the end of each slice, every snapshotted page is compared with its
+//! current contents byte-by-byte; runs of differing bytes become
+//! [`ModRun`]s. A byte overwritten with the *same* value produces no run —
+//! that is load-bearing: it implements the paper's
+//! "prefer local writes when the remote write is redundant" conflict
+//! policy (§4.6), and the modification granularity of one byte matches the
+//! smallest C++ scalar.
+
+use rfdet_api::Addr;
+
+/// A contiguous run of modified bytes: "a write of the value `data` to
+/// address `addr`" generalized to a run for compactness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModRun {
+    /// First modified address.
+    pub addr: Addr,
+    /// The new bytes.
+    pub data: Box<[u8]>,
+}
+
+impl ModRun {
+    /// Creates a run.
+    #[must_use]
+    pub fn new(addr: Addr, data: Box<[u8]>) -> Self {
+        Self { addr, data }
+    }
+
+    /// Number of modified bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: empty runs are never constructed by diffing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Approximate heap bytes consumed by this run (metadata accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() + std::mem::size_of::<Self>()
+    }
+
+    /// The exclusive end address of the run.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.addr + self.data.len() as u64
+    }
+}
+
+/// Diffs one page against its snapshot, appending runs of changed bytes to
+/// `out`. `page_base` is the logical address of byte 0 of the page.
+pub fn diff_page(page_base: Addr, snapshot: &[u8], current: &[u8], out: &mut Vec<ModRun>) {
+    assert_eq!(snapshot.len(), current.len(), "snapshot/page size mismatch");
+    let mut i = 0;
+    let n = current.len();
+    while i < n {
+        if snapshot[i] == current[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < n && snapshot[i] != current[i] {
+            i += 1;
+        }
+        out.push(ModRun::new(
+            page_base + start as u64,
+            current[start..i].into(),
+        ));
+    }
+}
+
+/// Total modified bytes across `runs`.
+#[must_use]
+pub fn runs_len(runs: &[ModRun]) -> usize {
+    runs.iter().map(ModRun::len).sum()
+}
+
+/// Total heap footprint of `runs` (metadata accounting).
+#[must_use]
+pub fn runs_heap_bytes(runs: &[ModRun]) -> usize {
+    runs.iter().map(ModRun::heap_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_pages_produce_no_runs() {
+        let a = vec![7u8; 128];
+        let mut out = Vec::new();
+        diff_page(0, &a, &a, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_byte_change() {
+        let old = vec![0u8; 64];
+        let mut new = old.clone();
+        new[10] = 5;
+        let mut out = Vec::new();
+        diff_page(4096, &old, &new, &mut out);
+        assert_eq!(out, vec![ModRun::new(4106, vec![5].into())]);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_one_run() {
+        let old = vec![0u8; 32];
+        let mut new = old.clone();
+        new[4] = 1;
+        new[5] = 2;
+        new[6] = 3;
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert_eq!(out, vec![ModRun::new(4, vec![1, 2, 3].into())]);
+    }
+
+    #[test]
+    fn separated_changes_become_separate_runs() {
+        let old = vec![0u8; 32];
+        let mut new = old.clone();
+        new[0] = 1;
+        new[31] = 9;
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                ModRun::new(0, vec![1].into()),
+                ModRun::new(31, vec![9].into())
+            ]
+        );
+    }
+
+    #[test]
+    fn redundant_write_is_invisible() {
+        // x == 0, slice executes x = 0: no modification is recorded.
+        // §4.6 argues this is both deterministic and semantically correct.
+        let old = vec![0u8; 16];
+        let new = old.clone();
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn byte_granularity_split_write() {
+        // A 32-bit store where only two of four bytes changed produces
+        // runs covering exactly the changed bytes.
+        let mut old = vec![0u8; 8];
+        old[0] = 0xFF; // low byte already 0xFF
+        let mut new = old.clone();
+        // write 0x0000_01FF over bytes 0..4: byte0 unchanged, byte1 becomes 1
+        new[1] = 0x01;
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert_eq!(out, vec![ModRun::new(1, vec![1].into())]);
+    }
+
+    #[test]
+    fn runs_len_and_heap_bytes() {
+        let runs = vec![
+            ModRun::new(0, vec![1, 2].into()),
+            ModRun::new(9, vec![3].into()),
+        ];
+        assert_eq!(runs_len(&runs), 3);
+        assert!(runs_heap_bytes(&runs) >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let mut out = Vec::new();
+        diff_page(0, &[0; 4], &[0; 8], &mut out);
+    }
+
+    #[test]
+    fn whole_page_changed() {
+        let old = vec![0u8; 64];
+        let new = vec![1u8; 64];
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 64);
+        assert_eq!(out[0].end(), 64);
+    }
+}

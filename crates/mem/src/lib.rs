@@ -1,0 +1,40 @@
+//! The memory substrate of the RFDet reproduction.
+//!
+//! The paper runs "threads" as processes created with `clone()` so each has
+//! an isolated address space (§4, Figure 3). This crate provides the
+//! software equivalent: a paged, copy-on-write [`PrivateSpace`] over a flat
+//! logical address space. It also provides:
+//!
+//! * [`diff`] — byte-granularity page diffing that converts a page snapshot
+//!   plus the current page into a modification list (§4.2, §4.6);
+//! * [`PageFlags`] — emulated page protection used by the `pf` monitoring
+//!   mode and the lazy-writes optimization (§4.2, §4.5);
+//! * [`StripAllocator`]/[`ThreadHeap`] — the deterministic shared allocator
+//!   replacing the paper's modified Hoard (§4.4): every thread allocates
+//!   from a statically assigned strip of the heap area, so allocation is
+//!   deterministic without any cross-thread coordination and the same
+//!   virtual address is never handed to two threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+pub mod diff;
+mod page;
+mod prot;
+mod space;
+
+pub use alloc::{StripAllocator, ThreadHeap, MAX_HEAP_THREADS};
+pub use diff::ModRun;
+pub use page::Page;
+pub use prot::PageFlags;
+pub use space::PrivateSpace;
+
+/// Returns the base address of the heap area managed by the shared
+/// allocator. Addresses below this (excluding page zero, which is kept
+/// unmapped to catch null-pointer-style bugs) form the "static data"
+/// region that workloads lay out directly.
+#[must_use]
+pub fn heap_base(space_bytes: u64) -> u64 {
+    space_bytes / 2
+}

@@ -1,0 +1,94 @@
+//! Copy-on-write pages.
+
+use std::sync::Arc;
+
+/// One page of the logical shared space, shared copy-on-write.
+///
+/// Cloning a `Page` is O(1) (an `Arc` bump); the first write through a
+/// clone copies the backing bytes. This mirrors the paper's use of
+/// `clone()`-without-`CLONE_VM` plus kernel COW: "the child process will
+/// inherit the memory of its creating process automatically" (§4.1), and
+/// "all threads are given a copy of T's local memory (using copy-on-write)"
+/// at barriers.
+#[derive(Clone, Debug)]
+pub struct Page(Arc<Vec<u8>>);
+
+impl Page {
+    /// A fresh zero page of `size` bytes.
+    #[must_use]
+    pub fn zeroed(size: usize) -> Self {
+        Self(Arc::new(vec![0; size]))
+    }
+
+    /// A page initialized from `data`.
+    #[must_use]
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self(Arc::new(data))
+    }
+
+    /// Read-only view of the page bytes.
+    #[inline]
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Mutable view; copies the backing storage if it is shared.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        Arc::make_mut(&mut self.0).as_mut_slice()
+    }
+
+    /// `true` if another `Page` currently shares the backing storage.
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+
+    /// Copies the current contents into an owned buffer (a *snapshot* in
+    /// the paper's terminology, Figure 4 line 6).
+    #[must_use]
+    pub fn snapshot(&self) -> Box<[u8]> {
+        self.0.as_slice().into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = Page::zeroed(64);
+        assert_eq!(p.bytes().len(), 64);
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cow_isolates_clones() {
+        let mut a = Page::zeroed(16);
+        let b = a.clone();
+        assert!(a.is_shared());
+        a.bytes_mut()[3] = 9;
+        assert!(!a.is_shared());
+        assert_eq!(a.bytes()[3], 9);
+        assert_eq!(b.bytes()[3], 0, "clone must not observe the write");
+    }
+
+    #[test]
+    fn unshared_write_does_not_copy() {
+        let mut a = Page::zeroed(16);
+        let before = a.bytes().as_ptr();
+        a.bytes_mut()[0] = 1;
+        assert_eq!(a.bytes().as_ptr(), before);
+    }
+
+    #[test]
+    fn snapshot_is_independent_copy() {
+        let mut a = Page::from_bytes(vec![1, 2, 3]);
+        let snap = a.snapshot();
+        a.bytes_mut()[0] = 42;
+        assert_eq!(&*snap, &[1, 2, 3]);
+        assert_eq!(a.bytes()[0], 42);
+    }
+}

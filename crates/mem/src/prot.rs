@@ -1,0 +1,141 @@
+//! Emulated page protection.
+//!
+//! The paper's `pf` monitoring mode write-protects shared pages at slice
+//! start and snapshots on the resulting fault (§4.2); the lazy-writes
+//! optimization read+write-protects pages with pending propagated
+//! modifications (§4.5). We emulate both with explicit per-page flag words
+//! checked on the access path — a deliberate substitution for
+//! `mprotect`/SIGSEGV documented in DESIGN.md.
+
+/// Per-page protection flags for one thread's view of the space.
+#[derive(Clone, Debug)]
+pub struct PageFlags {
+    flags: Vec<u8>,
+}
+
+impl PageFlags {
+    /// Write access triggers a (simulated) fault: used by `pf` monitoring.
+    pub const WRITE_PROTECT: u8 = 0b01;
+    /// Any access triggers a fault: used by lazy writes (pending
+    /// modifications must be applied first).
+    pub const NO_ACCESS: u8 = 0b10;
+
+    /// All-clear flags for `num_pages` pages.
+    #[must_use]
+    pub fn new(num_pages: usize) -> Self {
+        Self {
+            flags: vec![0; num_pages],
+        }
+    }
+
+    /// Number of pages tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// `true` if no pages are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Sets `flag` on page `idx`.
+    #[inline]
+    pub fn protect(&mut self, idx: usize, flag: u8) {
+        self.flags[idx] |= flag;
+    }
+
+    /// Clears `flag` on page `idx`.
+    #[inline]
+    pub fn unprotect(&mut self, idx: usize, flag: u8) {
+        self.flags[idx] &= !flag;
+    }
+
+    /// Tests `flag` on page `idx`.
+    #[inline]
+    #[must_use]
+    pub fn is_protected(&self, idx: usize, flag: u8) -> bool {
+        self.flags[idx] & flag != 0
+    }
+
+    /// Raw flag word for page `idx` (zero = fully accessible). The access
+    /// fast path tests this single byte.
+    #[inline]
+    #[must_use]
+    pub fn word(&self, idx: usize) -> u8 {
+        self.flags[idx]
+    }
+
+    /// Sets `flag` on every page (slice start in `pf` mode: "protect
+    /// shared memory with no write permission at the beginning of each
+    /// slice").
+    pub fn protect_all(&mut self, flag: u8) {
+        for f in &mut self.flags {
+            *f |= flag;
+        }
+    }
+
+    /// Clears `flag` on every page.
+    pub fn unprotect_all(&mut self, flag: u8) {
+        for f in &mut self.flags {
+            *f &= !flag;
+        }
+    }
+
+    /// Indices of pages with `flag` set.
+    pub fn protected_indices(&self, flag: u8) -> impl Iterator<Item = usize> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(move |(_, &f)| f & flag != 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear() {
+        let f = PageFlags::new(8);
+        assert_eq!(f.len(), 8);
+        assert!((0..8).all(|i| f.word(i) == 0));
+    }
+
+    #[test]
+    fn protect_unprotect_single_flag() {
+        let mut f = PageFlags::new(4);
+        f.protect(2, PageFlags::WRITE_PROTECT);
+        assert!(f.is_protected(2, PageFlags::WRITE_PROTECT));
+        assert!(!f.is_protected(2, PageFlags::NO_ACCESS));
+        assert!(!f.is_protected(1, PageFlags::WRITE_PROTECT));
+        f.unprotect(2, PageFlags::WRITE_PROTECT);
+        assert_eq!(f.word(2), 0);
+    }
+
+    #[test]
+    fn flags_are_independent() {
+        let mut f = PageFlags::new(2);
+        f.protect(0, PageFlags::WRITE_PROTECT);
+        f.protect(0, PageFlags::NO_ACCESS);
+        f.unprotect(0, PageFlags::WRITE_PROTECT);
+        assert!(f.is_protected(0, PageFlags::NO_ACCESS));
+    }
+
+    #[test]
+    fn protect_all_and_enumerate() {
+        let mut f = PageFlags::new(5);
+        f.protect_all(PageFlags::WRITE_PROTECT);
+        assert_eq!(
+            f.protected_indices(PageFlags::WRITE_PROTECT).count(),
+            5
+        );
+        f.unprotect(3, PageFlags::WRITE_PROTECT);
+        let idx: Vec<_> = f.protected_indices(PageFlags::WRITE_PROTECT).collect();
+        assert_eq!(idx, vec![0, 1, 2, 4]);
+        f.unprotect_all(PageFlags::WRITE_PROTECT);
+        assert_eq!(f.protected_indices(PageFlags::WRITE_PROTECT).count(), 0);
+    }
+}

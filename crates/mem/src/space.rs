@@ -1,0 +1,273 @@
+//! Per-thread private views of the logical shared space.
+
+use crate::diff::ModRun;
+use crate::page::Page;
+use rfdet_api::Addr;
+
+/// A thread-private, paged view of the logical shared memory space.
+///
+/// Pages are materialized lazily: an absent page reads as zeros, and the
+/// first write allocates it. Forking a space (thread creation) clones the
+/// page table; all pages become shared copy-on-write, so the child inherits
+/// the parent's memory at cost O(pages), without copying data.
+#[derive(Clone, Debug)]
+pub struct PrivateSpace {
+    pages: Vec<Option<Page>>,
+    page_size: usize,
+    shift: u32,
+    materialized: usize,
+}
+
+impl PrivateSpace {
+    /// Creates an empty (all-zero) space of `space_bytes` with pages of
+    /// `page_size` bytes (a power of two dividing `space_bytes`).
+    #[must_use]
+    pub fn new(space_bytes: u64, page_size: u64) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(space_bytes.is_multiple_of(page_size), "space must be page-aligned");
+        let n = (space_bytes / page_size) as usize;
+        Self {
+            pages: vec![None; n],
+            page_size: page_size as usize,
+            shift: page_size.trailing_zeros(),
+            materialized: 0,
+        }
+    }
+
+    /// Forks this space for a child thread (COW inheritance).
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total number of pages (materialized or not).
+    #[must_use]
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of pages this space has materialized (its private footprint).
+    #[must_use]
+    pub fn materialized_pages(&self) -> usize {
+        self.materialized
+    }
+
+    /// The page index containing `addr`.
+    #[inline]
+    #[must_use]
+    pub fn page_of(&self, addr: Addr) -> usize {
+        (addr >> self.shift) as usize
+    }
+
+    /// First address of page `idx`.
+    #[inline]
+    #[must_use]
+    pub fn page_base(&self, idx: usize) -> Addr {
+        (idx as Addr) << self.shift
+    }
+
+    /// Read-only view of page `idx` if materialized.
+    #[must_use]
+    pub fn page(&self, idx: usize) -> Option<&Page> {
+        self.pages.get(idx).and_then(Option::as_ref)
+    }
+
+    /// Snapshot of page `idx` (zeros if not materialized).
+    #[must_use]
+    pub fn snapshot_page(&self, idx: usize) -> Box<[u8]> {
+        match &self.pages[idx] {
+            Some(p) => p.snapshot(),
+            None => vec![0; self.page_size].into(),
+        }
+    }
+
+    fn check_range(&self, addr: Addr, len: usize) {
+        let end = addr
+            .checked_add(len as u64)
+            .expect("address overflow");
+        let space = (self.pages.len() * self.page_size) as u64;
+        assert!(
+            end <= space,
+            "shared-memory access out of bounds: addr={addr:#x} len={len} space={space:#x}"
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        self.check_range(addr, buf.len());
+        let mut addr = addr;
+        let mut buf = buf;
+        while !buf.is_empty() {
+            let idx = self.page_of(addr);
+            let off = (addr as usize) & (self.page_size - 1);
+            let n = buf.len().min(self.page_size - off);
+            let (head, tail) = buf.split_at_mut(n);
+            match &self.pages[idx] {
+                Some(p) => head.copy_from_slice(&p.bytes()[off..off + n]),
+                None => head.fill(0),
+            }
+            buf = tail;
+            addr += n as u64;
+        }
+    }
+
+    /// Writes `data` starting at `addr`, materializing pages as needed.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        self.check_range(addr, data.len());
+        let mut addr = addr;
+        let mut data = data;
+        while !data.is_empty() {
+            let idx = self.page_of(addr);
+            let off = (addr as usize) & (self.page_size - 1);
+            let n = data.len().min(self.page_size - off);
+            let page = self.ensure_page(idx);
+            page.bytes_mut()[off..off + n].copy_from_slice(&data[..n]);
+            data = &data[n..];
+            addr += n as u64;
+        }
+    }
+
+    /// Applies one modification run (a contiguous byte write) to this
+    /// space. This is the `copyToLocalMemory` step of paper Figure 5.
+    pub fn apply_run(&mut self, run: &ModRun) {
+        self.write(run.addr, &run.data);
+    }
+
+    /// Applies many runs in order (later runs overwrite earlier ones at
+    /// conflicting addresses — the deterministic "remote wins" policy).
+    pub fn apply_runs(&mut self, runs: &[ModRun]) {
+        for r in runs {
+            self.apply_run(r);
+        }
+    }
+
+    fn ensure_page(&mut self, idx: usize) -> &mut Page {
+        let slot = &mut self.pages[idx];
+        if slot.is_none() {
+            *slot = Some(Page::zeroed(self.page_size));
+            self.materialized += 1;
+        }
+        slot.as_mut().expect("just materialized")
+    }
+
+    /// Iterates the indices of materialized pages.
+    pub fn materialized_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> PrivateSpace {
+        PrivateSpace::new(64 * 1024, 4096)
+    }
+
+    #[test]
+    fn fresh_space_reads_zero() {
+        let s = space();
+        let mut buf = [0xFFu8; 16];
+        s.read(100, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(s.materialized_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = space();
+        s.write(123, b"hello world");
+        let mut buf = [0u8; 11];
+        s.read(123, &mut buf);
+        assert_eq!(&buf, b"hello world");
+        assert_eq!(s.materialized_pages(), 1);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut s = space();
+        let addr = 4096 - 3;
+        s.write(addr, b"abcdef");
+        let mut buf = [0u8; 6];
+        s.read(addr, &mut buf);
+        assert_eq!(&buf, b"abcdef");
+        assert_eq!(s.materialized_pages(), 2);
+        // Each half landed on the right page.
+        assert_eq!(s.page(0).unwrap().bytes()[4093..], *b"abc");
+        assert_eq!(s.page(1).unwrap().bytes()[..3], *b"def");
+    }
+
+    #[test]
+    fn fork_inherits_and_isolates() {
+        let mut parent = space();
+        parent.write(0, &[1, 2, 3]);
+        let mut child = parent.fork();
+        let mut buf = [0u8; 3];
+        child.read(0, &mut buf);
+        assert_eq!(buf, [1, 2, 3], "child inherits parent memory");
+
+        child.write(0, &[9]);
+        parent.read(0, &mut buf);
+        assert_eq!(buf, [1, 2, 3], "parent does not see child writes");
+        child.read(0, &mut buf);
+        assert_eq!(buf, [9, 2, 3]);
+
+        parent.write(1, &[7]);
+        child.read(0, &mut buf);
+        assert_eq!(buf, [9, 2, 3], "child does not see parent writes");
+    }
+
+    #[test]
+    fn snapshot_of_unmaterialized_page_is_zero() {
+        let s = space();
+        let snap = s.snapshot_page(3);
+        assert_eq!(snap.len(), 4096);
+        assert!(snap.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn apply_runs_last_wins() {
+        let mut s = space();
+        s.apply_runs(&[
+            ModRun::new(10, vec![1, 1, 1].into()),
+            ModRun::new(11, vec![2].into()),
+        ]);
+        let mut buf = [0u8; 3];
+        s.read(10, &mut buf);
+        assert_eq!(buf, [1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let s = space();
+        let mut buf = [0u8; 1];
+        s.read(64 * 1024, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn straddling_end_write_panics() {
+        let mut s = space();
+        s.write(64 * 1024 - 2, &[0; 4]);
+    }
+
+    #[test]
+    fn materialized_indices_reports_written_pages() {
+        let mut s = space();
+        s.write(0, &[1]);
+        s.write(3 * 4096, &[1]);
+        let idx: Vec<_> = s.materialized_indices().collect();
+        assert_eq!(idx, vec![0, 3]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Published slices.
+
+use rfdet_mem::diff;
+use rfdet_mem::ModRun;
+use rfdet_vclock::{Tid, VClock};
+use std::sync::Arc;
+
+/// An immutable, published slice: the paper's
+/// `<tid, modifications, timestamp>` triple (§4.2) plus a per-thread
+/// sequence number for debugging and deterministic identity.
+#[derive(Debug)]
+pub struct SliceRec {
+    /// Thread that executed the slice.
+    pub tid: Tid,
+    /// Index of this slice within its thread (0-based).
+    pub seq: u64,
+    /// Vector-clock timestamp taken at slice start.
+    pub time: VClock,
+    /// Ordered byte-granularity modifications computed by page diffing.
+    pub mods: Vec<ModRun>,
+    heap_bytes: usize,
+}
+
+/// Shared handle to a published slice. Slice-pointer lists store these;
+/// the backing memory is freed when the last list drops its pointer.
+pub type SliceRef = Arc<SliceRec>;
+
+impl SliceRec {
+    /// Seals a slice for publication.
+    #[must_use]
+    pub fn new(tid: Tid, seq: u64, time: VClock, mods: Vec<ModRun>) -> Self {
+        let heap_bytes =
+            diff::runs_heap_bytes(&mods) + time.heap_bytes() + std::mem::size_of::<Self>();
+        Self {
+            tid,
+            seq,
+            time,
+            mods,
+            heap_bytes,
+        }
+    }
+
+    /// Metadata-space bytes consumed by this slice (used for the GC
+    /// trigger, §4.5).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Total modified bytes.
+    #[must_use]
+    pub fn mod_bytes(&self) -> usize {
+        diff::runs_len(&self.mods)
+    }
+
+    /// `true` when the slice carries no modifications (it still carries
+    /// happens-before information and is still published — an empty slice
+    /// is how a redundant write stays invisible, §4.6).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mods.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_includes_mod_bytes() {
+        let mods = vec![ModRun::new(0, vec![1, 2, 3].into())];
+        let s = SliceRec::new(1, 0, VClock::new(), mods);
+        assert_eq!(s.mod_bytes(), 3);
+        assert!(s.heap_bytes() > 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_slice() {
+        let s = SliceRec::new(0, 5, VClock::from_components(vec![2]), vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mod_bytes(), 0);
+        assert_eq!(s.seq, 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Internal synchronization variables (paper §4.1).
+//!
+//! "Our approach is to map each synchronization variable to an *internal
+//! synchronization variable* that is allocated in the metadata space. …
+//! we add two fields to each internal synchronization variable: `lastTid`
+//! and `lastTime`" — the ID of the last releasing thread and the vector
+//! time of that release.
+
+use rfdet_vclock::{Tid, VClock};
+
+/// Key of an internal synchronization variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SyncKey {
+    /// An application mutex.
+    Mutex(u32),
+    /// An application condition variable.
+    Cond(u32),
+    /// An application barrier.
+    Barrier(u32),
+    /// The implicit sync var of a thread's lifetime: *release* at exit,
+    /// *acquire* at join.
+    Thread(Tid),
+    /// A low-level atomic cell, keyed by its address (the §4.6 extension:
+    /// every atomic operation acquires *and* releases this variable).
+    Atomic(u64),
+}
+
+/// The release bookkeeping of one internal synchronization variable.
+#[derive(Clone, Debug, Default)]
+pub struct SyncVar {
+    /// Last thread to release the variable (`None` before any release).
+    pub last_tid: Option<Tid>,
+    /// Vector time of that release.
+    pub last_time: VClock,
+}
+
+impl SyncVar {
+    /// Records a release by `tid` at `time` — done "before we release the
+    /// synchronization variable" (§4.1).
+    pub fn record_release(&mut self, tid: Tid, time: VClock) {
+        self.last_tid = Some(tid);
+        self.last_time = time;
+    }
+
+    /// `true` if the last release was performed by a *different* thread,
+    /// in which case an acquirer must propagate modifications; a
+    /// same-thread re-acquire instead merges slices (§4.5).
+    #[must_use]
+    pub fn needs_propagation(&self, acquirer: Tid) -> bool {
+        matches!(self.last_tid, Some(t) if t != acquirer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_var_needs_no_propagation() {
+        let v = SyncVar::default();
+        assert!(!v.needs_propagation(0));
+        assert!(v.last_tid.is_none());
+    }
+
+    #[test]
+    fn propagation_only_for_cross_thread_release() {
+        let mut v = SyncVar::default();
+        let mut t = VClock::new();
+        t.tick(1);
+        v.record_release(1, t.clone());
+        assert!(v.needs_propagation(0));
+        assert!(!v.needs_propagation(1), "same-thread re-acquire merges slices");
+        assert_eq!(v.last_time, t);
+    }
+
+    #[test]
+    fn later_release_overwrites() {
+        let mut v = SyncVar::default();
+        v.record_release(1, VClock::from_components(vec![0, 3]));
+        v.record_release(2, VClock::from_components(vec![0, 3, 9]));
+        assert_eq!(v.last_tid, Some(2));
+        assert_eq!(v.last_time.get(2), 9);
+    }
+
+    #[test]
+    fn keys_are_distinct_namespaces() {
+        assert_ne!(SyncKey::Mutex(1), SyncKey::Cond(1));
+        assert_ne!(SyncKey::Cond(1), SyncKey::Barrier(1));
+        assert_ne!(SyncKey::Barrier(1), SyncKey::Thread(1));
+    }
+}

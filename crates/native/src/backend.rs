@@ -1,0 +1,44 @@
+//! The [`NativeBackend`] entry point.
+
+use crate::ctx::{NativeCtx, NativeShared};
+use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn};
+use std::sync::Arc;
+
+/// Conventional nondeterministic multithreading ("pthreads" in the
+/// paper's figures).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeBackend;
+
+impl DmtBackend for NativeBackend {
+    fn name(&self) -> String {
+        "pthreads".to_owned()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
+        let shared = Arc::new(NativeShared::new(cfg));
+        let mut main = NativeCtx::new(Arc::clone(&shared));
+        root(&mut main);
+        main.flush_stats();
+        // Harvest leaked (never-joined) threads so the run quiesces.
+        loop {
+            let handles: Vec<_> = {
+                let mut map = shared.handles.lock();
+                map.drain().map(|(_, h)| h).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        RunOutput {
+            output: shared.meta.collect_output(),
+            stats: shared.meta.stats.snapshot(),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The native per-thread context.
+
+use crate::sync::{BarrierVar, CondVar, LockVar, Registry};
+use parking_lot::Mutex;
+use rfdet_api::{
+    Addr, BarrierId, CondId, DmtCtx, MutexId, RunConfig, Stats, ThreadFn, ThreadHandle, Tid,
+};
+use rfdet_mem::{StripAllocator, ThreadHeap};
+use rfdet_meta::MetaSpace;
+use std::collections::HashMap;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Shared state of one native run.
+pub(crate) struct NativeShared {
+    /// The shared memory: one atomic cell per byte, accessed `Relaxed`.
+    /// Races are memory-safe but nondeterministic — faithful pthreads.
+    pub mem: Vec<AtomicU8>,
+    pub locks: Registry<LockVar>,
+    pub conds: Registry<CondVar>,
+    pub barriers: Registry<BarrierVar>,
+    pub strips: StripAllocator,
+    /// Reused for thread registration, output streams and stats.
+    pub meta: MetaSpace,
+    pub handles: Mutex<HashMap<Tid, std::thread::JoinHandle<()>>>,
+    /// Striped locks making 8-byte atomics atomic over the byte-cell
+    /// memory (§4.6 extension).
+    pub atomic_stripes: Vec<Mutex<()>>,
+}
+
+impl NativeShared {
+    pub fn new(cfg: &RunConfig) -> Self {
+        cfg.validate();
+        let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
+        Self {
+            mem: (0..cfg.space_bytes).map(|_| AtomicU8::new(0)).collect(),
+            locks: Registry::default(),
+            conds: Registry::default(),
+            barriers: Registry::default(),
+            strips: StripAllocator::new(heap_base, cfg.space_bytes - heap_base),
+            meta: MetaSpace::new(cfg.meta_capacity_bytes as usize, cfg.gc_threshold),
+            handles: Mutex::new(HashMap::new()),
+            atomic_stripes: (0..64).map(|_| Mutex::new(())).collect(),
+        }
+    }
+}
+
+/// Per-thread context for the native backend.
+pub(crate) struct NativeCtx {
+    pub shared: Arc<NativeShared>,
+    pub tid: Tid,
+    pub heap: ThreadHeap,
+    pub stats: Stats,
+}
+
+impl NativeCtx {
+    pub fn new(shared: Arc<NativeShared>) -> Self {
+        let tid = shared.meta.register_thread().tid;
+        let heap = shared.strips.heap_for(tid);
+        Self {
+            shared,
+            tid,
+            heap,
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn flush_stats(&mut self) {
+        self.shared.meta.stats.merge(&self.stats);
+        self.stats = Stats::default();
+    }
+
+    fn check_range(&self, addr: Addr, len: usize) {
+        assert!(
+            addr as usize + len <= self.shared.mem.len(),
+            "shared-memory access out of bounds: addr={addr:#x} len={len}"
+        );
+    }
+}
+
+impl DmtCtx for NativeCtx {
+    fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    fn tick(&mut self, _n: u64) {
+        // No logical clocks: native threads run free.
+    }
+
+    fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.stats.loads += 1;
+        self.check_range(addr, buf.len());
+        let base = addr as usize;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.shared.mem[base + i].load(Relaxed);
+        }
+    }
+
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        self.stats.stores += 1;
+        self.check_range(addr, data.len());
+        let base = addr as usize;
+        for (i, &b) in data.iter().enumerate() {
+            self.shared.mem[base + i].store(b, Relaxed);
+        }
+    }
+
+    fn lock(&mut self, m: MutexId) {
+        self.stats.locks += 1;
+        self.shared.locks.get(m.0).lock();
+    }
+
+    fn unlock(&mut self, m: MutexId) {
+        self.stats.unlocks += 1;
+        self.shared.locks.get(m.0).unlock();
+    }
+
+    fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        self.stats.waits += 1;
+        let cond = self.shared.conds.get(c.0);
+        let mutex = self.shared.locks.get(m.0);
+        cond.wait(&mutex);
+    }
+
+    fn cond_signal(&mut self, c: CondId) {
+        self.stats.signals += 1;
+        self.shared.conds.get(c.0).signal();
+    }
+
+    fn cond_broadcast(&mut self, c: CondId) {
+        self.stats.signals += 1;
+        self.shared.conds.get(c.0).broadcast();
+    }
+
+    fn barrier(&mut self, b: BarrierId, parties: usize) {
+        self.stats.barriers += 1;
+        self.shared.barriers.get(b.0).wait(parties);
+    }
+
+    fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
+        self.stats.forks += 1;
+        let shared = Arc::clone(&self.shared);
+        let mut child = NativeCtx::new(Arc::clone(&shared));
+        let tid = child.tid;
+        let handle = std::thread::Builder::new()
+            .name(format!("native-{tid}"))
+            .spawn(move || {
+                f(&mut child);
+                child.flush_stats();
+            })
+            .expect("failed to spawn OS thread");
+        self.shared.handles.lock().insert(tid, handle);
+        ThreadHandle(tid)
+    }
+
+    fn join(&mut self, h: ThreadHandle) {
+        self.stats.joins += 1;
+        let handle = self
+            .shared
+            .handles
+            .lock()
+            .remove(&h.0)
+            .unwrap_or_else(|| panic!("join of unknown or already-joined thread {}", h.0));
+        if let Err(payload) = handle.join() {
+            resume_unwind(payload);
+        }
+    }
+
+    fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        self.stats.shared_bytes += size;
+        self.heap.alloc(size, align)
+    }
+
+    fn dealloc(&mut self, addr: Addr) {
+        self.heap.dealloc(addr);
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.shared.meta.emit(self.tid, bytes);
+    }
+
+    fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
+        self.stats.locks += 1;
+        self.check_range(addr, 8);
+        let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
+        let _guard = stripe.lock();
+        let base = addr as usize;
+        let mut buf = [0u8; 8];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.shared.mem[base + i].load(Relaxed);
+        }
+        let old = u64::from_le_bytes(buf);
+        for (i, b) in op.apply(old).to_le_bytes().iter().enumerate() {
+            self.shared.mem[base + i].store(*b, Relaxed);
+        }
+        old
+    }
+
+    fn atomic_load(&mut self, addr: Addr) -> u64 {
+        self.stats.locks += 1;
+        self.check_range(addr, 8);
+        let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
+        let _guard = stripe.lock();
+        let base = addr as usize;
+        let mut buf = [0u8; 8];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.shared.mem[base + i].load(Relaxed);
+        }
+        u64::from_le_bytes(buf)
+    }
+
+    fn atomic_store(&mut self, addr: Addr, value: u64) {
+        self.stats.locks += 1;
+        self.check_range(addr, 8);
+        let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
+        let _guard = stripe.lock();
+        let base = addr as usize;
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.shared.mem[base + i].store(*b, Relaxed);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Conventional synchronization primitives keyed by application IDs.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A pthreads-style mutex usable through split `lock`/`unlock` calls.
+#[derive(Debug, Default)]
+pub(crate) struct LockVar {
+    locked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockVar {
+    pub fn lock(&self) {
+        let mut g = self.locked.lock();
+        while *g {
+            self.cv.wait(&mut g);
+        }
+        *g = true;
+    }
+
+    pub fn unlock(&self) {
+        let mut g = self.locked.lock();
+        assert!(*g, "unlock of unlocked mutex");
+        *g = false;
+        drop(g);
+        self.cv.notify_one();
+    }
+}
+
+/// A condition variable whose internal lock brackets the release of the
+/// application mutex, avoiding lost wakeups.
+#[derive(Debug, Default)]
+pub(crate) struct CondVar {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl CondVar {
+    /// Atomically releases `mutex` and waits for a signal; re-acquires
+    /// `mutex` before returning.
+    pub fn wait(&self, mutex: &LockVar) {
+        let mut g = self.gen.lock();
+        let my_gen = *g;
+        mutex.unlock();
+        while *g == my_gen {
+            self.cv.wait(&mut g);
+        }
+        drop(g);
+        mutex.lock();
+    }
+
+    pub fn signal(&self) {
+        *self.gen.lock() += 1;
+        self.cv.notify_one();
+    }
+
+    pub fn broadcast(&self) {
+        *self.gen.lock() += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// A reusable counting barrier.
+#[derive(Debug, Default)]
+pub(crate) struct BarrierVar {
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl BarrierVar {
+    pub fn wait(&self, parties: usize) {
+        let mut g = self.state.lock();
+        g.0 += 1;
+        if g.0 >= parties {
+            g.0 = 0;
+            g.1 += 1;
+            drop(g);
+            self.cv.notify_all();
+        } else {
+            let gen = g.1;
+            while g.1 == gen {
+                self.cv.wait(&mut g);
+            }
+        }
+    }
+}
+
+/// Lazily-created registry of synchronization variables.
+#[derive(Debug, Default)]
+pub(crate) struct Registry<T> {
+    map: Mutex<HashMap<u32, Arc<T>>>,
+}
+
+impl<T: Default> Registry<T> {
+    pub fn get(&self, id: u32) -> Arc<T> {
+        Arc::clone(self.map.lock().entry(id).or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn lockvar_provides_mutual_exclusion() {
+        let lv = Arc::new(LockVar::default());
+        let counter = Arc::new(AtomicU64::new(0));
+        let inside = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let lv = Arc::clone(&lv);
+                let counter = Arc::clone(&counter);
+                let inside = Arc::clone(&inside);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        lv.lock();
+                        assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        lv.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock of unlocked")]
+    fn unlock_without_lock_panics() {
+        LockVar::default().unlock();
+    }
+
+    #[test]
+    fn barrier_releases_all() {
+        let b = Arc::new(BarrierVar::default());
+        let released = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..3)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let released = Arc::clone(&released);
+                std::thread::spawn(move || {
+                    b.wait(3);
+                    released.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn registry_shares_instances() {
+        let r: Registry<LockVar> = Registry::default();
+        let a = r.get(1);
+        let b = r.get(1);
+        let c = r.get(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,351 @@
+//! The [`VClock`] type.
+
+use crate::order::CausalOrder;
+use crate::{LTime, Tid};
+use std::fmt;
+
+/// A vector clock over deterministic thread IDs.
+///
+/// Components for threads beyond the stored length are implicitly zero, so
+/// clocks created before a thread existed compare correctly against clocks
+/// created after it. The representation is a plain `Vec<u64>` indexed by
+/// [`Tid`]; thread IDs are dense (assigned in creation order) so this is
+/// compact.
+///
+/// `VClock` implements the standard partial order used by DLRC:
+/// `a ≤ b` iff every component of `a` is ≤ the corresponding component of
+/// `b`; `a < b` (a *happens before* b) iff `a ≤ b` and `a ≠ b`.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VClock {
+    components: Vec<LTime>,
+}
+
+impl VClock {
+    /// An all-zero clock (the minimum element of the partial order).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero clock with room for `n` threads (avoids regrowth).
+    #[must_use]
+    pub fn with_threads(n: usize) -> Self {
+        Self {
+            components: vec![0; n],
+        }
+    }
+
+    /// Builds a clock from raw components (mostly for tests).
+    #[must_use]
+    pub fn from_components(components: Vec<LTime>) -> Self {
+        let mut c = Self { components };
+        c.trim();
+        c
+    }
+
+    /// The logical time of thread `tid` in this clock.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, tid: Tid) -> LTime {
+        self.components.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `tid` to `time`.
+    pub fn set(&mut self, tid: Tid, time: LTime) {
+        let idx = tid as usize;
+        if idx >= self.components.len() {
+            if time == 0 {
+                return;
+            }
+            self.components.resize(idx + 1, 0);
+        }
+        self.components[idx] = time;
+    }
+
+    /// Increments the component for `tid` by one and returns the new value.
+    pub fn tick(&mut self, tid: Tid) -> LTime {
+        let idx = tid as usize;
+        if idx >= self.components.len() {
+            self.components.resize(idx + 1, 0);
+        }
+        self.components[idx] += 1;
+        self.components[idx]
+    }
+
+    /// Componentwise maximum: `self ⊔= other`.
+    ///
+    /// This is the least-upper-bound used at acquire operations (paper
+    /// §4.2: "update the vector clock to `timestamp ⊔ Time(R)`").
+    pub fn join(&mut self, other: &Self) {
+        if other.components.len() > self.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Returns `self ⊔ other` without mutating either operand.
+    #[must_use]
+    pub fn joined(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Componentwise minimum: `self ⊓= other`.
+    ///
+    /// The greatest-lower-bound over all live threads' clocks identifies
+    /// garbage slices (paper §4.5: "a slice is garbage when the timestamp of
+    /// the slice is less than the current vector clock of every thread").
+    pub fn meet(&mut self, other: &Self) {
+        // Missing components are zero, so the meet can never be longer than
+        // the shorter operand.
+        self.components.truncate(other.components.len());
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            if *theirs < *mine {
+                *mine = *theirs;
+            }
+        }
+        self.trim();
+    }
+
+    /// Returns `self ⊓ other` without mutating either operand.
+    #[must_use]
+    pub fn met(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.meet(other);
+        out
+    }
+
+    /// `true` iff every component of `self` is ≤ the matching component of
+    /// `other` — i.e. `self` happens-before-or-equals `other`.
+    ///
+    /// This is the predicate behind both propagation filters of paper
+    /// Figure 5: a slice is inside the *upperlimit* when
+    /// `slice.time ≤ upperlimit`, and already seen (below the *lowerlimit*)
+    /// when `slice.time ≤ lowerlimit`.
+    #[inline]
+    #[must_use]
+    pub fn leq(&self, other: &Self) -> bool {
+        if self.components.len() > other.components.len()
+            && self.components[other.components.len()..].iter().any(|&c| c != 0)
+        {
+            return false;
+        }
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Strict happens-before: `self ≤ other` and `self ≠ other`.
+    #[inline]
+    #[must_use]
+    pub fn lt(&self, other: &Self) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// `true` iff neither clock happens-before the other (and they differ).
+    #[inline]
+    #[must_use]
+    pub fn concurrent(&self, other: &Self) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Full causal comparison.
+    #[must_use]
+    pub fn causal_cmp(&self, other: &Self) -> CausalOrder {
+        match (self.leq(other), other.leq(self)) {
+            (true, true) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Before,
+            (false, true) => CausalOrder::After,
+            (false, false) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// Number of stored components (threads this clock has heard of).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` iff the clock is the zero clock.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
+    }
+
+    /// Approximate heap footprint, for metadata-space accounting.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.components.capacity() * std::mem::size_of::<LTime>()
+    }
+
+    /// Iterates `(tid, time)` pairs with nonzero time.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, LTime)> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != 0)
+            .map(|(i, &t)| (i as Tid, t))
+    }
+
+    fn trim(&mut self) {
+        while self.components.last() == Some(&0) {
+            self.components.pop();
+        }
+    }
+}
+
+impl fmt::Debug for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VClock{:?}", self.components)
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<(Tid, LTime)> for VClock {
+    fn from_iter<I: IntoIterator<Item = (Tid, LTime)>>(iter: I) -> Self {
+        let mut c = VClock::new();
+        for (tid, t) in iter {
+            c.set(tid, t);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(parts: &[LTime]) -> VClock {
+        VClock::from_components(parts.to_vec())
+    }
+
+    #[test]
+    fn zero_clock_is_minimum() {
+        let z = VClock::new();
+        let a = vc(&[1, 2]);
+        assert!(z.leq(&a));
+        assert!(z.lt(&a));
+        assert!(!a.leq(&z));
+        assert!(z.leq(&z));
+        assert!(!z.lt(&z));
+    }
+
+    #[test]
+    fn get_and_set_roundtrip() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(7), 0);
+        c.set(7, 42);
+        assert_eq!(c.get(7), 42);
+        assert_eq!(c.get(6), 0);
+        assert_eq!(c.get(8), 0);
+    }
+
+    #[test]
+    fn set_zero_beyond_len_is_noop() {
+        let mut c = VClock::new();
+        c.set(100, 0);
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut c = VClock::new();
+        assert_eq!(c.tick(2), 1);
+        assert_eq!(c.tick(2), 2);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn leq_with_different_lengths() {
+        let short = vc(&[1]);
+        let long = vc(&[1, 0, 3]);
+        assert!(short.leq(&long));
+        assert!(!long.leq(&short));
+        // Trailing zeros in the longer clock must not break symmetry.
+        let padded = vc(&[1, 0, 0]);
+        assert!(padded.leq(&short));
+        assert!(short.leq(&padded));
+        assert_eq!(padded, short); // from_components trims
+    }
+
+    #[test]
+    fn concurrent_detection() {
+        let a = vc(&[2, 0]);
+        let b = vc(&[0, 2]);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        assert_eq!(a.causal_cmp(&b), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let mut a = vc(&[3, 1]);
+        let b = vc(&[2, 5, 7]);
+        a.join(&b);
+        assert_eq!(a, vc(&[3, 5, 7]));
+        assert!(vc(&[3, 1]).leq(&a));
+        assert!(b.leq(&a));
+    }
+
+    #[test]
+    fn meet_is_glb() {
+        let a = vc(&[3, 1, 9]);
+        let b = vc(&[2, 5]);
+        let m = a.met(&b);
+        assert_eq!(m, vc(&[2, 1]));
+        assert!(m.leq(&a));
+        assert!(m.leq(&b));
+    }
+
+    #[test]
+    fn causal_cmp_all_cases() {
+        let a = vc(&[1, 2]);
+        assert_eq!(a.causal_cmp(&a.clone()), CausalOrder::Equal);
+        assert_eq!(a.causal_cmp(&vc(&[2, 2])), CausalOrder::Before);
+        assert_eq!(vc(&[2, 2]).causal_cmp(&a), CausalOrder::After);
+        assert_eq!(vc(&[0, 3]).causal_cmp(&vc(&[1, 1])), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = vc(&[1, 2]);
+        assert_eq!(format!("{a}"), "⟨1,2⟩");
+        assert_eq!(format!("{a:?}"), "VClock[1, 2]");
+    }
+
+    #[test]
+    fn from_iter_builds_sparse() {
+        let c: VClock = [(3u32, 5u64), (0, 1)].into_iter().collect();
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(3), 5);
+        assert_eq!(c.get(2), 0);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let c = vc(&[0, 2, 0, 4]);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(1, 2), (3, 4)]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Causal ordering results.
+
+/// Outcome of comparing two vector clocks under happens-before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CausalOrder {
+    /// The clocks are identical.
+    Equal,
+    /// The left clock happens-before the right one.
+    Before,
+    /// The right clock happens-before the left one.
+    After,
+    /// Neither happens-before the other: the clocks are concurrent, and a
+    /// deterministic tie-breaker (thread ID) must resolve any conflict.
+    Concurrent,
+}
+
+impl CausalOrder {
+    /// `true` for [`CausalOrder::Before`] or [`CausalOrder::Equal`].
+    #[must_use]
+    pub fn is_leq(self) -> bool {
+        matches!(self, CausalOrder::Before | CausalOrder::Equal)
+    }
+
+    /// `true` for [`CausalOrder::Concurrent`].
+    #[must_use]
+    pub fn is_concurrent(self) -> bool {
+        matches!(self, CausalOrder::Concurrent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(CausalOrder::Equal.is_leq());
+        assert!(CausalOrder::Before.is_leq());
+        assert!(!CausalOrder::After.is_leq());
+        assert!(!CausalOrder::Concurrent.is_leq());
+        assert!(CausalOrder::Concurrent.is_concurrent());
+        assert!(!CausalOrder::Before.is_concurrent());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the vector-clock partial order.
+//!
+//! DLRC's determinism argument leans entirely on happens-before being a
+//! correct partial order with `join` as least-upper-bound and `meet` as
+//! greatest-lower-bound, so we check the lattice laws exhaustively.
+
+use proptest::prelude::*;
+use rfdet_vclock::{CausalOrder, VClock};
+
+fn arb_vclock() -> impl Strategy<Value = VClock> {
+    prop::collection::vec(0u64..50, 0..6).prop_map(VClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn leq_reflexive(a in arb_vclock()) {
+        prop_assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_antisymmetric(a in arb_vclock(), b in arb_vclock()) {
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn leq_transitive(a in arb_vclock(), b in arb_vclock(), c in arb_vclock()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_vclock(), b in arb_vclock(), c in arb_vclock()) {
+        let j = a.joined(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        // Least: any other upper bound dominates the join.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound(a in arb_vclock(), b in arb_vclock(), c in arb_vclock()) {
+        let m = a.met(&b);
+        prop_assert!(m.leq(&a));
+        prop_assert!(m.leq(&b));
+        if c.leq(&a) && c.leq(&b) {
+            prop_assert!(c.leq(&m));
+        }
+    }
+
+    #[test]
+    fn join_commutative_associative(a in arb_vclock(), b in arb_vclock(), c in arb_vclock()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn causal_cmp_consistent_with_leq(a in arb_vclock(), b in arb_vclock()) {
+        let cmp = a.causal_cmp(&b);
+        match cmp {
+            CausalOrder::Equal => prop_assert!(a.leq(&b) && b.leq(&a)),
+            CausalOrder::Before => prop_assert!(a.lt(&b)),
+            CausalOrder::After => prop_assert!(b.lt(&a)),
+            CausalOrder::Concurrent => prop_assert!(a.concurrent(&b)),
+        }
+    }
+
+    #[test]
+    fn tick_strictly_increases(a in arb_vclock(), tid in 0u32..8) {
+        let mut b = a.clone();
+        b.tick(tid);
+        prop_assert!(a.lt(&b));
+        prop_assert_eq!(b.get(tid), a.get(tid) + 1);
+    }
+
+    #[test]
+    fn concurrent_slices_stay_unordered_after_independent_ticks(
+        a in arb_vclock(), t1 in 0u32..4, t2 in 4u32..8
+    ) {
+        // Two threads ticking independently from a common ancestor are
+        // concurrent — the scenario DLRC must resolve with the tid
+        // tie-breaker.
+        let mut x = a.clone();
+        let mut y = a.clone();
+        x.tick(t1);
+        y.tick(t2);
+        prop_assert!(x.concurrent(&y));
+    }
+}

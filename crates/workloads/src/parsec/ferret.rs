@@ -1,0 +1,162 @@
+//! `ferret` — a four-stage content-similarity-search pipeline with tiny
+//! work items: query load → feature extraction → index probe → ranking.
+//! Per-item queue traffic dwarfs per-item compute, producing the most
+//! synchronization-intensive profile of the whole evaluation (Table 1:
+//! 43 k locks at 4 threads).
+
+use crate::util::{ids, SharedQueue};
+use crate::{Params, Size};
+use rfdet_api::{Addr, DmtCtx, DmtCtxExt, ThreadFn};
+
+const Q1_BASE: Addr = 4096;
+const Q2_BASE: Addr = 5120;
+const Q3_BASE: Addr = 6144;
+const TOPK_BASE: Addr = 7168; // (score, id) pairs
+const INDEX_BASE: Addr = 16384;
+
+const QUEUE_CAP: u64 = 32;
+const INDEX_SIZE: u64 = 512;
+const TOP_K: u64 = 8;
+
+fn query_count(size: Size) -> u64 {
+    match size {
+        Size::Test => 200,
+        Size::Bench => 3_000,
+    }
+}
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Packs `(score: u32, id: u32)` into one queue item.
+fn pack(score: u64, id: u64) -> u64 {
+    (score & 0xFFFF_FFFF) << 32 | (id & 0xFFFF_FFFF)
+}
+
+/// Builds the ferret root: 1 loader + 1 extractor + `threads` probers +
+/// 1 ranker.
+#[must_use]
+pub fn root(p: Params) -> ThreadFn {
+    Box::new(move |ctx: &mut dyn DmtCtx| {
+        let n = query_count(p.size);
+        let threads = p.threads as u64;
+        let q1 = SharedQueue::new(Q1_BASE, QUEUE_CAP, 0);
+        let q2 = SharedQueue::new(Q2_BASE, QUEUE_CAP, 1);
+        let q3 = SharedQueue::new(Q3_BASE, QUEUE_CAP, 2);
+        let seed = p.seed;
+
+        // The image index: a fixed table of feature fingerprints.
+        let mut rng = rfdet_api::DetRng::new(seed ^ 0xFE44E7);
+        for i in 0..INDEX_SIZE {
+            ctx.write_idx::<u64>(INDEX_BASE, i, rng.next_u64());
+        }
+
+        // Stage 1: query loader.
+        let loader = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            for id in 0..n {
+                q1.push(ctx, id);
+                ctx.tick(2);
+            }
+            q1.close(ctx);
+        }));
+
+        // Stage 2: feature extraction (cheap hash of the query id).
+        let extractor = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            while let Some(id) = q1.pop(ctx) {
+                let feature = mix(id ^ seed);
+                q2.push(ctx, pack(feature & 0xFFFF_FFFF, id));
+                ctx.tick(6);
+            }
+            q2.close(ctx);
+        }));
+
+        // Stage 3: parallel index probes.
+        let probers: Vec<_> = (0..threads)
+            .map(|_| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    while let Some(item) = q2.pop(ctx) {
+                        let id = item & 0xFFFF_FFFF;
+                        let feature = item >> 32;
+                        // Probe a handful of index cells; score =
+                        // best popcount similarity.
+                        let mut best = 0u64;
+                        for probe in 0..8u64 {
+                            let cell = mix(feature ^ probe) % INDEX_SIZE;
+                            let entry: u64 = ctx.read_idx(INDEX_BASE, cell);
+                            let sim = u64::from((entry ^ mix(feature)).count_zeros());
+                            best = best.max(sim);
+                            ctx.tick(4);
+                        }
+                        q3.push(ctx, pack(best, id));
+                    }
+                }))
+            })
+            .collect();
+
+        // Stage 4: ranker maintains a global top-K under one lock.
+        let ranker = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            while let Some(item) = q3.pop(ctx) {
+                let score = item >> 32;
+                let id = item & 0xFFFF_FFFF;
+                ctx.lock(ids::data_mutex(2000));
+                // Replace the current minimum if we beat it; ties broken
+                // by smaller id so the result is interleaving-invariant.
+                let mut min_slot = 0u64;
+                let mut min_val = u64::MAX;
+                for s in 0..TOP_K {
+                    let v: u64 = ctx.read_idx(TOPK_BASE, s);
+                    if v < min_val {
+                        min_val = v;
+                        min_slot = s;
+                    }
+                }
+                let candidate = pack(score, u32::MAX as u64 - id);
+                if candidate > min_val {
+                    ctx.write_idx::<u64>(TOPK_BASE, min_slot, candidate);
+                }
+                ctx.unlock(ids::data_mutex(2000));
+                ctx.tick(8);
+            }
+        }));
+
+        ctx.join(loader);
+        ctx.join(extractor);
+        for pr in probers {
+            ctx.join(pr);
+        }
+        q3.close(ctx);
+        ctx.join(ranker);
+
+        // Fold the top-K set (order-independent sum).
+        let mut fold = 0u64;
+        for s in 0..TOP_K {
+            let v: u64 = ctx.read_idx(TOPK_BASE, s);
+            fold = fold.wrapping_add(mix(v));
+        }
+        ctx.emit_str(&format!("ferret n={n} topk={fold:016x}\n"));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrips() {
+        let item = pack(0x1234, 0x5678);
+        assert_eq!(item >> 32, 0x1234);
+        assert_eq!(item & 0xFFFF_FFFF, 0x5678);
+    }
+
+    #[test]
+    fn queue_layout_is_disjoint() {
+        assert!(Q1_BASE + SharedQueue::shared_bytes(QUEUE_CAP) <= Q2_BASE);
+        assert!(Q2_BASE + SharedQueue::shared_bytes(QUEUE_CAP) <= Q3_BASE);
+        assert!(Q3_BASE + SharedQueue::shared_bytes(QUEUE_CAP) <= TOPK_BASE);
+        const { assert!(TOPK_BASE + TOP_K * 8 <= INDEX_BASE) };
+    }
+}

@@ -1,0 +1,9 @@
+//! PARSEC applications (paper §5.1, Table 1 rows 13–16): two
+//! embarrassingly parallel pricing kernels and two pipeline programs
+//! whose bounded queues generate the heaviest lock/condvar traffic in
+//! the suite (`dedup`, `ferret`).
+
+pub mod blackscholes;
+pub mod dedup;
+pub mod ferret;
+pub mod swaptions;

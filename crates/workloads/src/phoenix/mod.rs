@@ -1,0 +1,10 @@
+//! Phoenix map-reduce kernels (paper §5.1, Table 1 rows 8–12): almost
+//! no locking — work is forked to workers in waves and reduced by the
+//! main thread after joining, which is why the paper measures them close
+//! to (sometimes faster than) pthreads under RFDet.
+
+pub mod linear_regression;
+pub mod matrix_multiply;
+pub mod pca;
+pub mod string_match;
+pub mod wordcount;

@@ -1,0 +1,8 @@
+//! SPLASH-2 kernels (c.m4.null.POSIX configuration — lock-based
+//! barriers), paper §5.1 and Table 1 rows 1–7.
+
+pub mod fft;
+pub mod lu;
+pub mod ocean;
+pub mod radix;
+pub mod water;

@@ -1,0 +1,74 @@
+//! The §4.6/§6 extension in action: **lock-free synchronization under
+//! strong determinism**.
+//!
+//! ```sh
+//! cargo run --release --example lockfree_extension
+//! ```
+//!
+//! The base paper explicitly does not support ad hoc or lock-free
+//! synchronization — "programs using ad hoc synchronization may be
+//! incorrect in DLRC (e.g., they may deadlock or violate atomicity)" —
+//! and sketches the fix as future work: run atomic operations through
+//! Kendo and give them acquire/release propagation. This build
+//! implements that sketch ([`DmtCtx::atomic_rmw`] and friends), so the
+//! canonical lock-free patterns work *and* are reproducible.
+
+use rfdet::{AtomicOp, DmtBackend, DmtCtx, DmtCtxExt, RfdetBackend, RunConfig};
+
+const TICKET_NEXT: u64 = 4096;
+const TICKET_SERVING: u64 = 4104;
+const LOG_BASE: u64 = 8192;
+
+/// A ticket lock — pure fetch-add/ load spinning, no runtime mutex — and
+/// a work log recording the deterministic service order.
+fn program(ctx: &mut dyn DmtCtx) {
+    let workers: Vec<_> = (0..3u64)
+        .map(|i| {
+            ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                for _ in 0..5 {
+                    let my_ticket = ctx.atomic_rmw(TICKET_NEXT, AtomicOp::Add(1));
+                    while ctx.atomic_load(TICKET_SERVING) != my_ticket {
+                        ctx.tick(1);
+                    }
+                    // Critical section: append (ticket, worker) to the log
+                    // with ordinary (non-atomic) accesses — the ticket
+                    // handoff's acquire/release edges order them.
+                    ctx.write_idx::<u64>(LOG_BASE, my_ticket, i + 1);
+                    ctx.tick(25); // some work
+                    ctx.atomic_rmw(TICKET_SERVING, AtomicOp::Add(1));
+                }
+            }))
+        })
+        .collect();
+    for w in workers {
+        ctx.join(w);
+    }
+    let total = ctx.atomic_load(TICKET_NEXT);
+    let order: Vec<String> = (0..total)
+        .map(|t| ctx.read_idx::<u64>(LOG_BASE, t).to_string())
+        .collect();
+    ctx.emit_str(&format!("service order: {}", order.join("")));
+}
+
+fn main() {
+    println!("ticket lock built purely from atomics, under RFDet:");
+    let mut orders = std::collections::HashSet::new();
+    for run in 0..6 {
+        let cfg = RunConfig {
+            jitter_seed: Some(run * 31 + 5),
+            ..RunConfig::default()
+        };
+        let out = RfdetBackend::ci().run(&cfg, Box::new(program));
+        let text = String::from_utf8_lossy(&out.output).into_owned();
+        println!("  run {run}: {text}");
+        orders.insert(text);
+    }
+    assert_eq!(orders.len(), 1, "lock-free service order must be deterministic");
+    println!(
+        "\nFifteen critical sections, zero runtime mutexes, one service\n\
+         order — reproduced under six different jitter schedules. The\n\
+         per-cell internal sync vars (SyncKey::Atomic) give every atomic\n\
+         acquire+release semantics, so even the *order in which the\n\
+         ticket lock is granted* is part of the deterministic output."
+    );
+}

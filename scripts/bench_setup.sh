@@ -1,0 +1,15 @@
+#!/bin/sh
+# Host preparation for the rfdet experiment harness.
+#
+# On a single-CPU host, lock handoffs between strictly-alternating
+# threads cost one scheduler slice each (the woken thread waits for the
+# current thread's slice to expire). The EEVDF default of 700 µs
+# serializes handoff-heavy workloads at scheduler granularity and masks
+# the runtime differences the experiments measure. 50 µs keeps compute
+# throughput within ~2% while making handoffs cheap — applied equally to
+# every backend.
+#
+# Requires root; effective until reboot.
+mount -t debugfs none /sys/kernel/debug 2>/dev/null || true
+echo 50000 > /sys/kernel/debug/sched/base_slice_ns
+echo "sched base_slice_ns = $(cat /sys/kernel/debug/sched/base_slice_ns)"

@@ -1,0 +1,222 @@
+//! Cross-backend semantics of the pthreads-style API surface:
+//! condition-variable wake ordering, barrier reuse, misuse panics.
+
+use rfdet::{
+    BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, DthreadsBackend, MutexId, QuantumBackend,
+    RfdetBackend, RunConfig,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::small();
+    c.rfdet.fault_cost_spins = 0;
+    c
+}
+
+fn det_backends() -> Vec<Box<dyn DmtBackend>> {
+    vec![
+        Box::new(RfdetBackend::ci()),
+        Box::new(RfdetBackend::pf()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ]
+}
+
+#[test]
+fn broadcast_wakes_every_waiter() {
+    for b in det_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let m = MutexId(0);
+                let cv = CondId(0);
+                let waiters: Vec<_> = (0..3u64)
+                    .map(|i| {
+                        ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                            ctx.lock(m);
+                            while ctx.read::<u64>(0) == 0 {
+                                ctx.cond_wait(cv, m);
+                            }
+                            ctx.update::<u64>(8, |v| v + (i + 1));
+                            ctx.unlock(m);
+                        }))
+                    })
+                    .collect();
+                // Let everyone reach the wait, then broadcast once.
+                ctx.tick(10_000);
+                ctx.lock(m);
+                ctx.write::<u64>(0, 1);
+                ctx.cond_broadcast(cv);
+                ctx.unlock(m);
+                for w in waiters {
+                    ctx.join(w);
+                }
+                let sum: u64 = ctx.read(8);
+                ctx.emit_str(&sum.to_string());
+            }),
+        );
+        assert_eq!(out.output, b"6", "{} lost a broadcast waiter", b.name());
+    }
+}
+
+#[test]
+fn signal_with_no_waiter_is_lost() {
+    // pthreads semantics: a signal with no waiter does nothing; the later
+    // waiter must rely on its predicate, which the producer already set.
+    for b in det_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let m = MutexId(0);
+                let cv = CondId(0);
+                ctx.lock(m);
+                ctx.write::<u64>(0, 1);
+                ctx.cond_signal(cv); // nobody waiting: lost
+                ctx.unlock(m);
+                let h = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    ctx.lock(m);
+                    while ctx.read::<u64>(0) == 0 {
+                        ctx.cond_wait(cv, m);
+                    }
+                    ctx.write::<u64>(8, 99);
+                    ctx.unlock(m);
+                }));
+                ctx.join(h);
+                let v: u64 = ctx.read(8);
+                ctx.emit_str(&v.to_string());
+            }),
+        );
+        assert_eq!(out.output, b"99", "{}", b.name());
+    }
+}
+
+#[test]
+fn barriers_are_reusable_across_generations() {
+    for b in det_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let bar = BarrierId(3);
+                let hs: Vec<_> = (0..2u64)
+                    .map(|i| {
+                        ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                            for phase in 0..10u64 {
+                                if i == 0 {
+                                    ctx.write::<u64>(0, phase * 2 + 1);
+                                }
+                                ctx.barrier(bar, 2);
+                                let v: u64 = ctx.read(0);
+                                ctx.write_idx::<u64>(64, i, v + phase);
+                                ctx.barrier(bar, 2);
+                            }
+                        }))
+                    })
+                    .collect();
+                for h in hs {
+                    ctx.join(h);
+                }
+                let a: u64 = ctx.read_idx(64, 0);
+                let b_: u64 = ctx.read_idx(64, 1);
+                ctx.emit_str(&format!("{a},{b_}"));
+            }),
+        );
+        // Final phase 9: value 19, +9 → 28 for both.
+        assert_eq!(out.output, b"28,28", "{}", b.name());
+    }
+}
+
+#[test]
+fn rfdet_rejects_unlock_of_unheld_mutex() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        RfdetBackend::ci().run(
+            &cfg(),
+            Box::new(|ctx| {
+                ctx.unlock(MutexId(5));
+            }),
+        )
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn rfdet_rejects_recursive_lock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        RfdetBackend::ci().run(
+            &cfg(),
+            Box::new(|ctx| {
+                ctx.lock(MutexId(5));
+                ctx.lock(MutexId(5));
+            }),
+        )
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn deadlock_is_detected_not_hung() {
+    // Two threads take two locks in opposite order without ordering
+    // discipline — a classic deadlock. The runtime must panic (watchdog)
+    // rather than hang forever.
+    let mut c = cfg();
+    c.jitter_seed = None;
+    let start = std::time::Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        RfdetBackend::ci().run(
+            &c,
+            Box::new(|ctx| {
+                let a = MutexId(1);
+                let b = MutexId(2);
+                let t1 = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    ctx.lock(a);
+                    ctx.tick(100_000);
+                    ctx.lock(b);
+                    ctx.unlock(b);
+                    ctx.unlock(a);
+                }));
+                let t2 = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    ctx.lock(b);
+                    ctx.tick(100_000);
+                    ctx.lock(a);
+                    ctx.unlock(a);
+                    ctx.unlock(b);
+                }));
+                ctx.join(t1);
+                ctx.join(t2);
+            }),
+        )
+    }));
+    assert!(result.is_err(), "deadlock must be detected");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(120),
+        "watchdog must fire in bounded time"
+    );
+}
+
+#[test]
+fn thread_ids_are_deterministic_and_dense() {
+    for b in det_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                assert_eq!(ctx.tid(), 0, "main thread is tid 0");
+                let mut ids = Vec::new();
+                let hs: Vec<_> = (0..3)
+                    .map(|_| {
+                        ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
+                            let tid = ctx.tid();
+                            ctx.write_idx::<u64>(0, u64::from(tid), u64::from(tid) + 1);
+                        }))
+                    })
+                    .collect();
+                for h in &hs {
+                    ids.push(h.0);
+                }
+                for h in hs {
+                    ctx.join(h);
+                }
+                ctx.emit_str(&format!("{ids:?}"));
+            }),
+        );
+        assert_eq!(out.output, b"[1, 2, 3]", "{}", b.name());
+    }
+}

@@ -1,0 +1,240 @@
+//! The low-level-atomics extension (paper §4.6/§6 future work), across
+//! every backend: atomicity, determinism, and — the point of the
+//! exercise — ad hoc / lock-free synchronization working correctly under
+//! strong determinism.
+
+use rfdet::{
+    AtomicOp, DmtBackend, DmtCtx, DmtCtxExt, DthreadsBackend, NativeBackend, QuantumBackend,
+    RfdetBackend, RunConfig,
+};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::small();
+    c.rfdet.fault_cost_spins = 0;
+    c
+}
+
+fn all_backends() -> Vec<Box<dyn DmtBackend>> {
+    vec![
+        Box::new(NativeBackend),
+        Box::new(RfdetBackend::ci()),
+        Box::new(RfdetBackend::pf()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ]
+}
+
+const CELL: u64 = 4096;
+
+#[test]
+fn concurrent_fetch_add_never_loses_updates() {
+    // The quickstart's racy counter, now with an atomic: every backend —
+    // including pthreads — must count exactly.
+    for b in all_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let hs: Vec<_> = (0..4)
+                    .map(|_| {
+                        ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
+                            for _ in 0..50 {
+                                ctx.atomic_rmw(CELL, AtomicOp::Add(1));
+                                ctx.tick(3);
+                            }
+                        }))
+                    })
+                    .collect();
+                for h in hs {
+                    ctx.join(h);
+                }
+                let total = ctx.atomic_load(CELL);
+                ctx.emit_str(&total.to_string());
+            }),
+        );
+        assert_eq!(out.output, b"200", "{} lost atomic updates", b.name());
+    }
+}
+
+#[test]
+fn exchange_order_is_deterministic_on_deterministic_backends() {
+    // Each thread swaps its id into the cell; the sequence of old values
+    // it gets back encodes the global order — which must be stable.
+    fn run(b: &dyn DmtBackend, jitter: Option<u64>) -> Vec<u8> {
+        let mut c = cfg();
+        c.jitter_seed = jitter;
+        b.run(
+            &c,
+            Box::new(|ctx| {
+                let hs: Vec<_> = (1..=3u64)
+                    .map(|i| {
+                        ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                            let mut history = Vec::new();
+                            for _ in 0..10 {
+                                history.push(ctx.atomic_rmw(CELL, AtomicOp::Exchange(i)));
+                                ctx.tick((i + 2) * 5);
+                            }
+                            ctx.emit_str(&format!("{history:?};"));
+                        }))
+                    })
+                    .collect();
+                for h in hs {
+                    ctx.join(h);
+                }
+            }),
+        )
+        .output
+    }
+    for b in [
+        Box::new(RfdetBackend::ci()) as Box<dyn DmtBackend>,
+        Box::new(RfdetBackend::pf()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ] {
+        let a = run(b.as_ref(), None);
+        let c = run(b.as_ref(), Some(0xA11CE));
+        assert_eq!(a, c, "{} atomic order unstable", b.name());
+    }
+}
+
+#[test]
+fn cas_spinlock_works_on_every_backend() {
+    // Exactly the "ad hoc synchronization" the base paper rejects (§4.6):
+    // a spinlock built from compare-exchange. With deterministic atomics
+    // it must both make progress and protect the critical section.
+    const LOCK: u64 = 4200;
+    const COUNT: u64 = 4208;
+    for b in all_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let hs: Vec<_> = (0..3)
+                    .map(|_| {
+                        ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
+                            for _ in 0..30 {
+                                // acquire
+                                while ctx.atomic_rmw(
+                                    LOCK,
+                                    AtomicOp::CompareExchange { expected: 0, new: 1 },
+                                ) != 0
+                                {
+                                    ctx.tick(1);
+                                }
+                                // critical section via ordinary accesses:
+                                // the CAS's acquire semantics make the
+                                // previous holder's writes visible.
+                                let v: u64 = ctx.read(COUNT);
+                                ctx.write(COUNT, v + 1);
+                                // release
+                                ctx.atomic_store(LOCK, 0);
+                                ctx.tick(5);
+                            }
+                        }))
+                    })
+                    .collect();
+                for h in hs {
+                    ctx.join(h);
+                }
+                let v: u64 = ctx.read(COUNT);
+                ctx.emit_str(&v.to_string());
+            }),
+        );
+        assert_eq!(out.output, b"90", "{} spinlock broken", b.name());
+    }
+}
+
+#[test]
+fn lockfree_treiber_stack_roundtrips() {
+    // A lock-free stack of u64 indices: head cell + CAS loop, next
+    // pointers in ordinary shared memory (published by the CAS's release
+    // semantics). Two pushers, then main drains.
+    const HEAD: u64 = 4304; // 0 = empty, else node index + 1
+    const NODES: u64 = 8192; // node i: [next, value] at NODES + i*16
+    for b in all_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let pushers: Vec<_> = (0..2u64)
+                    .map(|p| {
+                        ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                            for k in 0..10u64 {
+                                let node = p * 10 + k;
+                                let slot = NODES + node * 16;
+                                ctx.write::<u64>(slot + 8, 1000 + node);
+                                loop {
+                                    let head = ctx.atomic_load(HEAD);
+                                    ctx.write::<u64>(slot, head);
+                                    let won = ctx.atomic_rmw(
+                                        HEAD,
+                                        AtomicOp::CompareExchange {
+                                            expected: head,
+                                            new: node + 1,
+                                        },
+                                    ) == head;
+                                    if won {
+                                        break;
+                                    }
+                                    ctx.tick(1);
+                                }
+                                ctx.tick(7);
+                            }
+                        }))
+                    })
+                    .collect();
+                for h in pushers {
+                    ctx.join(h);
+                }
+                // Drain and sum the values: must equal Σ (1000+i).
+                let mut sum = 0u64;
+                let mut count = 0u64;
+                let mut head = ctx.atomic_load(HEAD);
+                while head != 0 {
+                    let slot = NODES + (head - 1) * 16;
+                    sum += ctx.read::<u64>(slot + 8);
+                    count += 1;
+                    head = ctx.read::<u64>(slot);
+                }
+                ctx.emit_str(&format!("{count},{sum}"));
+            }),
+        );
+        let expected: u64 = (0..20u64).map(|n| 1000 + n).sum();
+        assert_eq!(
+            out.output,
+            format!("20,{expected}").into_bytes(),
+            "{} corrupted the lock-free stack",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn atomics_mix_with_locks_and_barriers() {
+    use rfdet::{BarrierId, MutexId};
+    for b in all_backends() {
+        let out = b.run(
+            &cfg(),
+            Box::new(|ctx| {
+                let m = MutexId(0);
+                let bar = BarrierId(0);
+                let hs: Vec<_> = (0..2u64)
+                    .map(|i| {
+                        ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                            ctx.atomic_rmw(CELL, AtomicOp::Add(i + 1));
+                            ctx.barrier(bar, 2);
+                            ctx.lock(m);
+                            let v = ctx.atomic_load(CELL);
+                            ctx.update::<u64>(CELL + 64, |x| x + v);
+                            ctx.unlock(m);
+                        }))
+                    })
+                    .collect();
+                for h in hs {
+                    ctx.join(h);
+                }
+                let v: u64 = ctx.read(CELL + 64);
+                ctx.emit_str(&v.to_string());
+            }),
+        );
+        // After the barrier both see CELL == 3, so the sum is 6.
+        assert_eq!(out.output, b"6", "{}", b.name());
+    }
+}

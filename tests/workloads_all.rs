@@ -1,0 +1,115 @@
+//! Cross-crate integration: every workload × every backend at test
+//! scale, checking completion, determinism, and cross-backend semantic
+//! agreement for race-free programs.
+
+use rfdet::workloads::{benchmarks, by_name, Params, Size};
+use rfdet::{DmtBackend, DthreadsBackend, NativeBackend, QuantumBackend, RfdetBackend, RunConfig};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::small();
+    c.space_bytes = 4 << 20; // room for test-scale inputs
+    c.rfdet.fault_cost_spins = 0;
+    c
+}
+
+fn run(backend: &dyn DmtBackend, name: &str, threads: usize) -> Vec<u8> {
+    let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let out = backend.run(&cfg(), (w.factory)(Params::new(threads, Size::Test)));
+    assert!(!out.output.is_empty(), "{name} produced no output");
+    out.output
+}
+
+#[test]
+fn every_workload_completes_on_every_deterministic_backend() {
+    let backends: Vec<Box<dyn DmtBackend>> = vec![
+        Box::new(RfdetBackend::ci()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ];
+    for w in benchmarks() {
+        for b in &backends {
+            let _ = run(b.as_ref(), w.name, 2);
+        }
+    }
+}
+
+#[test]
+fn every_workload_completes_on_native() {
+    for w in benchmarks() {
+        let _ = run(&NativeBackend, w.name, 2);
+    }
+}
+
+#[test]
+fn rfdet_runs_are_reproducible_per_workload() {
+    let b = RfdetBackend::ci();
+    for w in benchmarks() {
+        let a = run(&b, w.name, 3);
+        let c = run(&b, w.name, 3);
+        assert_eq!(
+            a,
+            c,
+            "{} diverged across identical RFDet runs:\n{}\nvs\n{}",
+            w.name,
+            String::from_utf8_lossy(&a),
+            String::from_utf8_lossy(&c)
+        );
+    }
+}
+
+#[test]
+fn race_free_workloads_agree_across_all_backends() {
+    // All benchmark kernels are properly synchronized (racey is the only
+    // racy program), so every backend — including nondeterministic
+    // pthreads — must compute the same answer.
+    let backends: Vec<Box<dyn DmtBackend>> = vec![
+        Box::new(NativeBackend),
+        Box::new(RfdetBackend::ci()),
+        Box::new(RfdetBackend::pf()),
+        Box::new(DthreadsBackend),
+        Box::new(QuantumBackend),
+    ];
+    for w in benchmarks() {
+        let reference = run(backends[0].as_ref(), w.name, 2);
+        for b in &backends[1..] {
+            let got = run(b.as_ref(), w.name, 2);
+            assert_eq!(
+                got,
+                reference,
+                "{} disagrees between {} and {}:\n{}\nvs\n{}",
+                w.name,
+                b.name(),
+                backends[0].name(),
+                String::from_utf8_lossy(&got),
+                String::from_utf8_lossy(&reference)
+            );
+        }
+    }
+}
+
+#[test]
+fn racey_is_stable_under_rfdet_and_unstable_contract_holds() {
+    let b = RfdetBackend::ci();
+    let first = run(&b, "racey", 4);
+    for _ in 0..5 {
+        assert_eq!(run(&b, "racey", 4), first, "racey must be deterministic");
+    }
+    // With jitter injected the answer still cannot change.
+    let w = by_name("racey").unwrap();
+    let mut jcfg = cfg();
+    jcfg.jitter_seed = Some(42);
+    let jit = b.run(&jcfg, (w.factory)(Params::new(4, Size::Test)));
+    assert_eq!(jit.output, first);
+}
+
+#[test]
+fn racey_differs_across_thread_counts() {
+    // Thread count is an *input* (§3.4): different counts may give
+    // different (each deterministic) signatures.
+    let b = RfdetBackend::ci();
+    let two = run(&b, "racey", 2);
+    let four = run(&b, "racey", 4);
+    // Not asserting inequality (could collide), but both reproducible:
+    assert_eq!(run(&b, "racey", 2), two);
+    assert_eq!(run(&b, "racey", 4), four);
+}
