@@ -1,0 +1,283 @@
+//! Offline minimal subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides the slice of `criterion` the workspace's benches use:
+//! `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! benchmark groups, and the `criterion_group!`/`criterion_main!`
+//! macros. No statistics machinery — each benchmark is warmed up, then
+//! timed over an adaptive iteration count, and the mean ns/iter is
+//! printed. That is enough to compare hot-path changes before/after on
+//! the same machine, which is all the repo's EXPERIMENTS flow needs.
+//!
+//! `cargo bench -- <substring>` filters benchmarks by id, like the real
+//! harness.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark; iteration count adapts to it.
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// Collects timing for one benchmark. Passed to the user's closure; the
+/// closure calls [`Bencher::iter`] or [`Bencher::iter_batched`].
+pub struct Bencher {
+    /// Total measured time and iterations, filled in by `iter*`.
+    measured: Option<(Duration, u64)>,
+    sample_hint: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, adapting the iteration count to the measurement
+    /// target.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_TARGET || iters >= 1 << 30 {
+                break elapsed / (iters as u32).max(1);
+            }
+            iters = iters.saturating_mul(2);
+        };
+        // Measure. `sample_hint` (from `sample_size`) scales the target
+        // down for expensive benches that opted into fewer samples.
+        let scale = (self.sample_hint as u32).clamp(1, 100);
+        let target = MEASURE_TARGET * scale / 100;
+        let n = if per_iter.is_zero() {
+            1 << 20
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), n));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut n: u64 = 0;
+        let begin = Instant::now();
+        while begin.elapsed() < MEASURE_TARGET || n == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            n += 1;
+        }
+        self.measured = Some((total, n));
+    }
+}
+
+/// Batch sizing hint — accepted for API compatibility, unused.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier, e.g. built from a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Id from just a parameter (used inside groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Anything accepted as a benchmark id by `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>`: first non-flag argument filters
+        // benchmark ids, matching real criterion's CLI.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs (or skips, if filtered out) one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.filter, id.into_benchmark_id(), 100, f);
+        self
+    }
+
+    /// Opens a named group; ids inside are prefixed `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hints that this group's benchmarks are expensive; scales the
+    /// measurement target down proportionally (real criterion uses it
+    /// as the bootstrap sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.criterion.filter, id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: String,
+    sample_hint: usize,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measured: None,
+        sample_hint,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((total, iters)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{id:<48} {ns:>14.1} ns/iter  ({iters} iterations)");
+        }
+        _ => println!("{id:<48} (no measurement)"),
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut b = Bencher {
+            measured: None,
+            sample_hint: 1,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        let (total, iters) = b.measured.expect("measured");
+        assert!(iters > 0);
+        assert!(total > Duration::ZERO);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut b = Bencher {
+            measured: None,
+            sample_hint: 1,
+        };
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        let (_, iters) = b.measured.expect("measured");
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(
+            BenchmarkId::new("f", 3).into_benchmark_id(),
+            "f/3".to_string()
+        );
+        assert_eq!(
+            BenchmarkId::from_parameter("pthreads").into_benchmark_id(),
+            "pthreads"
+        );
+    }
+}

@@ -1,9 +1,7 @@
 //! Run configuration shared by all backends.
 
-use serde::{Deserialize, Serialize};
-
 /// How RFDet monitors memory modifications (paper §4.2 and Figure 7).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MonitorMode {
     /// Compile-time instrumentation (RFDet-ci): every instrumented store
     /// performs the cheap Figure-4 check (is this page already snapshotted
@@ -17,7 +15,7 @@ pub enum MonitorMode {
 }
 
 /// RFDet-specific options (the §4.5 optimizations and monitoring mode).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RfdetOpts {
     /// Store-monitoring strategy.
     pub monitor: MonitorMode,
@@ -48,7 +46,7 @@ impl Default for RfdetOpts {
 }
 
 /// Configuration for one run of a workload under some backend.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Size of the logical shared memory space, in bytes.
     pub space_bytes: u64,
@@ -67,6 +65,11 @@ pub struct RunConfig {
     /// the Figure-5 scan dominates. Bounding live slices keeps
     /// propagation amortized-O(live slices) exactly as in the paper.
     pub meta_max_slices: u64,
+    /// Shard count for the runtime-internal sync-var table (rounded up to
+    /// a power of two). More shards means independent sync objects almost
+    /// never contend on table buckets; 1 degenerates to a single global
+    /// table lock (useful for measuring the sharding win).
+    pub sync_shards: usize,
     /// RFDet-specific options (ignored by other backends).
     pub rfdet: RfdetOpts,
     /// Quantum length in ticks for the CoreDet/DMP-style backend
@@ -89,6 +92,7 @@ impl Default for RunConfig {
             meta_capacity_bytes: 256 << 20,
             gc_threshold: 0.9,
             meta_max_slices: 1024,
+            sync_shards: 16,
             rfdet: RfdetOpts::default(),
             quantum_ticks: 10_000,
             jitter_seed: None,
@@ -120,7 +124,10 @@ impl RunConfig {
     /// Panics on an invalid configuration; called by every backend at run
     /// start so misconfiguration fails fast.
     pub fn validate(&self) {
-        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
+        assert!(
+            self.page_size.is_power_of_two(),
+            "page_size must be a power of two"
+        );
         assert!(self.space_bytes > 0, "space_bytes must be nonzero");
         assert!(
             self.space_bytes.is_multiple_of(self.page_size),
@@ -131,6 +138,7 @@ impl RunConfig {
             "gc_threshold must be in [0,1]"
         );
         assert!(self.quantum_ticks > 0, "quantum_ticks must be nonzero");
+        assert!(self.sync_shards > 0, "sync_shards must be nonzero");
     }
 }
 

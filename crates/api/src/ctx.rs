@@ -347,11 +347,19 @@ mod tests {
         assert_eq!(AtomicOp::Sub(3).apply(10), 7);
         assert_eq!(AtomicOp::Exchange(9).apply(1), 9);
         assert_eq!(
-            AtomicOp::CompareExchange { expected: 4, new: 8 }.apply(4),
+            AtomicOp::CompareExchange {
+                expected: 4,
+                new: 8
+            }
+            .apply(4),
             8
         );
         assert_eq!(
-            AtomicOp::CompareExchange { expected: 4, new: 8 }.apply(5),
+            AtomicOp::CompareExchange {
+                expected: 4,
+                new: 8
+            }
+            .apply(5),
             5,
             "failed CAS leaves the value"
         );

@@ -1,6 +1,5 @@
 //! Per-run profiling counters — the raw material of the paper's Table 1.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Aggregated counters for one run.
@@ -9,7 +8,7 @@ use std::ops::AddAssign;
 /// executions with 4 threads") plus the optimization counters used in the
 /// §4.5 discussion (e.g. the fraction of propagation work the *prelock*
 /// optimization moves off the critical path).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     // ---- sync ops (Table 1, columns 2-4) ----
     /// `pthread_mutex_lock` count.
@@ -26,6 +25,11 @@ pub struct Stats {
     pub joins: u64,
     /// Barrier arrivals.
     pub barriers: u64,
+    /// Atomic operations (`atomic_rmw`/`atomic_load`/`atomic_store`) — the
+    /// §4.6 extension. A distinct sync-op class: atomics acquire *and*
+    /// release a cell's sync var in one turn, so folding them into `locks`
+    /// would misstate both columns.
+    pub atomics: u64,
 
     // ---- memory ops (Table 1, columns 5-8) ----
     /// Shared-memory load operations.
@@ -77,6 +81,16 @@ pub struct Stats {
     pub global_fences: u64,
     /// Serial-phase commits (token-ordered diff publications).
     pub serial_commits: u64,
+
+    // ---- runtime-internal contention (RFDet sharded hot path) ----
+    /// Sync-var handles served from the per-thread cache (no shard lock).
+    pub sync_var_cache_hits: u64,
+    /// Sync-var handles that had to consult the sharded table.
+    pub sync_var_cache_misses: u64,
+    /// Sync-var shard locks that were held by another thread on arrival.
+    pub shard_lock_contended: u64,
+    /// Sync-queue class locks that were held by another thread on arrival.
+    pub queue_lock_contended: u64,
 }
 
 impl Stats {
@@ -89,8 +103,14 @@ impl Stats {
     /// Total synchronization operations.
     #[must_use]
     pub fn sync_ops(&self) -> u64 {
-        self.locks + self.unlocks + self.waits + self.signals + self.forks + self.joins
+        self.locks
+            + self.unlocks
+            + self.waits
+            + self.signals
+            + self.forks
+            + self.joins
             + self.barriers
+            + self.atomics
     }
 
     /// Fraction of propagated slices handled off the critical path by
@@ -111,11 +131,36 @@ impl AddAssign for Stats {
             ($($f:ident),* $(,)?) => { $( self.$f += rhs.$f; )* };
         }
         add!(
-            locks, unlocks, waits, signals, forks, joins, barriers, loads, stores,
-            stores_with_copy, page_faults, shared_bytes, gc_count, gc_reclaimed_slices,
-            slices, slices_merged, slices_propagated, slices_filtered_redundant,
-            mod_bytes_applied, prelock_premerged, lazy_deferred_bytes, lazy_elided_bytes,
-            global_fences, serial_commits, private_pages
+            locks,
+            unlocks,
+            waits,
+            signals,
+            forks,
+            joins,
+            barriers,
+            atomics,
+            loads,
+            stores,
+            stores_with_copy,
+            page_faults,
+            shared_bytes,
+            gc_count,
+            gc_reclaimed_slices,
+            slices,
+            slices_merged,
+            slices_propagated,
+            slices_filtered_redundant,
+            mod_bytes_applied,
+            prelock_premerged,
+            lazy_deferred_bytes,
+            lazy_elided_bytes,
+            global_fences,
+            serial_commits,
+            private_pages,
+            sync_var_cache_hits,
+            sync_var_cache_misses,
+            shard_lock_contended,
+            queue_lock_contended
         );
         // Peaks take the maximum, not the sum.
         self.peak_meta_bytes = self.peak_meta_bytes.max(rhs.peak_meta_bytes);
@@ -136,11 +181,12 @@ mod tests {
             forks: 4,
             joins: 4,
             barriers: 3,
+            atomics: 5,
             loads: 100,
             stores: 50,
             ..Stats::default()
         };
-        assert_eq!(s.sync_ops(), 17);
+        assert_eq!(s.sync_ops(), 22);
         assert_eq!(s.mem_ops(), 150);
     }
 

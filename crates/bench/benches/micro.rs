@@ -195,6 +195,88 @@ fn bench_sync_ops(c: &mut Criterion) {
     });
 }
 
+fn bench_contended_sync(c: &mut Criterion) {
+    use rfdet_api::{AtomicOp, DmtBackend, DmtCtx, MutexId, RunConfig};
+    // The de-contention benchmarks: 4 threads hammering the sync-op hot
+    // path. Per-thread-distinct objects isolate the runtime's own shared
+    // structures (sync-var table, queue locks, registries) — the paper's
+    // point is that independent sync objects must not serialize on
+    // runtime-internal state. The shared-object variants add the
+    // propagation work on top.
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    const THREADS: u64 = 4;
+    const OPS: u64 = 250;
+    let spawn_workers = |ctx: &mut dyn DmtCtx, body: fn(&mut dyn DmtCtx, u64)| {
+        let hs: Vec<_> = (0..THREADS)
+            .map(|i| ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| body(ctx, i))))
+            .collect();
+        for h in hs {
+            ctx.join(h);
+        }
+    };
+    c.bench_function("rfdet/4t_atomics_distinct_cells", |bench| {
+        bench.iter(|| {
+            rfdet_core::RfdetBackend::ci().run(
+                &cfg,
+                Box::new(move |ctx: &mut dyn DmtCtx| {
+                    spawn_workers(ctx, |ctx, i| {
+                        for _ in 0..OPS {
+                            ctx.atomic_rmw(4096 + i * 64, AtomicOp::Add(1));
+                        }
+                    });
+                }),
+            )
+        })
+    });
+    c.bench_function("rfdet/4t_atomics_shared_cell", |bench| {
+        bench.iter(|| {
+            rfdet_core::RfdetBackend::ci().run(
+                &cfg,
+                Box::new(move |ctx: &mut dyn DmtCtx| {
+                    spawn_workers(ctx, |ctx, _| {
+                        for _ in 0..OPS {
+                            ctx.atomic_rmw(4096, AtomicOp::Add(1));
+                        }
+                    });
+                }),
+            )
+        })
+    });
+    c.bench_function("rfdet/4t_locks_distinct_mutexes", |bench| {
+        bench.iter(|| {
+            rfdet_core::RfdetBackend::ci().run(
+                &cfg,
+                Box::new(move |ctx: &mut dyn DmtCtx| {
+                    spawn_workers(ctx, |ctx, i| {
+                        #[allow(clippy::cast_possible_truncation)]
+                        let m = MutexId(i as u32);
+                        for _ in 0..OPS {
+                            ctx.lock(m);
+                            ctx.unlock(m);
+                        }
+                    });
+                }),
+            )
+        })
+    });
+    c.bench_function("rfdet/4t_locks_shared_mutex", |bench| {
+        bench.iter(|| {
+            rfdet_core::RfdetBackend::ci().run(
+                &cfg,
+                Box::new(move |ctx: &mut dyn DmtCtx| {
+                    spawn_workers(ctx, |ctx, _| {
+                        for _ in 0..OPS {
+                            ctx.lock(MutexId(0));
+                            ctx.unlock(MutexId(0));
+                        }
+                    });
+                }),
+            )
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_vclock,
@@ -202,6 +284,7 @@ criterion_group!(
     bench_diff,
     bench_meta,
     bench_kendo,
-    bench_sync_ops
+    bench_sync_ops,
+    bench_contended_sync
 );
 criterion_main!(benches);

@@ -88,7 +88,10 @@ fn main() {
             b.name(),
             ms(lockers),
             ms(total),
-            format!("{:.0}%", 100.0 * lockers.as_secs_f64() / total.as_secs_f64()),
+            format!(
+                "{:.0}%",
+                100.0 * lockers.as_secs_f64() / total.as_secs_f64()
+            ),
             out.stats.global_fences.to_string(),
         ]);
     }

@@ -35,8 +35,7 @@ fn main() {
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); backends.len()];
     for w in opts.selected(benchmarks()) {
         let params = Params::new(opts.threads, opts.size);
-        let (base_time, base_out) =
-            time_workload(&NativeBackend, &cfg, &w, params, opts.reps);
+        let (base_time, base_out) = time_workload(&NativeBackend, &cfg, &w, params, opts.reps);
         let mut row = vec![w.name.to_owned(), ms(base_time)];
         for (i, b) in backends.iter().enumerate() {
             let (t, out) = time_workload(b.as_ref(), &cfg, &w, params, opts.reps);
@@ -51,7 +50,8 @@ fn main() {
             // Sanity: deterministic backends must agree on results for
             // race-free programs.
             assert_eq!(
-                out.output, base_out.output,
+                out.output,
+                base_out.output,
                 "{} result mismatch on {}",
                 w.name,
                 b.name()

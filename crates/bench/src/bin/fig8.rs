@@ -40,8 +40,13 @@ fn main() {
         .enumerate()
         {
             for (ti, threads) in [2usize, 4, 8].iter().enumerate() {
-                let (t, _) =
-                    time_workload(*backend, &cfg, &w, Params::new(*threads, opts.size), opts.reps);
+                let (t, _) = time_workload(
+                    *backend,
+                    &cfg,
+                    &w,
+                    Params::new(*threads, opts.size),
+                    opts.reps,
+                );
                 if ti == 0 {
                     base2[bi] = t.as_secs_f64();
                     cells.push(ms(t));

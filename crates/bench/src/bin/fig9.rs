@@ -38,8 +38,7 @@ fn main() {
     let mut rows = Vec::new();
     for w in splash {
         let params = Params::new(opts.threads, opts.size);
-        let (t_base, _) =
-            time_workload(&backend, &cfg_with(false, false), &w, params, opts.reps);
+        let (t_base, _) = time_workload(&backend, &cfg_with(false, false), &w, params, opts.reps);
         let (t_pre, out_pre) =
             time_workload(&backend, &cfg_with(true, false), &w, params, opts.reps);
         let (t_lazy, out_lazy) =

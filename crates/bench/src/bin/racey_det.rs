@@ -34,7 +34,11 @@ fn main() {
             for run in 0..opts.runs {
                 let mut cfg = bench_config();
                 // Vary physical timing run to run.
-                cfg.jitter_seed = if run % 2 == 0 { None } else { Some(u64::from(run)) };
+                cfg.jitter_seed = if run % 2 == 0 {
+                    None
+                } else {
+                    Some(u64::from(run))
+                };
                 let out = backend.run(&cfg, (racey.factory)(Params::new(threads, opts.size)));
                 let sig = String::from_utf8_lossy(&out.output).trim().to_owned();
                 if run == 0 {
@@ -49,7 +53,11 @@ fn main() {
                 threads.to_string(),
                 opts.runs.to_string(),
                 signatures.len().to_string(),
-                if ok { "DETERMINISTIC".into() } else { "NONDETERMINISTIC".into() },
+                if ok {
+                    "DETERMINISTIC".into()
+                } else {
+                    "NONDETERMINISTIC".into()
+                },
                 first,
             ]);
         }
@@ -57,7 +65,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["backend", "threads", "runs", "distinct", "verdict", "signature"],
+            &[
+                "backend",
+                "threads",
+                "runs",
+                "distinct",
+                "verdict",
+                "signature"
+            ],
             &rows
         )
     );

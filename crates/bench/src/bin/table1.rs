@@ -45,6 +45,7 @@ fn main() {
             w.name.to_owned(),
             format!("{}/{}", s.locks, s.unlocks),
             format!("{}/{}", s.waits, s.signals),
+            s.atomics.to_string(),
             format!("{}/{}", s.forks, s.joins),
             s.mem_ops().to_string(),
             s.loads.to_string(),
@@ -63,6 +64,7 @@ fn main() {
                 "benchmark",
                 "lock/unlock",
                 "wait/signal",
+                "atomic",
                 "fork/join",
                 "mem",
                 "load",

@@ -87,7 +87,10 @@ impl BenchOpts {
     pub fn selected(&self, all: Vec<Workload>) -> Vec<Workload> {
         match &self.filter {
             None => all,
-            Some(f) => all.into_iter().filter(|w| w.name.contains(f.as_str())).collect(),
+            Some(f) => all
+                .into_iter()
+                .filter(|w| w.name.contains(f.as_str()))
+                .collect(),
         }
     }
 }

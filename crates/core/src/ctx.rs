@@ -8,10 +8,19 @@ use rfdet_api::{
 };
 use rfdet_kendo::{Jitter, KendoHandle};
 use rfdet_mem::{ModRun, PageFlags, PrivateSpace, ThreadHeap};
-use rfdet_meta::ThreadMeta;
+use rfdet_meta::{SyncKey, SyncVarRef, ThreadMeta};
 use rfdet_vclock::VClock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Cached handles to another thread's metadata and mailbox, so the sync
+/// hot path pays each registry `RwLock` read at most once per (thread,
+/// peer) pair instead of once per operation.
+#[derive(Clone)]
+pub(crate) struct Peer {
+    pub meta: Arc<ThreadMeta>,
+    pub mailbox: Arc<Mutex<Mailbox>>,
+}
 
 /// The per-thread view of the RFDet runtime.
 ///
@@ -41,7 +50,12 @@ pub struct RfdetCtx {
     /// everything before the cursor was already filtered-or-propagated
     /// under an earlier upper limit (see `SliceList` for the closure
     /// property that makes this sound).
-    pub(crate) cursors: std::collections::HashMap<Tid, u64>,
+    pub(crate) cursors: HashMap<Tid, u64>,
+    /// Lazily filled peer-handle cache, indexed by tid (see [`Peer`]).
+    peers: Vec<Option<Peer>>,
+    /// Per-thread cache of sync-var handles: the steady-state acquire
+    /// path locks only the var itself — no table shard, no registry.
+    sync_cache: HashMap<SyncKey, SyncVarRef>,
     pub(crate) heap: ThreadHeap,
     pub(crate) stats: Stats,
     pub(crate) jitter: Option<Jitter>,
@@ -99,7 +113,9 @@ impl RfdetCtx {
             slice_start,
             slice_seq: 0,
             snapshots: BTreeMap::new(),
-            cursors: std::collections::HashMap::new(),
+            cursors: HashMap::new(),
+            peers: Vec::new(),
+            sync_cache: HashMap::new(),
             heap,
             stats: Stats::default(),
             jitter,
@@ -123,8 +139,37 @@ impl RfdetCtx {
     /// Publishes both clocks (post-propagation and in-turn views agree at
     /// this point).
     pub(crate) fn publish_vcs(&self) {
-        self.shared.meta.publish_vc(self.tid, &self.vc);
-        self.shared.meta.publish_turn_vc(self.tid, &self.vc);
+        self.meta_thread.set_published_vc(&self.vc);
+        self.meta_thread.set_turn_vc(&self.vc);
+    }
+
+    /// Cached handles to `tid`'s metadata and mailbox. The first call per
+    /// peer takes the two registry read-locks; every later call is two
+    /// `Arc` clones. Returns by value so callers can keep using `self`.
+    pub(crate) fn peer(&mut self, tid: Tid) -> Peer {
+        let idx = tid as usize;
+        if idx >= self.peers.len() {
+            self.peers.resize(idx + 1, None);
+        }
+        if self.peers[idx].is_none() {
+            self.peers[idx] = Some(Peer {
+                meta: self.shared.meta.thread(tid),
+                mailbox: self.shared.mailbox(tid),
+            });
+        }
+        self.peers[idx].clone().expect("just filled")
+    }
+
+    /// Cached sync-var handle for `key` (see `MetaSpace::sync_var`).
+    pub(crate) fn sync_var(&mut self, key: SyncKey) -> SyncVarRef {
+        if let Some(v) = self.sync_cache.get(&key) {
+            self.stats.sync_var_cache_hits += 1;
+            return Arc::clone(v);
+        }
+        self.stats.sync_var_cache_misses += 1;
+        let v = self.shared.meta.sync_var(key);
+        self.sync_cache.insert(key, Arc::clone(&v));
+        v
     }
 
     #[inline]

@@ -5,7 +5,6 @@ use crate::handoff::{BarrierHandoff, Mailbox};
 use rfdet_api::Tid;
 use rfdet_mem::PageFlags;
 use rfdet_meta::SliceRef;
-use std::sync::Arc;
 use rfdet_vclock::VClock;
 use std::collections::HashSet;
 
@@ -21,17 +20,15 @@ impl RfdetCtx {
         // `upper` is a release time of `from`, so the list is
         // prefix-closed under it: start at the cursor, stop at the first
         // entry above the limit.
-        let (batch, redundant, new_cursor) =
-            self.shared
-                .meta
-                .filter_list_from(from, upper, lower, cursor, true);
+        let source = self.peer(from).meta;
+        let (batch, redundant, new_cursor) = source.filter_slices_from(upper, lower, cursor, true);
         self.cursors.insert(from, new_cursor);
         self.stats.slices_filtered_redundant += redundant;
         for s in &batch {
             self.stats.slices_propagated += 1;
             self.apply_slice(s);
         }
-        self.shared.meta.append_to_list(self.tid, &batch);
+        self.meta_thread.append_slices(&batch);
     }
 
     /// Barrier-merge propagation: everything that happened before the
@@ -46,7 +43,8 @@ impl RfdetCtx {
             if p == self.tid {
                 continue;
             }
-            let (filtered, _) = self.shared.meta.filter_list(p, &b.upper, lower);
+            let source = self.peer(p).meta;
+            let (filtered, _, _) = source.filter_slices_from(&b.upper, lower, 0, false);
             let batch: Vec<SliceRef> = filtered
                 .into_iter()
                 .filter(|s| seen.insert((s.tid, s.seq)))
@@ -55,7 +53,7 @@ impl RfdetCtx {
                 self.stats.slices_propagated += 1;
                 self.apply_slice(s);
             }
-            self.shared.meta.append_to_list(self.tid, &batch);
+            self.meta_thread.append_slices(&batch);
         }
     }
 
@@ -85,18 +83,26 @@ impl RfdetCtx {
     /// advances our own published clock so a long park does not pin the
     /// garbage collector (the §5.4 pathology).
     ///
-    /// The round holds our mailbox lock: a waker deposits its handoff
-    /// into that mailbox *before* waking us, so while we hold it the
-    /// source cannot have completed the release — its published clock is
-    /// therefore still a sound (pre-release) bound.
+    /// Only the bound is read under our mailbox lock: a waker deposits
+    /// its handoff into that mailbox *before* waking us, so a bound read
+    /// while the box is verifiably empty was taken before the source
+    /// completed its release — a sound pre-release bound, and published
+    /// clocks are monotone, so it stays sound after the lock drops. The
+    /// merge work itself (filter, apply, append, publish) touches only
+    /// our own state and the source list's own lock, so holding the
+    /// mailbox lock across it would do nothing but stall the waker's
+    /// deposit — which is exactly the critical path prelock exists to
+    /// shorten.
     pub(crate) fn premerge_round(&mut self, source: Tid) {
-        let mailbox = Arc::clone(&self.mailbox);
-        let guard = mailbox.lock();
-        if !guard.is_empty() {
-            // A handoff is already in flight; the wake path takes over.
-            return;
-        }
-        let mut bound = self.shared.meta.published_vc(source);
+        let source_meta = self.peer(source).meta;
+        let mut bound = {
+            let guard = self.mailbox.lock();
+            if !guard.is_empty() {
+                // A handoff is already in flight; the wake path takes over.
+                return;
+            }
+            source_meta.get_published_vc()
+        };
         // Off-by-one guard: the source's *open* (unpublished) slice is
         // timestamped with exactly this published value (timestamps are
         // pre-tick clocks), so claiming `≤ bound` as seen would lose its
@@ -114,19 +120,16 @@ impl RfdetCtx {
             return;
         }
         let cursor = self.cursors.get(&source).copied().unwrap_or(0);
-        let (batch, _, new_cursor) =
-            self.shared
-                .meta
-                .filter_list_from(source, &bound, &lower, cursor, true);
+        let (batch, _, new_cursor) = source_meta.filter_slices_from(&bound, &lower, cursor, true);
         self.cursors.insert(source, new_cursor);
         for s in &batch {
             self.stats.prelock_premerged += 1;
             self.apply_slice(s);
         }
-        self.shared.meta.append_to_list(self.tid, &batch);
+        self.meta_thread.append_slices(&batch);
         self.vc.join(&bound);
         // Everything ≤ bound is now reflected (or queued) locally.
-        self.shared.meta.publish_vc(self.tid, &self.vc);
+        self.meta_thread.set_published_vc(&self.vc);
     }
 
     /// Consumes a wakeup mailbox: joins each deposited release time into

@@ -32,20 +32,31 @@ pub(crate) struct BarrierState {
     pub arrivals: Vec<(Tid, VClock)>,
 }
 
-/// All deterministic queueing state. Touched **only inside Kendo turns**,
-/// so although a `Mutex` guards it physically, its contents evolve in a
-/// deterministic order.
+/// Join bookkeeping: waiters and finished threads are always consulted
+/// together, so they share one lock.
 #[derive(Debug, Default)]
-pub(crate) struct SyncQueues {
-    pub mutexes: HashMap<u32, MutexState>,
-    /// Condvar wait queues: `(waiter, mutex to reacquire)` in deterministic
-    /// arrival order.
-    pub conds: HashMap<u32, VecDeque<(Tid, u32)>>,
-    pub barriers: HashMap<u32, BarrierState>,
+pub(crate) struct JoinTable {
     /// Joiners parked on a not-yet-finished thread.
-    pub join_waiters: HashMap<Tid, Vec<Tid>>,
+    pub waiters: HashMap<Tid, Vec<Tid>>,
     /// Threads that have executed their exit operation.
     pub finished: HashSet<Tid>,
+}
+
+/// All deterministic queueing state, one lock per sync-object class so
+/// operations on unrelated classes (e.g. a mutex handoff and a barrier
+/// arrival) never contend on runtime-internal state. Contents are still
+/// mutated **only inside Kendo turns**, so although `Mutex`es guard them
+/// physically, they evolve in a deterministic order — which is also why
+/// the split cannot deadlock: no two turns run concurrently, so lock
+/// acquisition order across classes is irrelevant.
+#[derive(Debug, Default)]
+pub(crate) struct SyncQueues {
+    pub mutexes: Mutex<HashMap<u32, MutexState>>,
+    /// Condvar wait queues: `(waiter, mutex to reacquire)` in deterministic
+    /// arrival order.
+    pub conds: Mutex<HashMap<u32, VecDeque<(Tid, u32)>>>,
+    pub barriers: Mutex<HashMap<u32, BarrierState>>,
+    pub joins: Mutex<JoinTable>,
 }
 
 /// Everything shared by all threads of one RFDet run.
@@ -54,7 +65,7 @@ pub(crate) struct RuntimeShared {
     pub kendo: KendoState,
     pub meta: MetaSpace,
     pub strips: StripAllocator,
-    pub queues: Mutex<SyncQueues>,
+    pub queues: SyncQueues,
     /// Wakeup mailboxes, indexed by tid.
     pub mailboxes: RwLock<Vec<Arc<Mutex<Mailbox>>>>,
     /// OS join handles of spawned threads, harvested at run teardown.
@@ -69,13 +80,14 @@ impl RuntimeShared {
         let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
         Self {
             kendo: KendoState::new(),
-            meta: MetaSpace::with_max_slices(
+            meta: MetaSpace::with_options(
                 cfg.meta_capacity_bytes as usize,
                 cfg.gc_threshold,
                 cfg.meta_max_slices as usize,
+                cfg.sync_shards,
             ),
             strips: StripAllocator::new(heap_base, cfg.space_bytes - heap_base),
-            queues: Mutex::new(SyncQueues::default()),
+            queues: SyncQueues::default(),
             mailboxes: RwLock::new(Vec::new()),
             os_handles: Mutex::new(HashMap::new()),
             panic_payload: Mutex::new(None),

@@ -26,12 +26,17 @@ impl RfdetCtx {
                 // through the write path, and harmless (no diff).
                 continue;
             };
-            diff::diff_page(self.space.page_base(page), &snap, current.bytes(), &mut mods);
+            diff::diff_page(
+                self.space.page_base(page),
+                &snap,
+                current.bytes(),
+                &mut mods,
+            );
         }
         self.stats.slices += 1;
         if !mods.is_empty() {
             let rec = SliceRec::new(self.tid, self.slice_seq, self.slice_start.clone(), mods);
-            let (_slice, gc_needed) = self.shared.meta.publish_slice(rec);
+            let (_slice, gc_needed) = self.shared.meta.publish_slice_for(&self.meta_thread, rec);
             // Defer the pass itself: end_slice runs inside the Kendo
             // turn, and a GC scan there would serialize every thread.
             self.gc_pending |= gc_needed;

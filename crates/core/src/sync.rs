@@ -20,11 +20,24 @@
 use crate::ctx::RfdetCtx;
 use crate::handoff::{AcquireSource, BarrierHandoff};
 use crate::shared::SYNC_TICK;
+use parking_lot::{Mutex, MutexGuard};
 use rfdet_api::{BarrierId, CondId, MutexId, ThreadFn, ThreadHandle, Tid};
-use rfdet_meta::{SyncKey, SyncVar};
+use rfdet_meta::SyncKey;
 use rfdet_vclock::VClock;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Locks a queue-class mutex, counting the case where another thread held
+/// it on arrival (the contention the per-class split is meant to shrink).
+fn lock_counted<'a, T>(m: &'a Mutex<T>, contended: &mut u64) -> MutexGuard<'a, T> {
+    match m.try_lock() {
+        Some(g) => g,
+        None => {
+            *contended += 1;
+            m.lock()
+        }
+    }
+}
 
 /// Ends the slice, optionally records a release, ticks the vector clock.
 /// Returns the release time (`lower` — the just-ended slice's timestamp).
@@ -32,11 +45,8 @@ fn op_boundary(ctx: &mut RfdetCtx, release: Option<SyncKey>) -> VClock {
     let lower = ctx.vc.clone();
     ctx.end_slice();
     if let Some(key) = release {
-        let tid = ctx.tid;
-        let time = lower.clone();
-        ctx.shared
-            .meta
-            .with_sync_var(key, |v| v.record_release(tid, time));
+        let var = ctx.sync_var(key);
+        var.lock().record_release(ctx.tid, lower.clone());
     }
     ctx.vc.tick(ctx.tid);
     lower
@@ -45,7 +55,7 @@ fn op_boundary(ctx: &mut RfdetCtx, release: Option<SyncKey>) -> VClock {
 /// Post-propagation epilogue shared by every operation (runs off-turn).
 fn op_epilogue(ctx: &mut RfdetCtx) {
     ctx.begin_slice();
-    ctx.shared.meta.publish_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_published_vc(&ctx.vc);
     ctx.run_pending_gc();
 }
 
@@ -71,15 +81,17 @@ fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
     ctx.apply_mailbox(mail);
     debug_assert_eq!(
         ctx.vc,
-        ctx.shared.meta.turn_vc(ctx.tid),
+        ctx.meta_thread.get_turn_vc(),
         "post-wake clock must equal the in-turn published clock"
     );
     op_epilogue(ctx);
 }
 
 enum LockPath {
-    /// Lock taken immediately; propagate from the recorded release.
-    Fast(SyncVar),
+    /// Lock taken immediately; propagate from the recorded release edge,
+    /// if any (`(releaser, release time)` — only the clock is copied out
+    /// of the sync var, never the whole var).
+    Fast(Option<(Tid, VClock)>),
     /// Same-thread re-acquire: keep the slice open (§4.5 slice merging).
     Merged,
     /// Enqueued behind `pred` (the prelock pre-merge source).
@@ -91,9 +103,12 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.locks += 1;
     let key = SyncKey::Mutex(m.0);
-    let path = {
-        let mut q = ctx.shared.queues.lock();
-        let mx = q.mutexes.entry(m.0).or_default();
+    let enqueued = {
+        let mut mxs = lock_counted(
+            &ctx.shared.queues.mutexes,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        let mx = mxs.entry(m.0).or_default();
         assert_ne!(
             mx.owner,
             Some(ctx.tid),
@@ -103,13 +118,7 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
         );
         if mx.owner.is_none() && mx.queue.is_empty() {
             mx.owner = Some(ctx.tid);
-            drop(q);
-            let sv = ctx.shared.meta.with_sync_var(key, |v| v.clone());
-            if ctx.shared.cfg.rfdet.slice_merging && sv.last_tid == Some(ctx.tid) {
-                LockPath::Merged
-            } else {
-                LockPath::Fast(sv)
-            }
+            None
         } else {
             let pred = mx
                 .queue
@@ -118,8 +127,22 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
                 .or(mx.owner)
                 .expect("contended mutex must have an owner or queue");
             mx.queue.push_back(ctx.tid);
-            drop(q);
-            LockPath::Queued { pred }
+            Some(pred)
+        }
+    };
+    let path = match enqueued {
+        Some(pred) => LockPath::Queued { pred },
+        None => {
+            let var = ctx.sync_var(key);
+            let sv = var.lock();
+            if ctx.shared.cfg.rfdet.slice_merging && sv.last_tid == Some(ctx.tid) {
+                LockPath::Merged
+            } else if sv.needs_propagation(ctx.tid) {
+                let from = sv.last_tid.expect("needs_propagation implies a releaser");
+                LockPath::Fast(Some((from, sv.last_time.clone())))
+            } else {
+                LockPath::Fast(None)
+            }
         }
     };
     match path {
@@ -127,29 +150,26 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
             ctx.stats.slices_merged += 1;
             ctx.kendo.tick(SYNC_TICK);
         }
-        LockPath::Fast(sv) => {
+        LockPath::Fast(edge) => {
             op_boundary(ctx, None);
-            let propagate = sv.needs_propagation(ctx.tid);
-            let turn_vc = if propagate {
-                ctx.vc.joined(&sv.last_time)
-            } else {
-                ctx.vc.clone()
+            let turn_vc = match &edge {
+                Some((_, time)) => ctx.vc.joined(time),
+                None => ctx.vc.clone(),
             };
-            ctx.shared.meta.publish_turn_vc(ctx.tid, &turn_vc);
+            ctx.meta_thread.set_turn_vc(&turn_vc);
             ctx.kendo.tick(SYNC_TICK);
             // Turn released — propagation proceeds in parallel with other
             // threads' synchronization. No global barrier anywhere.
-            if propagate {
+            if let Some((from, time)) = edge {
                 let lower = ctx.vc.clone();
-                ctx.vc.join(&sv.last_time);
-                let from = sv.last_tid.expect("needs_propagation implies a releaser");
-                ctx.propagate_from(from, &sv.last_time, &lower);
+                ctx.vc.join(&time);
+                ctx.propagate_from(from, &time, &lower);
             }
             op_epilogue(ctx);
         }
         LockPath::Queued { pred } => {
             op_boundary(ctx, None);
-            ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+            ctx.meta_thread.set_turn_vc(&ctx.vc);
             ctx.shared.kendo.block(&ctx.kendo);
             ctx.kendo.tick(SYNC_TICK);
             // §4.5 Prelock: merge everything that must happen-before our
@@ -164,11 +184,13 @@ pub(crate) fn unlock_impl(ctx: &mut RfdetCtx, m: MutexId) {
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.unlocks += 1;
     let lower = op_boundary(ctx, Some(SyncKey::Mutex(m.0)));
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
     let next = {
-        let mut q = ctx.shared.queues.lock();
-        let mx = q
-            .mutexes
+        let mut mxs = lock_counted(
+            &ctx.shared.queues.mutexes,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        let mx = mxs
             .get_mut(&m.0)
             .unwrap_or_else(|| panic!("unlock of never-locked mutex {}", m.0));
         assert_eq!(
@@ -191,12 +213,13 @@ pub(crate) fn unlock_impl(ctx: &mut RfdetCtx, m: MutexId) {
 
 /// Deposits a release edge into a blocked thread's mailbox and extends its
 /// in-turn clock — both inside the caller's turn.
-fn handoff_release(ctx: &RfdetCtx, target: Tid, time: VClock) {
-    ctx.shared.mailbox(target).lock().sources.push(AcquireSource {
+fn handoff_release(ctx: &mut RfdetCtx, target: Tid, time: VClock) {
+    let peer = ctx.peer(target);
+    peer.mailbox.lock().sources.push(AcquireSource {
         from: ctx.tid,
         time: time.clone(),
     });
-    ctx.shared.meta.join_turn_vc(target, &time);
+    peer.meta.join_turn_vc(&time);
 }
 
 pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
@@ -205,11 +228,13 @@ pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
     ctx.stats.waits += 1;
     // cond_wait releases the mutex…
     let lower = op_boundary(ctx, Some(SyncKey::Mutex(m.0)));
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
     let next = {
-        let mut q = ctx.shared.queues.lock();
-        let mx = q
-            .mutexes
+        let mut mxs = lock_counted(
+            &ctx.shared.queues.mutexes,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        let mx = mxs
             .get_mut(&m.0)
             .unwrap_or_else(|| panic!("cond_wait with never-locked mutex {}", m.0));
         assert_eq!(
@@ -221,10 +246,15 @@ pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
             m.0
         );
         mx.owner = mx.queue.pop_front();
-        let next = mx.owner;
-        q.conds.entry(c.0).or_default().push_back((ctx.tid, m.0));
-        next
+        mx.owner
     };
+    lock_counted(
+        &ctx.shared.queues.conds,
+        &mut ctx.stats.queue_lock_contended,
+    )
+    .entry(c.0)
+    .or_default()
+    .push_back((ctx.tid, m.0));
     if let Some(w) = next {
         handoff_release(ctx, w, lower);
         ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
@@ -242,44 +272,68 @@ pub(crate) fn signal_impl(ctx: &mut RfdetCtx, c: CondId, broadcast: bool) {
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.signals += 1;
     let lower = op_boundary(ctx, Some(SyncKey::Cond(c.0)));
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
     // Pop waiters deterministically (FIFO — enqueue order was itself
     // turn-ordered) and arrange each one's mutex re-acquisition.
+    let popped: Vec<(Tid, u32)> = {
+        let mut conds = lock_counted(
+            &ctx.shared.queues.conds,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        let queue = conds.entry(c.0).or_default();
+        let n = if broadcast {
+            queue.len()
+        } else {
+            usize::from(!queue.is_empty())
+        };
+        queue.drain(..n).collect()
+    };
     let mut wake_now: Vec<Tid> = Vec::new();
-    {
-        let mut q = ctx.shared.queues.lock();
-        let queue = q.conds.entry(c.0).or_default();
-        let n = if broadcast { queue.len() } else { usize::from(!queue.is_empty()) };
-        let popped: Vec<(Tid, u32)> = queue.drain(..n).collect();
-        for (w, mid) in popped {
-            // The signal edge (release of the condvar).
-            ctx.shared.mailbox(w).lock().sources.push(AcquireSource {
-                from: ctx.tid,
-                time: lower.clone(),
-            });
-            ctx.shared.meta.join_turn_vc(w, &lower);
-            let mx = q.mutexes.entry(mid).or_default();
+    for (w, mid) in popped {
+        // The signal edge (release of the condvar).
+        let peer = ctx.peer(w);
+        peer.mailbox.lock().sources.push(AcquireSource {
+            from: ctx.tid,
+            time: lower.clone(),
+        });
+        peer.meta.join_turn_vc(&lower);
+        let granted = {
+            let mut mxs = lock_counted(
+                &ctx.shared.queues.mutexes,
+                &mut ctx.stats.queue_lock_contended,
+            );
+            let mx = mxs.entry(mid).or_default();
             if mx.owner.is_none() && mx.queue.is_empty() {
                 // Mutex free: grant it to the waiter right now, with the
                 // mutex's own release edge.
                 mx.owner = Some(w);
-                let sv = ctx
-                    .shared
-                    .meta
-                    .with_sync_var(SyncKey::Mutex(mid), |v| v.clone());
-                if sv.needs_propagation(w) {
-                    ctx.shared.mailbox(w).lock().sources.push(AcquireSource {
-                        from: sv.last_tid.expect("propagation implies releaser"),
-                        time: sv.last_time.clone(),
-                    });
-                    ctx.shared.meta.join_turn_vc(w, &sv.last_time);
-                }
-                wake_now.push(w);
+                true
             } else {
                 // Mutex busy: park the waiter in the reservation queue;
                 // the unlocker will finish the handoff.
                 mx.queue.push_back(w);
+                false
             }
+        };
+        if granted {
+            let var = ctx.sync_var(SyncKey::Mutex(mid));
+            let edge = {
+                let sv = var.lock();
+                if sv.needs_propagation(w) {
+                    let from = sv.last_tid.expect("propagation implies releaser");
+                    Some((from, sv.last_time.clone()))
+                } else {
+                    None
+                }
+            };
+            if let Some((from, time)) = edge {
+                peer.mailbox.lock().sources.push(AcquireSource {
+                    from,
+                    time: time.clone(),
+                });
+                peer.meta.join_turn_vc(&time);
+            }
+            wake_now.push(w);
         }
     }
     for w in wake_now {
@@ -295,10 +349,13 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.barriers += 1;
     let lower = op_boundary(ctx, Some(SyncKey::Barrier(b.0)));
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
     let arrivals = {
-        let mut q = ctx.shared.queues.lock();
-        let st = q.barriers.entry(b.0).or_default();
+        let mut barriers = lock_counted(
+            &ctx.shared.queues.barriers,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        let st = barriers.entry(b.0).or_default();
         st.arrivals.push((ctx.tid, lower));
         assert!(
             st.arrivals.len() <= parties,
@@ -334,11 +391,12 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
                 if w == ctx.tid {
                     continue;
                 }
-                ctx.shared.mailbox(w).lock().barrier = Some(handoff.clone());
-                ctx.shared.meta.join_turn_vc(w, &upper);
+                let peer = ctx.peer(w);
+                peer.mailbox.lock().barrier = Some(handoff.clone());
+                peer.meta.join_turn_vc(&upper);
                 ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
             }
-            ctx.shared.meta.join_turn_vc(ctx.tid, &upper);
+            ctx.meta_thread.join_turn_vc(&upper);
             ctx.kendo.tick(SYNC_TICK);
             // Own merge, off turn.
             let my_lower = ctx.vc.clone();
@@ -358,7 +416,7 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
     ctx.flush_pending();
     op_boundary(ctx, None); // create is a release; the child inherits
                             // memory directly, no sync var needed (§4.1)
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
 
     // Deterministic registration inside the parent's turn.
     let child_meta = ctx.shared.meta.register_thread();
@@ -371,12 +429,12 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
     // The child inherits the parent's memory (COW fork) and, for
     // transitive propagation, the parent's slice-pointer list.
     let child_space = ctx.space.fork();
-    child_meta.slice_list.lock().entries = ctx.shared.meta.snapshot_list(ctx.tid);
+    child_meta.slice_list.lock().entries = ctx.meta_thread.slice_list.lock().entries.clone();
     // The child has (by inheritance) seen everything the parent saw, so
     // the parent's propagation cursors are valid starting points.
     let child_cursors = ctx.cursors.clone();
-    ctx.shared.meta.publish_vc(child_tid, &child_vc);
-    ctx.shared.meta.publish_turn_vc(child_tid, &child_vc);
+    child_meta.set_published_vc(&child_vc);
+    child_meta.set_turn_vc(&child_vc);
 
     let shared = Arc::clone(&ctx.shared);
     let handle = std::thread::Builder::new()
@@ -413,30 +471,31 @@ pub(crate) fn join_impl(ctx: &mut RfdetCtx, h: ThreadHandle) {
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.joins += 1;
     let already_finished = {
-        let mut q = ctx.shared.queues.lock();
-        if q.finished.contains(&target) {
+        let mut joins = lock_counted(
+            &ctx.shared.queues.joins,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        if joins.finished.contains(&target) {
             true
         } else {
-            q.join_waiters.entry(target).or_default().push(ctx.tid);
+            joins.waiters.entry(target).or_default().push(ctx.tid);
             false
         }
     };
     if already_finished {
-        let sv = ctx
-            .shared
-            .meta
-            .with_sync_var(SyncKey::Thread(target), |v| v.clone());
+        let var = ctx.sync_var(SyncKey::Thread(target));
+        let exit_time = var.lock().last_time.clone();
         op_boundary(ctx, None);
-        let turn_vc = ctx.vc.joined(&sv.last_time);
-        ctx.shared.meta.publish_turn_vc(ctx.tid, &turn_vc);
+        let turn_vc = ctx.vc.joined(&exit_time);
+        ctx.meta_thread.set_turn_vc(&turn_vc);
         ctx.kendo.tick(SYNC_TICK);
         let lower = ctx.vc.clone();
-        ctx.vc.join(&sv.last_time);
-        ctx.propagate_from(target, &sv.last_time, &lower);
+        ctx.vc.join(&exit_time);
+        ctx.propagate_from(target, &exit_time, &lower);
         op_epilogue(ctx);
     } else {
         op_boundary(ctx, None);
-        ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+        ctx.meta_thread.set_turn_vc(&ctx.vc);
         ctx.shared.kendo.block(&ctx.kendo);
         ctx.kendo.tick(SYNC_TICK);
         // The join target's published clock always precedes its exit
@@ -464,17 +523,25 @@ pub(crate) fn atomic_impl(
     assert_eq!(addr % 8, 0, "atomic cells must be 8-byte aligned");
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
-    ctx.stats.locks += 1; // counted with lock-class sync ops
+    ctx.stats.atomics += 1;
     let key = SyncKey::Atomic(addr);
-    let sv = ctx.shared.meta.with_sync_var(key, |v| v.clone());
+    let var = ctx.sync_var(key);
+    let edge = {
+        let sv = var.lock();
+        if sv.needs_propagation(ctx.tid) {
+            let from = sv.last_tid.expect("propagation implies a releaser");
+            Some((from, sv.last_time.clone()))
+        } else {
+            None
+        }
+    };
     // Acquire boundary: close the current slice, join the cell's last
     // release, and propagate — all in turn (see above).
     op_boundary(ctx, None);
-    if sv.needs_propagation(ctx.tid) {
+    if let Some((from, time)) = edge {
         let lower = ctx.vc.clone();
-        ctx.vc.join(&sv.last_time);
-        let from = sv.last_tid.expect("propagation implies a releaser");
-        ctx.propagate_from(from, &sv.last_time, &lower);
+        ctx.vc.join(&time);
+        ctx.propagate_from(from, &time, &lower);
     }
     ctx.begin_slice();
     // The modification itself, through the instrumented in-turn path (a
@@ -490,7 +557,7 @@ pub(crate) fn atomic_impl(
     }
     // Release boundary: publish the one-op slice and record the release.
     op_boundary(ctx, Some(key));
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
     ctx.kendo.tick(SYNC_TICK);
     op_epilogue(ctx);
     old
@@ -502,12 +569,15 @@ pub(crate) fn exit_impl(ctx: &mut RfdetCtx) {
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     let lower = op_boundary(ctx, Some(SyncKey::Thread(ctx.tid)));
-    ctx.shared.meta.publish_turn_vc(ctx.tid, &ctx.vc);
-    ctx.shared.meta.publish_vc(ctx.tid, &ctx.vc);
+    ctx.meta_thread.set_turn_vc(&ctx.vc);
+    ctx.meta_thread.set_published_vc(&ctx.vc);
     let waiters = {
-        let mut q = ctx.shared.queues.lock();
-        q.finished.insert(ctx.tid);
-        q.join_waiters.remove(&ctx.tid).unwrap_or_default()
+        let mut joins = lock_counted(
+            &ctx.shared.queues.joins,
+            &mut ctx.stats.queue_lock_contended,
+        );
+        joins.finished.insert(ctx.tid);
+        joins.waiters.remove(&ctx.tid).unwrap_or_default()
     };
     for w in waiters {
         handoff_release(ctx, w, lower.clone());

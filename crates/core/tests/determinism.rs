@@ -6,7 +6,7 @@
 //! failure-injection hook and compare output digests.
 
 use rfdet_api::{
-    BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, MonitorMode, MutexId, RunConfig,
+    AtomicOp, BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, MonitorMode, MutexId, RunConfig,
 };
 use rfdet_core::RfdetBackend;
 
@@ -317,6 +317,108 @@ fn gc_reclaims_under_pressure_without_changing_results() {
 }
 
 #[test]
+fn barrier_reused_across_episodes_survives_gc() {
+    // The same BarrierId runs many episodes while a tight metadata budget
+    // forces GC passes between them. Barrier propagation re-walks slice
+    // lists from cursor 0, so it must cope with pruned prefixes: the
+    // result has to match a run with no GC at all.
+    fn root(ctx: &mut dyn DmtCtx) {
+        let b = BarrierId(7);
+        let n = 2u64;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    for phase in 0..20u64 {
+                        // Fat writes so slices pile up and trip the GC
+                        // threshold mid-sequence.
+                        for p in 0..3u64 {
+                            ctx.write(16384 + p * 4096 + 8 * i, phase * 10 + i);
+                        }
+                        ctx.barrier(b, 2);
+                        let mut sum = 0u64;
+                        for j in 0..n {
+                            for p in 0..3u64 {
+                                sum += ctx.read::<u64>(16384 + p * 4096 + 8 * j);
+                            }
+                        }
+                        ctx.write_idx::<u64>(4096, i, sum);
+                        ctx.barrier(b, 2);
+                    }
+                }))
+            })
+            .collect();
+        for h in handles {
+            ctx.join(h);
+        }
+        let a: u64 = ctx.read_idx(4096, 0);
+        let c: u64 = ctx.read_idx(4096, 1);
+        ctx.emit_str(&format!("{a},{c}"));
+    }
+    let mut tight = cfg(None);
+    tight.meta_capacity_bytes = 8 << 10;
+    tight.gc_threshold = 0.5;
+    let out = RfdetBackend::ci().run(&tight, Box::new(root));
+    assert!(out.stats.gc_count > 0, "GC must trigger between episodes");
+    assert_eq!(out.stats.barriers, 2 * 20 * 2);
+    let mut roomy = cfg(None);
+    roomy.meta_capacity_bytes = 64 << 20;
+    let out2 = RfdetBackend::ci().run(&roomy, Box::new(root));
+    assert_eq!(out2.stats.gc_count, 0);
+    assert_eq!(
+        out.output, out2.output,
+        "pruning between barrier episodes changed the barrier's result"
+    );
+}
+
+#[test]
+fn sync_hot_path_runs_out_of_per_thread_caches() {
+    // Structural evidence for the sharded hot path: after each thread's
+    // first touch of a sync object, every further acquire must be served
+    // from the per-context handle cache (no shard-table lookups), and the
+    // sharded/per-class locks must be effectively uncontended.
+    fn root(ctx: &mut dyn DmtCtx) {
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    for _ in 0..100u64 {
+                        ctx.atomic_rmw(904, AtomicOp::Add(i));
+                        ctx.atomic_rmw(912 + 8 * i, AtomicOp::Add(1));
+                    }
+                }))
+            })
+            .collect();
+        for h in handles {
+            ctx.join(h);
+        }
+    }
+    let out = RfdetBackend::ci().run(&cfg(Some(9)), Box::new(root));
+    assert_eq!(out.stats.atomics, 4 * 200);
+    let s = &out.stats;
+    // Distinct (thread, key) pairs bound the misses: 4 threads × 2 atomic
+    // cells (shared + private) plus a handful of internal vars (thread
+    // lifecycle). Everything else must be a cache hit.
+    assert!(
+        s.sync_var_cache_misses <= 4 * 2 + 16,
+        "cold misses only: {} misses",
+        s.sync_var_cache_misses
+    );
+    assert!(
+        s.sync_var_cache_hits >= 700,
+        "steady state must hit the handle cache: {} hits",
+        s.sync_var_cache_hits
+    );
+    // The turn protocol serializes queue/shard access, so contention on
+    // the split locks should be rare even under 4 threads.
+    assert!(
+        s.shard_lock_contended + s.queue_lock_contended <= s.sync_ops() / 10,
+        "sharded locks contended {}+{} times over {} sync ops",
+        s.shard_lock_contended,
+        s.queue_lock_contended,
+        s.sync_ops()
+    );
+}
+
+#[test]
 fn byte_granularity_race_merge_matches_paper_example() {
     // §4.6: y=0 initially; T2 writes y=256, T3 writes y=255 concurrently;
     // byte-granularity merging yields 511 somewhere downstream. We check
@@ -337,13 +439,19 @@ fn byte_granularity_race_merge_matches_paper_example() {
     }
     let backend = RfdetBackend::ci();
     let out = backend.run(&cfg(None), Box::new(root));
-    let v: u32 = String::from_utf8(out.output.clone()).unwrap().parse().unwrap();
+    let v: u32 = String::from_utf8(out.output.clone())
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(
         [255, 256, 511].contains(&v),
         "merged value {v} is not byte-explainable"
     );
     for seed in [21u64, 22, 23, 24] {
         let again = backend.run(&cfg(Some(seed)), Box::new(root));
-        assert_eq!(again.output, out.output, "race resolution must be deterministic");
+        assert_eq!(
+            again.output, out.output,
+            "race resolution must be deterministic"
+        );
     }
 }

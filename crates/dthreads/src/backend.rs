@@ -30,11 +30,10 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, root: ThreadFn) -> RunOut
     // Report the global store's materialized size as the run's shared
     // footprint (workloads lay data out directly, so allocator byte
     // counts alone would under-report).
-    engine
-        .meta
-        .stats
-        .shared_bytes
-        .fetch_add(engine.global_store_bytes(), std::sync::atomic::Ordering::Relaxed);
+    engine.meta.stats.shared_bytes.fetch_add(
+        engine.global_store_bytes(),
+        std::sync::atomic::Ordering::Relaxed,
+    );
     RunOutput {
         output: engine.meta.collect_output(),
         stats: engine.meta.stats.snapshot(),

@@ -1,9 +1,7 @@
 //! The per-thread DThreads context.
 
 use crate::engine::{ChildSeed, Engine, EngineMode, PendingOp};
-use rfdet_api::{
-    Addr, BarrierId, CondId, DmtCtx, MutexId, Stats, ThreadFn, ThreadHandle, Tid,
-};
+use rfdet_api::{Addr, BarrierId, CondId, DmtCtx, MutexId, Stats, ThreadFn, ThreadHandle, Tid};
 use rfdet_mem::{diff, ModRun, PrivateSpace, ThreadHeap};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -215,7 +213,7 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
-        self.stats.locks += 1;
+        self.stats.atomics += 1;
         self.sync_point(PendingOp::Atomic {
             addr,
             op: Some(op),
@@ -225,7 +223,7 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
-        self.stats.locks += 1;
+        self.stats.atomics += 1;
         self.sync_point(PendingOp::Atomic {
             addr,
             op: None,
@@ -235,7 +233,7 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
-        self.stats.locks += 1;
+        self.stats.atomics += 1;
         self.sync_point(PendingOp::Atomic {
             addr,
             op: None,

@@ -7,7 +7,6 @@ use rfdet_meta::MetaSpace;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering::Relaxed;
 
-
 /// What ends a parallel phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineMode {
@@ -200,7 +199,10 @@ impl Engine {
                         .iter()
                         .map(|(t, a)| (*t, a.op.describe()))
                         .collect::<Vec<_>>(),
-                    st.lock_owner.iter().filter(|(_, o)| o.is_some()).collect::<Vec<_>>(),
+                    st.lock_owner
+                        .iter()
+                        .filter(|(_, o)| o.is_some())
+                        .collect::<Vec<_>>(),
                     st.cond_waiters,
                     st.barrier_waiters,
                     st.join_waiters,

@@ -31,10 +31,15 @@ fn locked_counter_is_exact_and_deterministic() {
     }
     let a = DthreadsBackend.run(&cfg(), Box::new(root));
     let b = DthreadsBackend.run(&cfg(), Box::new(root));
-    let expected: u64 = (0..4u64).flat_map(|i| (0..50u64).map(move |k| i * 100 + k)).sum();
+    let expected: u64 = (0..4u64)
+        .flat_map(|i| (0..50u64).map(move |k| i * 100 + k))
+        .sum();
     assert_eq!(a.output, expected.to_string().as_bytes());
     assert_eq!(a.output, b.output);
-    assert!(a.stats.global_fences > 0, "fences are the point of this model");
+    assert!(
+        a.stats.global_fences > 0,
+        "fences are the point of this model"
+    );
     assert!(a.stats.serial_commits > 0);
 }
 
@@ -53,7 +58,9 @@ fn racy_writes_resolve_deterministically() {
         let v: u64 = ctx.read(0);
         ctx.emit_str(&v.to_string());
     }
-    let outs: Vec<_> = (0..5).map(|_| DthreadsBackend.run(&cfg(), Box::new(root)).output).collect();
+    let outs: Vec<_> = (0..5)
+        .map(|_| DthreadsBackend.run(&cfg(), Box::new(root)).output)
+        .collect();
     for o in &outs[1..] {
         assert_eq!(o, &outs[0], "race must resolve identically every run");
     }

@@ -1,11 +1,38 @@
 //! The arbitration state machine.
 
-use crossbeam::utils::CachePadded;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rfdet_vclock::Tid;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Pads a value to its own cache line so per-thread slots never falsely
+/// share one (the only piece of `crossbeam` this crate used; inlined so
+/// the workspace builds offline).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 /// Thread status in the arbitration protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

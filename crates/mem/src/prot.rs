@@ -128,10 +128,7 @@ mod tests {
     fn protect_all_and_enumerate() {
         let mut f = PageFlags::new(5);
         f.protect_all(PageFlags::WRITE_PROTECT);
-        assert_eq!(
-            f.protected_indices(PageFlags::WRITE_PROTECT).count(),
-            5
-        );
+        assert_eq!(f.protected_indices(PageFlags::WRITE_PROTECT).count(), 5);
         f.unprotect(3, PageFlags::WRITE_PROTECT);
         let idx: Vec<_> = f.protected_indices(PageFlags::WRITE_PROTECT).collect();
         assert_eq!(idx, vec![0, 1, 2, 4]);

@@ -23,8 +23,14 @@ impl PrivateSpace {
     /// `page_size` bytes (a power of two dividing `space_bytes`).
     #[must_use]
     pub fn new(space_bytes: u64, page_size: u64) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
-        assert!(space_bytes.is_multiple_of(page_size), "space must be page-aligned");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            space_bytes.is_multiple_of(page_size),
+            "space must be page-aligned"
+        );
         let n = (space_bytes / page_size) as usize;
         Self {
             pages: vec![None; n],
@@ -88,9 +94,7 @@ impl PrivateSpace {
     }
 
     fn check_range(&self, addr: Addr, len: usize) {
-        let end = addr
-            .checked_add(len as u64)
-            .expect("address overflow");
+        let end = addr.checked_add(len as u64).expect("address overflow");
         let space = (self.pages.len() * self.page_size) as u64;
         assert!(
             end <= space,

@@ -26,6 +26,6 @@ mod stats;
 mod syncvar;
 
 pub use slice::{SliceRec, SliceRef};
-pub use space::{GcOutcome, MetaSpace, ThreadMeta};
+pub use space::{GcOutcome, MetaSpace, SyncVarRef, ThreadMeta, DEFAULT_SYNC_SHARDS};
 pub use stats::AtomicStats;
 pub use syncvar::{SyncKey, SyncVar};

@@ -9,6 +9,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 
+/// A shared handle to one sync var. Contexts cache these per key, so the
+/// steady-state acquire path locks only the var itself — never the table.
+pub type SyncVarRef = Arc<Mutex<SyncVar>>;
+
+/// Default shard count for the sync-var table (see
+/// `RunConfig::sync_shards`). Sixteen shards keep the expected collision
+/// probability low at the 4–16 thread counts the paper evaluates.
+pub const DEFAULT_SYNC_SHARDS: usize = 16;
+
 /// A slice-pointer list with a monotone count of prefix-pruned entries,
 /// so consumers can keep *absolute* cursors across GC.
 ///
@@ -65,6 +74,78 @@ impl ThreadMeta {
             output: Mutex::new(Vec::new()),
         }
     }
+
+    /// Publishes this thread's vector clock — call only after the memory
+    /// reflects every slice ≤ `vc`.
+    pub fn set_published_vc(&self, vc: &VClock) {
+        self.published_vc.lock().clone_from(vc);
+    }
+
+    /// Reads this thread's published vector clock.
+    #[must_use]
+    pub fn get_published_vc(&self) -> VClock {
+        self.published_vc.lock().clone()
+    }
+
+    /// Publishes this thread's in-turn decided clock (see
+    /// [`ThreadMeta::turn_vc`]).
+    pub fn set_turn_vc(&self, vc: &VClock) {
+        self.turn_vc.lock().clone_from(vc);
+    }
+
+    /// Joins extra time into the in-turn clock — used by wakers that
+    /// extend a blocked thread's eventual acquire (§4.5 prelock bound).
+    pub fn join_turn_vc(&self, extra: &VClock) {
+        self.turn_vc.lock().join(extra);
+    }
+
+    /// Reads this thread's in-turn decided clock.
+    #[must_use]
+    pub fn get_turn_vc(&self) -> VClock {
+        self.turn_vc.lock().clone()
+    }
+
+    /// The Figure-5 filter over this thread's slice list; see
+    /// [`MetaSpace::filter_list_from`] for the cursor/prefix contract.
+    /// Exposed on `ThreadMeta` so consumers holding a cached handle skip
+    /// the registry lookup on every propagation.
+    #[must_use]
+    pub fn filter_slices_from(
+        &self,
+        upper: &VClock,
+        lower: &VClock,
+        cursor: u64,
+        prefix_closed: bool,
+    ) -> (Vec<SliceRef>, u64, u64) {
+        let list = self.slice_list.lock();
+        let mut batch = Vec::new();
+        let mut redundant = 0;
+        let start = cursor.saturating_sub(list.pruned) as usize;
+        let mut new_cursor = cursor.max(list.pruned);
+        for s in list.entries.iter().skip(start) {
+            if s.time.leq(upper) {
+                if s.time.leq(lower) {
+                    redundant += 1;
+                } else {
+                    batch.push(Arc::clone(s));
+                }
+                new_cursor += 1;
+            } else if prefix_closed {
+                break;
+            }
+            // (non-prefix-closed callers do not advance past gaps)
+        }
+        (batch, redundant, new_cursor)
+    }
+
+    /// Appends propagated slices to this thread's list (transitive
+    /// propagation, paper Figure 5 line 8).
+    pub fn append_slices(&self, slices: &[SliceRef]) {
+        self.slice_list
+            .lock()
+            .entries
+            .extend(slices.iter().cloned());
+    }
 }
 
 /// Result of one garbage-collection pass.
@@ -96,7 +177,11 @@ pub struct MetaSpace {
     /// pass that could not reclaim much (some thread lags behind), so an
     /// uncollectable backlog does not cause a GC scan per publish.
     gc_floor: AtomicUsize,
-    sync_vars: Mutex<HashMap<SyncKey, SyncVar>>,
+    /// The sync-var table, sharded by key hash so independent sync
+    /// objects never serialize on one table lock. Entries are `Arc`ed out
+    /// and never removed, so contexts cache the handles and the shard
+    /// lock is only taken on a key's first touch per thread.
+    sync_vars: Box<[Mutex<HashMap<SyncKey, SyncVarRef>>]>,
     /// Shared profiling counters for the run.
     pub stats: AtomicStats,
 }
@@ -113,8 +198,30 @@ impl MetaSpace {
     /// [`MetaSpace::new`] with an explicit live-slice GC trigger.
     #[must_use]
     pub fn with_max_slices(capacity_bytes: usize, gc_threshold: f64, max_slices: usize) -> Self {
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Self::with_options(
+            capacity_bytes,
+            gc_threshold,
+            max_slices,
+            DEFAULT_SYNC_SHARDS,
+        )
+    }
+
+    /// Fully explicit constructor. `sync_shards` is rounded up to a power
+    /// of two (the shard index is a hash masked by `shards - 1`).
+    #[must_use]
+    pub fn with_options(
+        capacity_bytes: usize,
+        gc_threshold: f64,
+        max_slices: usize,
+        sync_shards: usize,
+    ) -> Self {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let trigger = (capacity_bytes as f64 * gc_threshold) as usize;
+        let shards = sync_shards.max(1).next_power_of_two();
         Self {
             threads: RwLock::new(Vec::new()),
             store: Mutex::new(Vec::new()),
@@ -124,7 +231,7 @@ impl MetaSpace {
             gc_trigger_bytes: trigger,
             max_slices,
             gc_floor: AtomicUsize::new(max_slices),
-            sync_vars: Mutex::new(HashMap::new()),
+            sync_vars: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             stats: AtomicStats::default(),
         }
     }
@@ -172,6 +279,14 @@ impl MetaSpace {
     /// trigger was crossed.
     pub fn publish_slice(&self, rec: SliceRec) -> (SliceRef, bool) {
         let owner = self.thread(rec.tid);
+        self.publish_slice_for(&owner, rec)
+    }
+
+    /// [`MetaSpace::publish_slice`] for a caller already holding the
+    /// owner's handle — the hot path, which must not touch the thread
+    /// registry lock.
+    pub fn publish_slice_for(&self, owner: &ThreadMeta, rec: SliceRec) -> (SliceRef, bool) {
+        debug_assert_eq!(owner.tid, rec.tid, "slice published to wrong owner");
         let bytes = rec.heap_bytes();
         let slice: SliceRef = Arc::new(rec);
         self.store.lock().push(Arc::clone(&slice));
@@ -210,37 +325,14 @@ impl MetaSpace {
         cursor: u64,
         prefix_closed: bool,
     ) -> (Vec<SliceRef>, u64, u64) {
-        let thread = self.thread(from);
-        let list = thread.slice_list.lock();
-        let mut batch = Vec::new();
-        let mut redundant = 0;
-        let start = cursor.saturating_sub(list.pruned) as usize;
-        let mut new_cursor = cursor.max(list.pruned);
-        for s in list.entries.iter().skip(start) {
-            if s.time.leq(upper) {
-                if s.time.leq(lower) {
-                    redundant += 1;
-                } else {
-                    batch.push(Arc::clone(s));
-                }
-                new_cursor += 1;
-            } else if prefix_closed {
-                break;
-            }
-            // (non-prefix-closed callers do not advance past gaps)
-        }
-        (batch, redundant, new_cursor)
+        self.thread(from)
+            .filter_slices_from(upper, lower, cursor, prefix_closed)
     }
 
     /// Cursor-less variant of [`MetaSpace::filter_list_from`] for callers
     /// without a stable upper-limit ordering (barrier merges, tests).
     #[must_use]
-    pub fn filter_list(
-        &self,
-        from: Tid,
-        upper: &VClock,
-        lower: &VClock,
-    ) -> (Vec<SliceRef>, u64) {
+    pub fn filter_list(&self, from: Tid, upper: &VClock, lower: &VClock) -> (Vec<SliceRef>, u64) {
         let (batch, redundant, _) = self.filter_list_from(from, upper, lower, 0, false);
         (batch, redundant)
     }
@@ -248,40 +340,36 @@ impl MetaSpace {
     /// Appends propagated slices to `tid`'s list (transitive propagation,
     /// paper Figure 5 line 8).
     pub fn append_to_list(&self, tid: Tid, slices: &[SliceRef]) {
-        self.thread(tid)
-            .slice_list
-            .lock()
-            .entries
-            .extend(slices.iter().cloned());
+        self.thread(tid).append_slices(slices);
     }
 
     /// Publishes `tid`'s vector clock — call only after the memory
     /// reflects every slice ≤ `vc`.
     pub fn publish_vc(&self, tid: Tid, vc: &VClock) {
-        *self.thread(tid).published_vc.lock() = vc.clone();
+        self.thread(tid).set_published_vc(vc);
     }
 
     /// Reads a thread's published vector clock.
     #[must_use]
     pub fn published_vc(&self, tid: Tid) -> VClock {
-        self.thread(tid).published_vc.lock().clone()
+        self.thread(tid).get_published_vc()
     }
 
     /// Publishes `tid`'s in-turn decided clock (see [`ThreadMeta::turn_vc`]).
     pub fn publish_turn_vc(&self, tid: Tid, vc: &VClock) {
-        *self.thread(tid).turn_vc.lock() = vc.clone();
+        self.thread(tid).set_turn_vc(vc);
     }
 
     /// Joins extra time into `tid`'s in-turn clock — used by wakers that
     /// extend a blocked thread's eventual acquire (§4.5 prelock bound).
     pub fn join_turn_vc(&self, tid: Tid, extra: &VClock) {
-        self.thread(tid).turn_vc.lock().join(extra);
+        self.thread(tid).join_turn_vc(extra);
     }
 
     /// Reads a thread's in-turn decided clock.
     #[must_use]
     pub fn turn_vc(&self, tid: Tid) -> VClock {
-        self.thread(tid).turn_vc.lock().clone()
+        self.thread(tid).get_turn_vc()
     }
 
     /// Marks a thread dead (it stops holding back GC).
@@ -327,11 +415,7 @@ impl MetaSpace {
         // old slices cluster at the front.
         for t in self.threads.read().iter() {
             let mut list = t.slice_list.lock();
-            let cut = list
-                .entries
-                .iter()
-                .take_while(|s| s.time.leq(&glb))
-                .count();
+            let cut = list.entries.iter().take_while(|s| s.time.leq(&glb)).count();
             if cut > 0 {
                 list.entries.drain(..cut);
                 list.pruned += cut as u64;
@@ -356,11 +440,57 @@ impl MetaSpace {
         outcome
     }
 
+    /// Number of shards in the sync-var table (power of two).
+    #[must_use]
+    pub fn sync_shard_count(&self) -> usize {
+        self.sync_vars.len()
+    }
+
+    /// The shard a key lives in: a SplitMix64-style mix of the variant
+    /// tag and payload, masked to the (power-of-two) shard count. Cheaper
+    /// and better-spread than SipHash for these tiny keys, and stable
+    /// across runs (not that determinism depends on it — shard choice
+    /// only affects which physical lock is taken).
+    fn shard_index(&self, key: SyncKey) -> usize {
+        let (tag, val): (u64, u64) = match key {
+            SyncKey::Mutex(v) => (1, u64::from(v)),
+            SyncKey::Cond(v) => (2, u64::from(v)),
+            SyncKey::Barrier(v) => (3, u64::from(v)),
+            SyncKey::Thread(t) => (4, u64::from(t)),
+            SyncKey::Atomic(a) => (5, a),
+        };
+        let mut x = val ^ (tag << 56) ^ 0x9e37_79b9_7f4a_7c15;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (x as usize) & (self.sync_vars.len() - 1);
+        idx
+    }
+
+    /// Hands out the shared handle for `key`'s sync var, creating it on
+    /// first touch. Touches exactly one shard lock; callers cache the
+    /// returned [`SyncVarRef`] so repeat acquires skip even that.
+    #[must_use]
+    pub fn sync_var(&self, key: SyncKey) -> SyncVarRef {
+        let shard = &self.sync_vars[self.shard_index(key)];
+        let mut table = match shard.try_lock() {
+            Some(g) => g,
+            None => {
+                self.stats.shard_lock_contended.fetch_add(1, Relaxed);
+                shard.lock()
+            }
+        };
+        Arc::clone(table.entry(key).or_default())
+    }
+
     /// Runs `f` with exclusive access to the internal sync var for `key`,
-    /// creating it on first touch.
+    /// creating it on first touch. Convenience wrapper over
+    /// [`MetaSpace::sync_var`] for cold paths and tests.
     pub fn with_sync_var<R>(&self, key: SyncKey, f: impl FnOnce(&mut SyncVar) -> R) -> R {
-        let mut table = self.sync_vars.lock();
-        f(table.entry(key).or_default())
+        let var = self.sync_var(key);
+        let mut guard = var.lock();
+        f(&mut guard)
     }
 
     /// Appends bytes to a thread's output stream.
@@ -443,10 +573,7 @@ mod tests {
         assert_eq!(out.reclaimed_slices, 1, "only the [1] slice is ≤ glb=[2,3]");
         assert!(m.usage_bytes() < before);
         // The old slice is gone from the owner's list too.
-        assert!(!m
-            .snapshot_list(0)
-            .iter()
-            .any(|s| Arc::ptr_eq(s, &s_old)));
+        assert!(!m.snapshot_list(0).iter().any(|s| Arc::ptr_eq(s, &s_old)));
         assert_eq!(m.snapshot_list(0).len(), 1);
     }
 
@@ -479,6 +606,40 @@ mod tests {
         assert!(needs);
         let fresh = m.with_sync_var(SyncKey::Mutex(4), |v| v.last_tid);
         assert_eq!(fresh, None);
+    }
+
+    #[test]
+    fn sync_var_handles_are_stable_per_key() {
+        let m = meta();
+        let a = m.sync_var(SyncKey::Mutex(7));
+        let b = m.sync_var(SyncKey::Mutex(7));
+        assert!(Arc::ptr_eq(&a, &b), "same key must hand out one var");
+        let c = m.sync_var(SyncKey::Cond(7));
+        assert!(!Arc::ptr_eq(&a, &c), "different key class, different var");
+        // Mutating through one handle is visible through the other.
+        a.lock().record_release(3, VClock::from_components(vec![1]));
+        assert_eq!(b.lock().last_tid, Some(3));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m = MetaSpace::with_options(10_000, 0.5, 4096, 5);
+        assert_eq!(m.sync_shard_count(), 8);
+        let m1 = MetaSpace::with_options(10_000, 0.5, 4096, 0);
+        assert_eq!(m1.sync_shard_count(), 1, "degenerate single shard works");
+        m1.with_sync_var(SyncKey::Atomic(64), |v| {
+            v.record_release(0, VClock::from_components(vec![1]));
+        });
+        assert_eq!(m1.sync_var(SyncKey::Atomic(64)).lock().last_tid, Some(0));
+    }
+
+    #[test]
+    fn publish_slice_for_matches_publish_slice() {
+        let m = meta();
+        let owner = m.register_thread();
+        let (s, _) = m.publish_slice_for(&owner, slice(0, 0, &[1], 4));
+        assert_eq!(m.snapshot_list(0).len(), 1);
+        assert!(Arc::ptr_eq(&m.snapshot_list(0)[0], &s));
     }
 
     #[test]

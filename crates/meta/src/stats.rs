@@ -51,6 +51,7 @@ atomic_stats!(
     forks,
     joins,
     barriers,
+    atomics,
     loads,
     stores,
     stores_with_copy,
@@ -69,6 +70,10 @@ atomic_stats!(
     global_fences,
     serial_commits,
     private_pages,
+    sync_var_cache_hits,
+    sync_var_cache_misses,
+    shard_lock_contended,
+    queue_lock_contended,
 );
 
 #[cfg(test)]

@@ -69,7 +69,10 @@ mod tests {
         t.tick(1);
         v.record_release(1, t.clone());
         assert!(v.needs_propagation(0));
-        assert!(!v.needs_propagation(1), "same-thread re-acquire merges slices");
+        assert!(
+            !v.needs_propagation(1),
+            "same-thread re-acquire merges slices"
+        );
         assert_eq!(v.last_time, t);
     }
 

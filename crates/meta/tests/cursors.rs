@@ -27,8 +27,7 @@ fn cursor_skips_consumed_prefix() {
         publish(&meta, 0, seq, &[seq + 1]);
     }
     // First scan up to time [5]: entries with time ≤ [5] are seqs 0..=4.
-    let (batch, redundant, cursor) =
-        meta.filter_list_from(0, &vc(&[5]), &VClock::new(), 0, true);
+    let (batch, redundant, cursor) = meta.filter_list_from(0, &vc(&[5]), &VClock::new(), 0, true);
     assert_eq!(batch.len(), 5);
     assert_eq!(redundant, 0);
     assert_eq!(cursor, 5);
@@ -106,11 +105,67 @@ fn cursor_below_pruned_count_saturates() {
     assert!(meta.snapshot_list(0).is_empty());
     // An old cursor of 2 is below the pruned count 5: scan starts at the
     // (empty) live region without panicking.
-    let (batch, redundant, cursor) =
-        meta.filter_list_from(0, &vc(&[10]), &VClock::new(), 2, true);
+    let (batch, redundant, cursor) = meta.filter_list_from(0, &vc(&[10]), &VClock::new(), 2, true);
     assert!(batch.is_empty());
     assert_eq!(redundant, 0);
     assert_eq!(cursor, 5, "cursor advances to the pruned boundary");
+}
+
+#[test]
+fn gc_between_filters_resumes_cleanly_when_cursor_covers_pruned() {
+    // One consumer scans the same producer list twice, with a GC pass in
+    // between that prunes exactly the prefix the consumer already walked
+    // (cursor == pruned afterwards). The second scan must neither revisit
+    // pruned entries nor skip live ones.
+    let meta = MetaSpace::new(1 << 20, 0.9);
+    meta.register_thread(); // producer (tid 0)
+    meta.register_thread(); // consumer (tid 1)
+    for seq in 0..10 {
+        publish(&meta, 0, seq, &[seq + 1]);
+    }
+    let (batch, _, cursor) = meta.filter_list_from(0, &vc(&[4]), &VClock::new(), 0, true);
+    assert_eq!(batch.len(), 4);
+    assert_eq!(cursor, 4);
+    // glb = [4,4]: times [1]..[4] are collectible — the consumed prefix.
+    meta.publish_vc(0, &vc(&[20, 20]));
+    meta.publish_vc(1, &vc(&[4, 4]));
+    meta.run_gc();
+    assert_eq!(meta.snapshot_list(0).len(), 6, "only the prefix is pruned");
+    let (batch, redundant, cursor) =
+        meta.filter_list_from(0, &vc(&[8]), &VClock::new(), cursor, true);
+    assert_eq!(batch.len(), 4, "exactly seqs 4..=7 (times [5]..[8])");
+    assert_eq!(batch[0].time, vc(&[5]));
+    assert_eq!(redundant, 0, "nothing re-filtered after the prune");
+    assert_eq!(cursor, 8);
+}
+
+#[test]
+fn gc_between_filters_resumes_cleanly_when_gc_pruned_past_cursor() {
+    // Here GC prunes *further* than the consumer's cursor: the pruned
+    // entries were below the GLB, so the consumer had already acquired
+    // their effects via its published clock — the cursor must jump to the
+    // pruned boundary instead of scanning dangling indices.
+    let meta = MetaSpace::new(1 << 20, 0.9);
+    meta.register_thread();
+    meta.register_thread();
+    for seq in 0..10 {
+        publish(&meta, 0, seq, &[seq + 1]);
+    }
+    let (batch, _, cursor) = meta.filter_list_from(0, &vc(&[2]), &VClock::new(), 0, true);
+    assert_eq!(batch.len(), 2);
+    assert_eq!(cursor, 2);
+    // Consumer publishes [5,5]: the GLB lets GC prune times [1]..[5] —
+    // three entries beyond the consumer's cursor.
+    meta.publish_vc(0, &vc(&[20, 20]));
+    meta.publish_vc(1, &vc(&[5, 5]));
+    meta.run_gc();
+    assert_eq!(meta.snapshot_list(0).len(), 5);
+    let (batch, redundant, cursor) =
+        meta.filter_list_from(0, &vc(&[8]), &VClock::new(), cursor, true);
+    assert_eq!(batch.len(), 3, "live window is times [6]..[8]");
+    assert_eq!(batch[0].time, vc(&[6]));
+    assert_eq!(redundant, 0);
+    assert_eq!(cursor, 8, "cursor lands past the pruned region");
 }
 
 #[test]

@@ -181,7 +181,7 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
-        self.stats.locks += 1;
+        self.stats.atomics += 1;
         self.check_range(addr, 8);
         let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
         let _guard = stripe.lock();
@@ -198,7 +198,7 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
-        self.stats.locks += 1;
+        self.stats.atomics += 1;
         self.check_range(addr, 8);
         let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
         let _guard = stripe.lock();
@@ -211,7 +211,7 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
-        self.stats.locks += 1;
+        self.stats.atomics += 1;
         self.check_range(addr, 8);
         let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
         let _guard = stripe.lock();

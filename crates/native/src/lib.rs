@@ -91,8 +91,7 @@ mod tests {
                         ctx.spawn(Box::new(move |ctx| {
                             ctx.write_idx::<u64>(0, i, i + 1);
                             ctx.barrier(b, 3);
-                            let sum: u64 =
-                                (0..3).map(|j| ctx.read_idx::<u64>(0, j)).sum();
+                            let sum: u64 = (0..3).map(|j| ctx.read_idx::<u64>(0, j)).sum();
                             ctx.write_idx::<u64>(256, i, sum);
                         }))
                     })

@@ -16,7 +16,6 @@ use std::fmt;
 /// `a ≤ b` iff every component of `a` is ≤ the corresponding component of
 /// `b`; `a < b` (a *happens before* b) iff `a ≤ b` and `a ≠ b`.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VClock {
     components: Vec<LTime>,
 }
@@ -132,7 +131,9 @@ impl VClock {
     #[must_use]
     pub fn leq(&self, other: &Self) -> bool {
         if self.components.len() > other.components.len()
-            && self.components[other.components.len()..].iter().any(|&c| c != 0)
+            && self.components[other.components.len()..]
+                .iter()
+                .any(|&c| c != 0)
         {
             return false;
         }
@@ -324,7 +325,10 @@ mod tests {
         assert_eq!(a.causal_cmp(&a.clone()), CausalOrder::Equal);
         assert_eq!(a.causal_cmp(&vc(&[2, 2])), CausalOrder::Before);
         assert_eq!(vc(&[2, 2]).causal_cmp(&a), CausalOrder::After);
-        assert_eq!(vc(&[0, 3]).causal_cmp(&vc(&[1, 1])), CausalOrder::Concurrent);
+        assert_eq!(
+            vc(&[0, 3]).causal_cmp(&vc(&[1, 1])),
+            CausalOrder::Concurrent
+        );
     }
 
     #[test]

@@ -97,13 +97,41 @@ impl std::fmt::Debug for Workload {
 #[must_use]
 pub fn benchmarks() -> Vec<Workload> {
     vec![
-        Workload { name: "ocean", suite: Suite::Splash2, factory: splash::ocean::root },
-        Workload { name: "water-ns", suite: Suite::Splash2, factory: splash::water::root_ns },
-        Workload { name: "water-sp", suite: Suite::Splash2, factory: splash::water::root_sp },
-        Workload { name: "fft", suite: Suite::Splash2, factory: splash::fft::root },
-        Workload { name: "radix", suite: Suite::Splash2, factory: splash::radix::root },
-        Workload { name: "lu-con", suite: Suite::Splash2, factory: splash::lu::root_contiguous },
-        Workload { name: "lu-non", suite: Suite::Splash2, factory: splash::lu::root_noncontiguous },
+        Workload {
+            name: "ocean",
+            suite: Suite::Splash2,
+            factory: splash::ocean::root,
+        },
+        Workload {
+            name: "water-ns",
+            suite: Suite::Splash2,
+            factory: splash::water::root_ns,
+        },
+        Workload {
+            name: "water-sp",
+            suite: Suite::Splash2,
+            factory: splash::water::root_sp,
+        },
+        Workload {
+            name: "fft",
+            suite: Suite::Splash2,
+            factory: splash::fft::root,
+        },
+        Workload {
+            name: "radix",
+            suite: Suite::Splash2,
+            factory: splash::radix::root,
+        },
+        Workload {
+            name: "lu-con",
+            suite: Suite::Splash2,
+            factory: splash::lu::root_contiguous,
+        },
+        Workload {
+            name: "lu-non",
+            suite: Suite::Splash2,
+            factory: splash::lu::root_noncontiguous,
+        },
         Workload {
             name: "linear_regression",
             suite: Suite::Phoenix,
@@ -114,8 +142,16 @@ pub fn benchmarks() -> Vec<Workload> {
             suite: Suite::Phoenix,
             factory: phoenix::matrix_multiply::root,
         },
-        Workload { name: "pca", suite: Suite::Phoenix, factory: phoenix::pca::root },
-        Workload { name: "wordcount", suite: Suite::Phoenix, factory: phoenix::wordcount::root },
+        Workload {
+            name: "pca",
+            suite: Suite::Phoenix,
+            factory: phoenix::pca::root,
+        },
+        Workload {
+            name: "wordcount",
+            suite: Suite::Phoenix,
+            factory: phoenix::wordcount::root,
+        },
         Workload {
             name: "string_match",
             suite: Suite::Phoenix,
@@ -126,9 +162,21 @@ pub fn benchmarks() -> Vec<Workload> {
             suite: Suite::Parsec,
             factory: parsec::blackscholes::root,
         },
-        Workload { name: "swaptions", suite: Suite::Parsec, factory: parsec::swaptions::root },
-        Workload { name: "dedup", suite: Suite::Parsec, factory: parsec::dedup::root },
-        Workload { name: "ferret", suite: Suite::Parsec, factory: parsec::ferret::root },
+        Workload {
+            name: "swaptions",
+            suite: Suite::Parsec,
+            factory: parsec::swaptions::root,
+        },
+        Workload {
+            name: "dedup",
+            suite: Suite::Parsec,
+            factory: parsec::dedup::root,
+        },
+        Workload {
+            name: "ferret",
+            suite: Suite::Parsec,
+            factory: parsec::ferret::root,
+        },
     ]
 }
 

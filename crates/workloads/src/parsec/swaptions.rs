@@ -12,7 +12,7 @@ const WAVES: u64 = 2;
 
 fn counts(size: Size) -> (u64, u64) {
     match size {
-        Size::Test => (16, 32),    // swaptions, paths
+        Size::Test => (16, 32), // swaptions, paths
         Size::Bench => (64, 400),
     }
 }

@@ -15,7 +15,7 @@ const WAVES_COV: u64 = 4;
 
 fn dims(size: Size) -> (u64, u64) {
     match size {
-        Size::Test => (64, 8),    // rows, cols
+        Size::Test => (64, 8), // rows, cols
         Size::Bench => (600, 24),
     }
 }
@@ -106,7 +106,6 @@ pub fn root(p: Params) -> ThreadFn {
 
 #[cfg(test)]
 mod tests {
-
 
     #[test]
     fn pair_unranking_covers_upper_triangle() {

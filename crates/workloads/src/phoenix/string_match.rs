@@ -58,7 +58,9 @@ pub fn root(p: Params) -> ThreadFn {
                 ctx.join(h);
             }
         }
-        let total: u64 = (0..slots).map(|s| ctx.read_idx::<u64>(RESULT_BASE, s)).sum();
+        let total: u64 = (0..slots)
+            .map(|s| ctx.read_idx::<u64>(RESULT_BASE, s))
+            .sum();
         ctx.emit_str(&format!("string_match n={n} hits={total}\n"));
     })
 }

@@ -59,8 +59,7 @@ pub fn root(p: Params) -> ThreadFn {
                         for g in mine {
                             let base = g * full;
                             for k in 0..half {
-                                let ang =
-                                    -2.0 * std::f64::consts::PI * (k as f64) / (full as f64);
+                                let ang = -2.0 * std::f64::consts::PI * (k as f64) / (full as f64);
                                 let (wr, wi) = (ang.cos(), ang.sin());
                                 let a = base + k;
                                 let b = base + k + half;

@@ -23,7 +23,7 @@ enum Layout {
 
 fn dims(size: Size) -> (u64, u64) {
     match size {
-        Size::Test => (16, 4),  // n, block
+        Size::Test => (16, 4), // n, block
         Size::Bench => (64, 8),
     }
 }

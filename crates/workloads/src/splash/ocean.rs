@@ -15,7 +15,7 @@ const RESIDUAL_LOCK: u32 = 0;
 
 fn dims(size: Size) -> (u64, u64) {
     match size {
-        Size::Test => (18, 4),   // n×n grid, timesteps
+        Size::Test => (18, 4), // n×n grid, timesteps
         Size::Bench => (66, 40),
     }
 }

@@ -23,7 +23,7 @@ enum Granularity {
 
 fn dims(size: Size) -> (u64, u64) {
     match size {
-        Size::Test => (16, 2),  // molecules, steps
+        Size::Test => (16, 2), // molecules, steps
         Size::Bench => (48, 4),
     }
 }
@@ -89,8 +89,7 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                                         ctx.tick(8);
                                         ctx.lock(ids::data_mutex(j as u32));
                                         for (d, fd) in f.iter().enumerate() {
-                                            let cur: f64 =
-                                                ctx.read(v3(FORCE_BASE, j, d as u64));
+                                            let cur: f64 = ctx.read(v3(FORCE_BASE, j, d as u64));
                                             ctx.write(
                                                 v3(FORCE_BASE, j, d as u64),
                                                 cur - fd * scale,
@@ -99,8 +98,7 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                                         ctx.unlock(ids::data_mutex(j as u32));
                                         ctx.lock(ids::data_mutex(i as u32));
                                         for (d, fd) in f.iter().enumerate() {
-                                            let cur: f64 =
-                                                ctx.read(v3(FORCE_BASE, i, d as u64));
+                                            let cur: f64 = ctx.read(v3(FORCE_BASE, i, d as u64));
                                             ctx.write(
                                                 v3(FORCE_BASE, i, d as u64),
                                                 cur + fd * scale,
@@ -141,12 +139,8 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                                             for d in 0..3u64 {
                                                 let delta = local[(j * 3 + d) as usize];
                                                 if delta != 0.0 {
-                                                    let cur: f64 =
-                                                        ctx.read(v3(FORCE_BASE, j, d));
-                                                    ctx.write(
-                                                        v3(FORCE_BASE, j, d),
-                                                        cur + delta,
-                                                    );
+                                                    let cur: f64 = ctx.read(v3(FORCE_BASE, j, d));
+                                                    ctx.write(v3(FORCE_BASE, j, d), cur + delta);
                                                 }
                                             }
                                         }

@@ -240,13 +240,7 @@ mod tests {
     fn id_ranges_are_disjoint() {
         assert_ne!(ids::barrier_mutex(0).0, ids::data_mutex(0).0);
         assert_ne!(ids::data_mutex(0).0, ids::queue_mutex(0).0);
-        assert_ne!(
-            ids::queue_nonempty_cond(0).0,
-            ids::queue_nonfull_cond(0).0
-        );
-        assert_ne!(
-            ids::queue_nonempty_cond(1).0,
-            ids::queue_nonfull_cond(0).0
-        );
+        assert_ne!(ids::queue_nonempty_cond(0).0, ids::queue_nonfull_cond(0).0);
+        assert_ne!(ids::queue_nonempty_cond(1).0, ids::queue_nonfull_cond(0).0);
     }
 }

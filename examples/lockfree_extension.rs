@@ -63,7 +63,11 @@ fn main() {
         println!("  run {run}: {text}");
         orders.insert(text);
     }
-    assert_eq!(orders.len(), 1, "lock-free service order must be deterministic");
+    assert_eq!(
+        orders.len(),
+        1,
+        "lock-free service order must be deterministic"
+    );
     println!(
         "\nFifteen critical sections, zero runtime mutexes, one service\n\
          order — reproduced under six different jitter schedules. The\n\

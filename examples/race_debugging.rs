@@ -51,8 +51,14 @@ fn buggy_program(ctx: &mut dyn DmtCtx) {
     let sum: u64 = ctx.read(OBSERVED);
     let spins: u64 = ctx.read(OBSERVED + 8);
     let complete: u64 = (0..8).map(|i| 0xA0 + i).sum();
-    let verdict = if sum == complete { "complete" } else { "TORN/STALE" };
-    ctx.emit_str(&format!("reader saw sum={sum:#x} ({verdict}) after {spins} spins"));
+    let verdict = if sum == complete {
+        "complete"
+    } else {
+        "TORN/STALE"
+    };
+    ctx.emit_str(&format!(
+        "reader saw sum={sum:#x} ({verdict}) after {spins} spins"
+    ));
 }
 
 fn main() {

@@ -13,10 +13,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: run_workload <workload> [backend] [threads] [test|bench]");
-        eprintln!("workloads: racey, {}",
-            benchmarks().iter().map(|w| w.name).collect::<Vec<_>>().join(", "));
-        eprintln!("backends:  {}",
-            all_backends().iter().map(|b| b.name()).collect::<Vec<_>>().join(", "));
+        eprintln!(
+            "workloads: racey, {}",
+            benchmarks()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        eprintln!(
+            "backends:  {}",
+            all_backends()
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         std::process::exit(2);
     }
     let workload = by_name(&args[0]).unwrap_or_else(|| {
@@ -42,7 +54,11 @@ fn main() {
     let out = backend.run(&cfg, (workload.factory)(Params::new(threads, size)));
     let elapsed = start.elapsed();
 
-    println!("== {} on {} ({threads} threads, {size:?}) ==", workload.name, backend.name());
+    println!(
+        "== {} on {} ({threads} threads, {size:?}) ==",
+        workload.name,
+        backend.name()
+    );
     println!("output:  {}", String::from_utf8_lossy(&out.output).trim());
     println!("time:    {elapsed:?}");
     let s = out.stats;
@@ -56,7 +72,11 @@ fn main() {
     );
     println!(
         "dlrc:    slices {} (merged {})  propagated {}  premerged {}  gc {} (reclaimed {})",
-        s.slices, s.slices_merged, s.slices_propagated, s.prelock_premerged, s.gc_count,
+        s.slices,
+        s.slices_merged,
+        s.slices_propagated,
+        s.prelock_premerged,
+        s.gc_count,
         s.gc_reclaimed_slices
     );
     println!(

@@ -42,9 +42,7 @@ pub use rfdet_workloads as workloads;
 
 pub use rfdet_api::{
     Addr, AtomicOp, BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, MonitorMode, MutexId, Pod,
-    RfdetOpts,
-    RunConfig,
-    RunOutput, Stats, ThreadFn, ThreadHandle, Tid,
+    RfdetOpts, RunConfig, RunOutput, Stats, ThreadFn, ThreadHandle, Tid,
 };
 pub use rfdet_core::RfdetBackend;
 pub use rfdet_dthreads::DthreadsBackend;
@@ -74,7 +72,10 @@ mod tests {
             names,
             vec!["pthreads", "RFDet-ci", "RFDet-pf", "DThreads", "CoreDet-q"]
         );
-        let det: Vec<bool> = all_backends().iter().map(|b| b.is_deterministic()).collect();
+        let det: Vec<bool> = all_backends()
+            .iter()
+            .map(|b| b.is_deterministic())
+            .collect();
         assert_eq!(det, vec![false, true, true, true, true]);
     }
 }

@@ -114,7 +114,10 @@ fn cas_spinlock_works_on_every_backend() {
                                 // acquire
                                 while ctx.atomic_rmw(
                                     LOCK,
-                                    AtomicOp::CompareExchange { expected: 0, new: 1 },
+                                    AtomicOp::CompareExchange {
+                                        expected: 0,
+                                        new: 1,
+                                    },
                                 ) != 0
                                 {
                                     ctx.tick(1);

@@ -80,22 +80,20 @@ fn arb_racy_program() -> impl Strategy<Value = Vec<Vec<Step>>> {
 /// Scripts for 2–3 workers. Every script gets the same number of
 /// barriers (the max across workers) appended so barrier arity matches.
 fn arb_program() -> impl Strategy<Value = Vec<Vec<Step>>> {
-    prop::collection::vec(prop::collection::vec(arb_step(), 1..12), 2..4).prop_map(
-        |mut scripts| {
-            let max_barriers = scripts
-                .iter()
-                .map(|s| s.iter().filter(|x| matches!(x, Step::Barrier)).count())
-                .max()
-                .unwrap_or(0);
-            for s in &mut scripts {
-                let have = s.iter().filter(|x| matches!(x, Step::Barrier)).count();
-                for _ in have..max_barriers {
-                    s.push(Step::Barrier);
-                }
+    prop::collection::vec(prop::collection::vec(arb_step(), 1..12), 2..4).prop_map(|mut scripts| {
+        let max_barriers = scripts
+            .iter()
+            .map(|s| s.iter().filter(|x| matches!(x, Step::Barrier)).count())
+            .max()
+            .unwrap_or(0);
+        for s in &mut scripts {
+            let have = s.iter().filter(|x| matches!(x, Step::Barrier)).count();
+            for _ in have..max_barriers {
+                s.push(Step::Barrier);
             }
-            scripts
-        },
-    )
+        }
+        scripts
+    })
 }
 
 fn run_program(backend: &dyn DmtBackend, scripts: &[Vec<Step>], jitter: Option<u64>) -> Vec<u8> {
