@@ -31,6 +31,20 @@ pub struct RfdetOpts {
     /// Simulated cost, in no-op iterations, of one page fault in `Pf` mode
     /// (trap + two `mprotect` calls). Zero disables the cost model.
     pub fault_cost_spins: u32,
+    /// Diff-kernel gap coalescing threshold, in bytes: two modification
+    /// runs separated by at most this many *unchanged* bytes seal as one
+    /// run carrying the gap (whose bytes equal the snapshot, so
+    /// re-applying them onto an unchanged byte is a no-op). Trades
+    /// modification bytes for run count. `0` (the default) disables
+    /// coalescing, reproducing the scalar reference semantics exactly —
+    /// keep it off for A/B comparison and for workloads with heavy
+    /// intra-page write sharing (see DESIGN.md "Gap coalescing and §4.6").
+    pub diff_gap_coalesce: usize,
+    /// Capacity of the per-thread snapshot buffer pool, in page buffers.
+    /// `end_slice` recycles snapshot buffers here after diffing, so
+    /// steady-state slices take page snapshots with zero allocations.
+    /// `0` disables pooling (every snapshot allocates, as pre-pool).
+    pub snap_pool_pages: usize,
 }
 
 impl Default for RfdetOpts {
@@ -41,6 +55,8 @@ impl Default for RfdetOpts {
             prelock: true,
             lazy_writes: false,
             fault_cost_spins: 2000,
+            diff_gap_coalesce: 0,
+            snap_pool_pages: 256,
         }
     }
 }

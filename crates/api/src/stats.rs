@@ -76,6 +76,22 @@ pub struct Stats {
     /// before the page was touched (the lazy-writes saving, §4.5).
     pub lazy_elided_bytes: u64,
 
+    // ---- memory-pipeline fast path (diff kernel + snapshot pool) ----
+    /// Bytes compared by the end-of-slice diff kernel (every snapshotted
+    /// page is scanned in full — the per-slice fixed cost of DLRC).
+    pub diff_bytes_scanned: u64,
+    /// Bytes copied taking page snapshots at first write (Figure 4 line 6).
+    pub snapshot_bytes_copied: u64,
+    /// Page snapshots whose buffer came from the per-thread pool (no
+    /// allocation).
+    pub snapshot_pool_hits: u64,
+    /// Page snapshots that had to allocate a fresh buffer (cold pool, or
+    /// pooling disabled).
+    pub snapshot_pool_misses: u64,
+    /// Modification runs merged into their predecessor by diff gap
+    /// coalescing (`RfdetOpts::diff_gap_coalesce`).
+    pub runs_coalesced: u64,
+
     // ---- DThreads / quantum internals ----
     /// Global fence phases executed (DThreads / quantum backends).
     pub global_fences: u64,
@@ -123,6 +139,18 @@ impl Stats {
             self.prelock_premerged as f64 / self.slices_propagated as f64
         }
     }
+
+    /// Fraction of page snapshots served allocation-free from the buffer
+    /// pool, in `[0,1]`.
+    #[must_use]
+    pub fn snapshot_pool_hit_rate(&self) -> f64 {
+        let total = self.snapshot_pool_hits + self.snapshot_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.snapshot_pool_hits as f64 / total as f64
+        }
+    }
 }
 
 impl AddAssign for Stats {
@@ -154,6 +182,11 @@ impl AddAssign for Stats {
             prelock_premerged,
             lazy_deferred_bytes,
             lazy_elided_bytes,
+            diff_bytes_scanned,
+            snapshot_bytes_copied,
+            snapshot_pool_hits,
+            snapshot_pool_misses,
+            runs_coalesced,
             global_fences,
             serial_commits,
             private_pages,

@@ -1,0 +1,218 @@
+//! Emits `BENCH_2.json`: machine-readable numbers for the memory-
+//! pipeline fast path — chunked vs scalar diff kernel, gap coalescing,
+//! the propagate-heavy 4-thread workload, and the pool/diff stats
+//! counters from one instrumented run.
+//!
+//! Usage: `bench_json [--out PATH] [--quick]`. `--quick` shrinks the
+//! measurement target so CI can smoke-test the emission path in
+//! seconds; numbers from quick mode are for plumbing, not comparison.
+
+use rfdet_api::{DmtBackend, DmtCtx, DmtCtxExt, MutexId, RunConfig};
+use rfdet_core::RfdetBackend;
+use rfdet_mem::diff;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Warmup-then-measure: adapts the iteration count to `target` and
+/// returns (mean ns/iter, iterations) — the same scheme the vendored
+/// criterion shim uses, so numbers line up with `cargo bench`.
+fn measure<F: FnMut()>(target: Duration, mut f: F) -> (f64, u64) {
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target / 4 || iters >= 1 << 28 {
+            break elapsed / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+        }
+        iters = iters.saturating_mul(2);
+    };
+    let n = if per_iter.is_zero() {
+        1 << 16
+    } else {
+        u64::try_from((target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 28))
+            .unwrap_or(1)
+    };
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    (start.elapsed().as_nanos() as f64 / n as f64, n)
+}
+
+fn propagate_heavy_root(ctx: &mut dyn DmtCtx) {
+    let hs: Vec<_> = (0..4u64)
+        .map(|i| {
+            ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                for k in 0..100u64 {
+                    ctx.lock(MutexId(0));
+                    for p in 0..4u64 {
+                        ctx.write(8192 + p * 4096 + 8 * i, k + 1);
+                    }
+                    ctx.unlock(MutexId(0));
+                }
+            }))
+        })
+        .collect();
+    for h in hs {
+        ctx.join(h);
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let mut quick = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other} (see --out PATH / --quick)"),
+        }
+    }
+    let target = if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    };
+
+    let mut results: Vec<(String, f64, u64)> = Vec::new();
+
+    // Diff-kernel A/B on the three canonical page shapes plus the
+    // fragmented shape gap coalescing targets.
+    let snapshot = vec![0u8; 4096];
+    let mut sparse = snapshot.clone();
+    for i in (0..4096).step_by(512) {
+        sparse[i] = 1;
+    }
+    let dense: Vec<u8> = (0..4096).map(|i| (i % 251) as u8 + 1).collect();
+    let mut frag = snapshot.clone();
+    for i in (0..4096).step_by(24) {
+        frag[i..i + 8].copy_from_slice(&[7u8; 8]);
+    }
+    let cases: [(&str, &[u8]); 4] = [
+        ("sparse", &sparse),
+        ("dense", &dense),
+        ("identical", &snapshot),
+        ("fragmented", &frag),
+    ];
+    for (name, current) in cases {
+        let (ns, iters) = measure(target, || {
+            let mut out = Vec::new();
+            diff::diff_page(0, black_box(&snapshot), black_box(current), &mut out);
+            black_box(out);
+        });
+        results.push((format!("diff/page_{name}"), ns, iters));
+        let (ns, iters) = measure(target, || {
+            let mut out = Vec::new();
+            diff::diff_page_scalar(0, black_box(&snapshot), black_box(current), &mut out);
+            black_box(out);
+        });
+        results.push((format!("diff/page_{name}_scalar"), ns, iters));
+    }
+    let (ns, iters) = measure(target, || {
+        let mut out = Vec::new();
+        diff::diff_page_opts(0, black_box(&snapshot), black_box(&frag), 32, &mut out);
+        black_box(out);
+    });
+    results.push(("diff/page_fragmented_coalesce32".to_owned(), ns, iters));
+
+    // Propagate-heavy 4-thread workload, eager and lazy writes.
+    for lazy in [false, true] {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.fault_cost_spins = 0;
+        cfg.rfdet.lazy_writes = lazy;
+        let id = if lazy {
+            "rfdet/4t_propagate_heavy_lazy"
+        } else {
+            "rfdet/4t_propagate_heavy_eager"
+        };
+        let (ns, iters) = measure(target, || {
+            black_box(RfdetBackend::ci().run(&cfg, Box::new(propagate_heavy_root)));
+        });
+        results.push((id.to_owned(), ns, iters));
+    }
+
+    // One instrumented run for the new fast-path counters.
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    let run = RfdetBackend::ci().run(&cfg, Box::new(propagate_heavy_root));
+    let s = &run.stats;
+
+    let lookup = |id: &str| -> f64 {
+        results
+            .iter()
+            .find(|(n, _, _)| n == id)
+            .map_or(f64::NAN, |(_, ns, _)| *ns)
+    };
+    let speedup = |name: &str| -> f64 {
+        lookup(&format!("diff/page_{name}_scalar")) / lookup(&format!("diff/page_{name}"))
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"rfdet-bench-json/1\",");
+    let _ = writeln!(json, "  \"bench\": \"memory-pipeline fast path\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for (idx, (id, ns, iters)) in results.iter().enumerate() {
+        let comma = if idx + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_chunked_vs_scalar\": {\n");
+    let _ = writeln!(json, "    \"page_sparse\": {:.2},", speedup("sparse"));
+    let _ = writeln!(json, "    \"page_dense\": {:.2},", speedup("dense"));
+    let _ = writeln!(json, "    \"page_identical\": {:.2},", speedup("identical"));
+    let _ = writeln!(
+        json,
+        "    \"page_fragmented\": {:.2}",
+        speedup("fragmented")
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"counters\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"diff_bytes_scanned\": {},",
+        s.diff_bytes_scanned
+    );
+    let _ = writeln!(
+        json,
+        "    \"snapshot_bytes_copied\": {},",
+        s.snapshot_bytes_copied
+    );
+    let _ = writeln!(
+        json,
+        "    \"snapshot_pool_hits\": {},",
+        s.snapshot_pool_hits
+    );
+    let _ = writeln!(
+        json,
+        "    \"snapshot_pool_misses\": {},",
+        s.snapshot_pool_misses
+    );
+    let _ = writeln!(json, "    \"runs_coalesced\": {}", s.runs_coalesced);
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    assert!(
+        s.snapshot_pool_hits > 0,
+        "steady-state runs must recycle snapshot buffers"
+    );
+}

@@ -51,6 +51,9 @@ fn main() {
             s.loads.to_string(),
             s.stores.to_string(),
             s.stores_with_copy.to_string(),
+            mb(s.diff_bytes_scanned),
+            mb(s.snapshot_bytes_copied),
+            format!("{:.0}", s.snapshot_pool_hit_rate() * 100.0),
             mb(pthreads_fp),
             mb(rfdet_fp),
             mb(dthreads_fp),
@@ -70,6 +73,9 @@ fn main() {
                 "load",
                 "store",
                 "store w/copy",
+                "diff(MB)",
+                "snap(MB)",
+                "pool hit%",
                 "pthreads(MB)",
                 "RFDet(MB)",
                 "DThreads(MB)",
@@ -81,6 +87,9 @@ fn main() {
     println!(
         "notes: footprints are the materialized global store (pthreads), private pages\n\
          + peak metadata (RFDet), private pages + global store (DThreads);\n\
+         diff(MB)/snap(MB) are bytes the end-slice diff kernel scanned and bytes the\n\
+         first-write instrumentation snapshotted; pool hit% is how often a snapshot\n\
+         buffer came from the recycling pool instead of a fresh allocation;\n\
          the paper's expectations to check: stores ≪ loads, store-w/copy ≪ stores,\n\
          RFDet footprint > DThreads footprint > pthreads footprint."
     );

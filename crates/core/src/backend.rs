@@ -92,7 +92,7 @@ impl DmtBackend for RfdetBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfdet_api::{DmtCtxExt, MutexId};
+    use rfdet_api::{DmtCtx as _, DmtCtxExt, MutexId};
 
     fn small() -> RunConfig {
         let mut cfg = RunConfig::small();
@@ -189,6 +189,79 @@ mod tests {
         assert_eq!(out.output, b"150");
         assert_eq!(out.stats.locks, 150);
         assert_eq!(out.stats.unlocks, 150);
+    }
+
+    /// Runs a mixed locked/racy workload on a hand-built runtime (the
+    /// backend doesn't expose its `RuntimeShared`) and returns the full
+    /// published slice stream as `(tid, seq, mods)` triples.
+    fn published_mods(seed: Option<u64>) -> Vec<(u32, u64, Vec<rfdet_mem::ModRun>)> {
+        let mut cfg = small();
+        cfg.jitter_seed = seed;
+        cfg.jitter_max_us = 20;
+        cfg.meta_capacity_bytes = 64 << 20; // headroom: no GC pruning mid-run
+        let shared = Arc::new(RuntimeShared::new(cfg));
+        let mut main = RfdetCtx::new_main(Arc::clone(&shared));
+        let m = MutexId(3);
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                main.spawn(Box::new(move |ctx| {
+                    for k in 0..40u64 {
+                        ctx.lock(m);
+                        let v: u64 = ctx.read(2048);
+                        ctx.write(2048, v.wrapping_mul(31).wrapping_add(i + k));
+                        ctx.unlock(m);
+                        // Racy unlocked traffic on a second page.
+                        ctx.write(6144 + 8 * i, k + 1);
+                        ctx.tick(i + 1);
+                    }
+                }))
+            })
+            .collect();
+        for h in handles {
+            main.join(h);
+        }
+        main.on_exit();
+        loop {
+            let hs: Vec<_> = {
+                let mut map = shared.os_handles.lock();
+                map.drain().map(|(_, h)| h).collect()
+            };
+            if hs.is_empty() {
+                break;
+            }
+            for h in hs {
+                let _ = h.join();
+            }
+        }
+        let mut all = Vec::new();
+        for tid in 0..4 {
+            for s in shared.meta.snapshot_list(tid) {
+                all.push((s.tid, s.seq, s.mods.to_vec()));
+            }
+        }
+        all
+    }
+
+    /// Determinism at the metadata layer: the published `ModRun` stream —
+    /// not just program output — must be bit-identical across jittered
+    /// schedules. Identical output can mask divergent propagation;
+    /// identical run lists cannot. This also pins the chunked diff kernel
+    /// and snapshot pooling as schedule-independent.
+    #[test]
+    fn published_mod_run_lists_are_identical_across_jittered_schedules() {
+        let baseline = published_mods(None);
+        assert!(
+            baseline.len() > 100,
+            "workload must publish a real slice stream, got {} slices",
+            baseline.len()
+        );
+        for seed in [4u64, 5, 42] {
+            assert_eq!(
+                published_mods(Some(seed)),
+                baseline,
+                "jitter seed {seed} changed the published ModRun stream"
+            );
+        }
     }
 
     #[test]

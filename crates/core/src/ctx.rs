@@ -7,7 +7,7 @@ use rfdet_api::{
     Addr, BarrierId, CondId, DmtCtx, MonitorMode, MutexId, Stats, ThreadFn, ThreadHandle, Tid,
 };
 use rfdet_kendo::{Jitter, KendoHandle};
-use rfdet_mem::{ModRun, PageFlags, PrivateSpace, ThreadHeap};
+use rfdet_mem::{ModRun, PageFlags, PrivateSpace, RunHandle, ThreadHeap};
 use rfdet_meta::{SyncKey, SyncVarRef, ThreadMeta};
 use rfdet_vclock::VClock;
 use std::collections::{BTreeMap, HashMap};
@@ -36,8 +36,10 @@ pub struct RfdetCtx {
     /// `NO_ACCESS` marks pages with pending lazy-write modifications.
     pub(crate) flags: PageFlags,
     /// Lazy-writes pending queues, per page, in propagation order. The
-    /// runs are deep copies so GC never invalidates them.
-    pub(crate) pending: BTreeMap<usize, Vec<ModRun>>,
+    /// entries are zero-copy handles into published slices' shared run
+    /// lists; the handles keep the backing runs alive, so GC dropping a
+    /// slice from every slice-pointer list never invalidates them.
+    pub(crate) pending: BTreeMap<usize, Vec<RunHandle>>,
     /// Current vector clock.
     pub(crate) vc: VClock,
     /// Timestamp of the in-progress slice (the clock at its start).
@@ -46,6 +48,11 @@ pub struct RfdetCtx {
     /// Pages snapshotted in the current slice (sorted for deterministic
     /// diff order).
     pub(crate) snapshots: BTreeMap<usize, Box<[u8]>>,
+    /// Recycled page-sized snapshot buffers (bounded by
+    /// `RfdetOpts::snap_pool_pages`): `end_slice` returns buffers here
+    /// after diffing, so steady-state slices snapshot with zero
+    /// allocations.
+    pub(crate) snap_pool: Vec<Box<[u8]>>,
     /// Per-source absolute positions in other threads' slice lists:
     /// everything before the cursor was already filtered-or-propagated
     /// under an earlier upper limit (see `SliceList` for the closure
@@ -113,6 +120,7 @@ impl RfdetCtx {
             slice_start,
             slice_seq: 0,
             snapshots: BTreeMap::new(),
+            snap_pool: Vec::new(),
             cursors: HashMap::new(),
             peers: Vec::new(),
             sync_cache: HashMap::new(),
@@ -237,6 +245,25 @@ impl RfdetCtx {
         }
     }
 
+    /// Takes a page snapshot (Figure 4 line 6) into a recycled buffer
+    /// from the pool when one is available — the steady-state path costs
+    /// one page memcpy and zero allocations.
+    fn take_snapshot(&mut self, page: usize) -> Box<[u8]> {
+        let mut buf = match self.snap_pool.pop() {
+            Some(b) => {
+                self.stats.snapshot_pool_hits += 1;
+                b
+            }
+            None => {
+                self.stats.snapshot_pool_misses += 1;
+                vec![0u8; self.space.page_size()].into_boxed_slice()
+            }
+        };
+        self.space.snapshot_page_into(page, &mut buf);
+        self.stats.snapshot_bytes_copied += buf.len() as u64;
+        buf
+    }
+
     /// The Figure-4 store instrumentation: snapshot the page the first
     /// time it is written within the current slice.
     #[inline]
@@ -244,7 +271,7 @@ impl RfdetCtx {
         match self.shared.cfg.rfdet.monitor {
             MonitorMode::Ci => {
                 if !self.snapshots.contains_key(&page) {
-                    let snap = self.space.snapshot_page(page);
+                    let snap = self.take_snapshot(page);
                     self.snapshots.insert(page, snap);
                     self.stats.stores_with_copy += 1;
                 }
@@ -254,7 +281,7 @@ impl RfdetCtx {
                     // Simulated write fault.
                     self.stats.page_faults += 1;
                     self.pay_fault_cost();
-                    let snap = self.space.snapshot_page(page);
+                    let snap = self.take_snapshot(page);
                     self.snapshots.insert(page, snap);
                     self.stats.stores_with_copy += 1;
                     self.flags.unprotect(page, PageFlags::WRITE_PROTECT);

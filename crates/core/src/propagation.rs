@@ -59,19 +59,33 @@ impl RfdetCtx {
 
     /// Applies one slice's modifications to local memory — directly, or
     /// deferred into per-page pending queues when lazy writes are on.
+    ///
+    /// Both paths are zero-copy over the slice's shared run list: the lazy
+    /// path pushes [`rfdet_mem::RunHandle`]s (an `Arc` bump per run, no
+    /// byte copies), and the eager path hands the whole list to the
+    /// batched `apply_runs`, which resolves each target page once per
+    /// per-page run group instead of once per run.
     pub(crate) fn apply_slice(&mut self, s: &SliceRef) {
         if self.shared.cfg.rfdet.lazy_writes {
-            for run in &s.mods {
+            // Runs arrive sorted by address (diffing walks pages in index
+            // order), so all runs of one page are consecutive and a
+            // last-page check suffices to protect each distinct page once
+            // per slice instead of once per run.
+            let mut last_protected = usize::MAX;
+            for (idx, run) in s.mods.iter().enumerate() {
                 let page = self.space.page_of(run.addr);
                 self.stats.lazy_deferred_bytes += run.len() as u64;
-                self.pending.entry(page).or_default().push(run.clone());
-                self.flags.protect(page, PageFlags::NO_ACCESS);
+                self.pending
+                    .entry(page)
+                    .or_default()
+                    .push(rfdet_mem::RunHandle::new(&s.mods, idx));
+                if page != last_protected {
+                    self.flags.protect(page, PageFlags::NO_ACCESS);
+                    last_protected = page;
+                }
             }
         } else {
-            for run in &s.mods {
-                self.stats.mod_bytes_applied += run.len() as u64;
-                self.space.apply_run(run);
-            }
+            self.stats.mod_bytes_applied += self.space.apply_runs(&s.mods);
         }
     }
 
@@ -281,6 +295,33 @@ mod tests {
         assert_eq!(b.read::<u64>(64), 7, "fault applies on first access");
         assert!(b.stats.mod_bytes_applied >= 1);
         assert_eq!(b.stats.page_faults, 1);
+    }
+
+    #[test]
+    fn lazy_writes_share_runs_without_deep_copies() {
+        let (mut a, mut b) = two_ctxs(true);
+        // Two pages, several runs each.
+        a.write::<u64>(0, 1);
+        a.write::<u64>(64, 2);
+        a.write::<u64>(4096, 3);
+        let t = a.vc.clone();
+        a.end_slice();
+        a.vc.tick(0);
+
+        let lower = b.vc.clone();
+        b.vc.join(&t);
+        b.propagate_from(0, &t, &lower);
+        let published = b.shared.meta.snapshot_list(0);
+        assert_eq!(published.len(), 1);
+        // Every pending entry aliases the published slice's run storage —
+        // the lazy path defers by Arc bump, not by copying run bytes.
+        let queued: usize = b.pending.values().map(Vec::len).sum();
+        assert_eq!(queued, published[0].mods.len());
+        for handles in b.pending.values() {
+            for h in handles {
+                assert!(published[0].mods.iter().any(|r| std::ptr::eq(r, h.run())));
+            }
+        }
     }
 
     #[test]

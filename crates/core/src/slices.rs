@@ -14,24 +14,33 @@ use rfdet_meta::SliceRec;
 
 impl RfdetCtx {
     /// Ends the current slice: diff, seal, publish. Runs GC if the
-    /// publication crossed the metadata threshold (§4.5).
+    /// publication crossed the metadata threshold (§4.5). Snapshot
+    /// buffers are recycled into the bounded pool after diffing, so the
+    /// next slice's first writes snapshot allocation-free.
     pub(crate) fn end_slice(&mut self) {
         let mut mods = Vec::new();
+        let gap = self.shared.cfg.rfdet.diff_gap_coalesce;
+        let pool_cap = self.shared.cfg.rfdet.snap_pool_pages;
         let snapshots = std::mem::take(&mut self.snapshots);
         // BTreeMap iteration is page-index order — the deterministic
         // modification order within a slice.
         for (page, snap) in snapshots {
-            let Some(current) = self.space.page(page) else {
-                // Snapshot taken but page never materialized: impossible
-                // through the write path, and harmless (no diff).
-                continue;
-            };
-            diff::diff_page(
-                self.space.page_base(page),
-                &snap,
-                current.bytes(),
-                &mut mods,
-            );
+            if let Some(current) = self.space.page(page) {
+                let outcome = diff::diff_page_opts(
+                    self.space.page_base(page),
+                    &snap,
+                    current.bytes(),
+                    gap,
+                    &mut mods,
+                );
+                self.stats.diff_bytes_scanned += outcome.bytes_scanned;
+                self.stats.runs_coalesced += outcome.runs_coalesced;
+            }
+            // else: snapshot taken but page never materialized —
+            // impossible through the write path, and harmless (no diff).
+            if self.snap_pool.len() < pool_cap {
+                self.snap_pool.push(snap);
+            }
         }
         self.stats.slices += 1;
         if !mods.is_empty() {
@@ -149,6 +158,58 @@ mod tests {
         ctx.begin_slice();
         ctx.write::<u8>(0, 2);
         assert_eq!(ctx.stats.page_faults, 2);
+    }
+
+    #[test]
+    fn steady_state_slices_hit_the_snapshot_pool() {
+        let mut ctx = ctx_with(MonitorMode::Ci);
+        // First slice: cold pool, one miss per snapshotted page.
+        ctx.write::<u64>(0, 1);
+        ctx.write::<u64>(4096, 2);
+        assert_eq!(ctx.stats.snapshot_pool_misses, 2);
+        assert_eq!(ctx.stats.snapshot_pool_hits, 0);
+        ctx.end_slice();
+        ctx.begin_slice();
+        // Steady state: both buffers come back from the pool.
+        ctx.write::<u64>(0, 3);
+        ctx.write::<u64>(4096, 4);
+        assert_eq!(ctx.stats.snapshot_pool_hits, 2);
+        assert_eq!(ctx.stats.snapshot_pool_misses, 2);
+        let page = ctx.shared.cfg.page_size;
+        assert_eq!(ctx.stats.snapshot_bytes_copied, 4 * page);
+        ctx.end_slice();
+        assert_eq!(ctx.stats.diff_bytes_scanned, 4 * page);
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.fault_cost_spins = 0;
+        cfg.rfdet.snap_pool_pages = 0;
+        let mut ctx = RfdetCtx::new_main(Arc::new(RuntimeShared::new(cfg)));
+        for i in 0..3 {
+            ctx.write::<u64>(0, i);
+            ctx.end_slice();
+            ctx.begin_slice();
+        }
+        assert_eq!(ctx.stats.snapshot_pool_hits, 0);
+        assert_eq!(ctx.stats.snapshot_pool_misses, 3);
+    }
+
+    #[test]
+    fn gap_coalescing_knob_merges_runs_and_counts() {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.fault_cost_spins = 0;
+        cfg.rfdet.diff_gap_coalesce = 8;
+        let mut ctx = RfdetCtx::new_main(Arc::new(RuntimeShared::new(cfg)));
+        ctx.write::<u8>(100, 1);
+        ctx.write::<u8>(104, 2); // 3-byte unchanged gap: coalesces
+        ctx.end_slice();
+        assert_eq!(ctx.stats.runs_coalesced, 1);
+        let list = ctx.shared.meta.snapshot_list(0);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].mods.len(), 1, "one coalesced run");
+        assert_eq!(list[0].mod_bytes(), 5, "run carries the gap bytes");
     }
 
     #[test]

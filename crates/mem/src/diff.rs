@@ -2,14 +2,27 @@
 //! Modifications" and §4.6 "Correctness of Page Diffing").
 //!
 //! At the end of each slice, every snapshotted page is compared with its
-//! current contents byte-by-byte; runs of differing bytes become
-//! [`ModRun`]s. A byte overwritten with the *same* value produces no run —
-//! that is load-bearing: it implements the paper's
-//! "prefer local writes when the remote write is redundant" conflict
-//! policy (§4.6), and the modification granularity of one byte matches the
-//! smallest C++ scalar.
+//! current contents and runs of differing bytes become [`ModRun`]s. A byte
+//! overwritten with the *same* value produces no run — that is
+//! load-bearing: it implements the paper's "prefer local writes when the
+//! remote write is redundant" conflict policy (§4.6), and the modification
+//! granularity of one byte matches the smallest C++ scalar.
+//!
+//! # The chunked kernel
+//!
+//! Diffing is the per-slice fixed cost of DLRC: every snapshotted page is
+//! scanned in full at every slice end, whether one byte changed or none
+//! (TreadMarks-style LRC systems are historically diff-bandwidth-bound).
+//! [`diff_page`] therefore compares eight bytes at a time: a `u64` XOR of
+//! snapshot and current words is zero iff the whole word is unchanged, and
+//! when it is nonzero, `trailing_zeros / 8` (on the little-endian word
+//! load) names the exact first differing byte — so run boundaries stay
+//! byte-exact while the scan runs at word speed. The byte-at-a-time
+//! [`diff_page_scalar`] is retained as the executable specification; the
+//! two are pinned byte-for-byte equal by a differential property test.
 
 use rfdet_api::Addr;
+use std::sync::Arc;
 
 /// A contiguous run of modified bytes: "a write of the value `data` to
 /// address `addr`" generalized to a run for compactness.
@@ -21,10 +34,23 @@ pub struct ModRun {
     pub data: Box<[u8]>,
 }
 
+/// A sealed, shared modification list. Slices publish their runs behind an
+/// `Arc` so consumers (pending lazy-write queues, barrier merges,
+/// transitive propagation) share one allocation instead of deep-copying
+/// runs — see [`RunHandle`].
+pub type RunList = Arc<[ModRun]>;
+
 impl ModRun {
     /// Creates a run.
+    ///
+    /// Runs are never empty: diffing only materializes a run once it has
+    /// found a differing byte, and coalescing only merges *existing* runs.
+    /// Downstream code (per-page pending queues, `mod_bytes` accounting,
+    /// GC byte budgets) relies on that, so it is asserted here rather than
+    /// documented away.
     #[must_use]
     pub fn new(addr: Addr, data: Box<[u8]>) -> Self {
+        debug_assert!(!data.is_empty(), "empty ModRun constructed");
         Self { addr, data }
     }
 
@@ -34,7 +60,8 @@ impl ModRun {
         self.data.len()
     }
 
-    /// Always false: empty runs are never constructed by diffing.
+    /// `false` for every run built by [`ModRun::new`] (which rejects empty
+    /// data in debug builds); present for container-idiom completeness.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -53,9 +80,189 @@ impl ModRun {
     }
 }
 
+/// A zero-copy reference to one run inside a shared [`RunList`].
+///
+/// Cloning a `RunHandle` bumps one `Arc` — the run bytes themselves are
+/// never copied. The lazy-writes pending queues store these, so deferring
+/// a slice's modifications costs O(runs) pointer pushes instead of a deep
+/// copy of every run's bytes.
+#[derive(Clone, Debug)]
+pub struct RunHandle {
+    list: RunList,
+    idx: usize,
+}
+
+impl RunHandle {
+    /// A handle to `list[idx]`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds for `list`.
+    #[must_use]
+    pub fn new(list: &RunList, idx: usize) -> Self {
+        assert!(idx < list.len(), "RunHandle index out of bounds");
+        Self {
+            list: Arc::clone(list),
+            idx,
+        }
+    }
+
+    /// The referenced run.
+    #[inline]
+    #[must_use]
+    pub fn run(&self) -> &ModRun {
+        &self.list[self.idx]
+    }
+}
+
+impl std::ops::Deref for RunHandle {
+    type Target = ModRun;
+
+    fn deref(&self) -> &ModRun {
+        self.run()
+    }
+}
+
+/// Per-call accounting returned by [`diff_page_opts`]: the raw material of
+/// the `diff_bytes_scanned` / `runs_coalesced` Stats counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// Bytes compared (always the full page: diffing scans everything).
+    pub bytes_scanned: u64,
+    /// Adjacent runs merged into their predecessor by gap coalescing.
+    pub runs_coalesced: u64,
+}
+
+const WORD: usize = std::mem::size_of::<u64>();
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn load_word(s: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(s[i..i + WORD].try_into().expect("8-byte window"))
+}
+
+/// `true` iff some byte of `x` is zero (the classic SWAR zero-byte test).
+#[inline]
+fn has_zero_byte(x: u64) -> bool {
+    x.wrapping_sub(LO) & !x & HI != 0
+}
+
+/// Index of the first zero byte of `x` (little-endian byte order).
+/// Requires `has_zero_byte(x)`.
+#[inline]
+fn first_zero_byte(x: u64) -> usize {
+    ((x.wrapping_sub(LO) & !x & HI).trailing_zeros() / 8) as usize
+}
+
+/// First index `≥ i` at which `snapshot` and `current` differ, or `n`.
+/// Skips equal regions a word at a time; the XOR's trailing zero count
+/// names the exact differing byte inside a mixed word.
+#[inline]
+fn next_diff(snapshot: &[u8], current: &[u8], mut i: usize) -> usize {
+    let n = current.len();
+    while i + WORD <= n {
+        let x = load_word(snapshot, i) ^ load_word(current, i);
+        if x != 0 {
+            return i + (x.trailing_zeros() / 8) as usize;
+        }
+        i += WORD;
+    }
+    while i < n && snapshot[i] == current[i] {
+        i += 1;
+    }
+    i
+}
+
+/// First index `≥ i` at which `snapshot` and `current` agree, or `n`.
+/// Skips all-different regions a word at a time; a word contains an equal
+/// byte iff its XOR has a zero byte.
+#[inline]
+fn next_same(snapshot: &[u8], current: &[u8], mut i: usize) -> usize {
+    let n = current.len();
+    while i + WORD <= n {
+        let x = load_word(snapshot, i) ^ load_word(current, i);
+        if has_zero_byte(x) {
+            return i + first_zero_byte(x);
+        }
+        i += WORD;
+    }
+    while i < n && snapshot[i] != current[i] {
+        i += 1;
+    }
+    i
+}
+
 /// Diffs one page against its snapshot, appending runs of changed bytes to
 /// `out`. `page_base` is the logical address of byte 0 of the page.
+///
+/// Chunked fast path of the retained [`diff_page_scalar`] reference:
+/// byte-for-byte identical output (differentially property-tested), word
+///-at-a-time scan speed.
 pub fn diff_page(page_base: Addr, snapshot: &[u8], current: &[u8], out: &mut Vec<ModRun>) {
+    diff_page_opts(page_base, snapshot, current, 0, out);
+}
+
+/// [`diff_page`] with gap coalescing and scan accounting.
+///
+/// `gap_coalesce` is the §4.5-style space/time trade: when two runs are
+/// separated by at most `gap_coalesce` *unchanged* bytes, they are merged
+/// into one run that also carries the gap bytes (whose current value
+/// equals the snapshot value, by construction — the run data is read from
+/// `current`). Zero disables coalescing and reproduces
+/// [`diff_page_scalar`] exactly.
+///
+/// Coalescing trades run-count (allocation, per-run apply overhead,
+/// metadata) against modification bytes. Determinism is unaffected — the
+/// output is a pure function of `(snapshot, current, gap_coalesce)`, so
+/// every run of the program produces identical run lists. Whether the
+/// *propagated values* match the uncoalesced baseline is subtler (a gap
+/// byte re-applies the producer's pre-slice value, which is a no-op unless
+/// another thread wrote that byte concurrently with the slice); see
+/// DESIGN.md "Gap coalescing and §4.6" for the full argument. The knob
+/// defaults off (`RfdetOpts::diff_gap_coalesce = 0`) for A/B measurement.
+pub fn diff_page_opts(
+    page_base: Addr,
+    snapshot: &[u8],
+    current: &[u8],
+    gap_coalesce: usize,
+    out: &mut Vec<ModRun>,
+) -> DiffOutcome {
+    assert_eq!(snapshot.len(), current.len(), "snapshot/page size mismatch");
+    let n = current.len();
+    let mut outcome = DiffOutcome {
+        bytes_scanned: n as u64,
+        runs_coalesced: 0,
+    };
+    let mut i = next_diff(snapshot, current, 0);
+    while i < n {
+        let start = i;
+        let mut end = next_same(snapshot, current, i);
+        // Look ahead: small unchanged gaps are folded into the run, so a
+        // cluster of nearby writes seals as one run instead of many.
+        loop {
+            let nxt = next_diff(snapshot, current, end);
+            if gap_coalesce > 0 && nxt < n && nxt - end <= gap_coalesce {
+                outcome.runs_coalesced += 1;
+                end = next_same(snapshot, current, nxt);
+            } else {
+                out.push(ModRun::new(
+                    page_base + start as u64,
+                    current[start..end].into(),
+                ));
+                i = nxt;
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+/// The byte-at-a-time reference implementation of [`diff_page`] —
+/// retained as the executable specification the chunked kernel is
+/// differentially tested against (and as the readable statement of the
+/// §4.2/§4.6 semantics: one run per maximal region of differing bytes,
+/// data read from `current`).
+pub fn diff_page_scalar(page_base: Addr, snapshot: &[u8], current: &[u8], out: &mut Vec<ModRun>) {
     assert_eq!(snapshot.len(), current.len(), "snapshot/page size mismatch");
     let mut i = 0;
     let n = current.len();
@@ -189,5 +396,135 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].len(), 64);
         assert_eq!(out[0].end(), 64);
+    }
+
+    #[test]
+    fn run_at_page_edges() {
+        // Differences in the first and last byte: runs must start at 0 and
+        // end exactly at the page size (no word-granularity overshoot).
+        let old = vec![0u8; 48];
+        let mut new = old.clone();
+        new[0] = 1;
+        new[47] = 2;
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                ModRun::new(0, vec![1].into()),
+                ModRun::new(47, vec![2].into())
+            ]
+        );
+    }
+
+    #[test]
+    fn non_multiple_of_word_page() {
+        // A 13-byte buffer exercises the scalar tail after the word loop.
+        let old = vec![9u8; 13];
+        let mut new = old.clone();
+        new[8] = 1;
+        new[12] = 2;
+        let mut out = Vec::new();
+        diff_page(0, &old, &new, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                ModRun::new(8, vec![1].into()),
+                ModRun::new(12, vec![2].into())
+            ]
+        );
+    }
+
+    #[test]
+    fn chunked_matches_scalar_on_alternating_pattern() {
+        // Equal/diff alternation inside single words — the worst case for
+        // word-level skipping logic.
+        let old: Vec<u8> = (0..64).map(|i| (i % 7) as u8).collect();
+        let mut new = old.clone();
+        for i in (0..64).step_by(2) {
+            new[i] ^= 0x55;
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        diff_page(0, &old, &new, &mut a);
+        diff_page_scalar(0, &old, &new, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalescing_merges_across_small_gaps() {
+        let old = vec![0u8; 64];
+        let mut new = old.clone();
+        new[10] = 1;
+        new[14] = 2; // gap of 3 unchanged bytes (11..14)
+        new[40] = 3; // gap of 25: never coalesced at threshold 8
+        let mut out = Vec::new();
+        let outcome = diff_page_opts(0, &old, &new, 8, &mut out);
+        assert_eq!(outcome.runs_coalesced, 1);
+        assert_eq!(outcome.bytes_scanned, 64);
+        assert_eq!(
+            out,
+            vec![
+                ModRun::new(10, vec![1, 0, 0, 0, 2].into()),
+                ModRun::new(40, vec![3].into()),
+            ]
+        );
+        // The gap bytes carry the snapshot value — re-applying them onto
+        // the snapshot is a no-op (the §4.6-preservation argument).
+        assert_eq!(out[0].data[1..4], old[11..14]);
+    }
+
+    #[test]
+    fn coalescing_off_means_identical_to_scalar() {
+        let old = vec![0u8; 32];
+        let mut new = old.clone();
+        new[1] = 1;
+        new[3] = 3;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let outcome = diff_page_opts(0, &old, &new, 0, &mut a);
+        diff_page_scalar(0, &old, &new, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(outcome.runs_coalesced, 0);
+    }
+
+    #[test]
+    fn coalescing_never_merges_past_threshold() {
+        let old = vec![0u8; 32];
+        let mut new = old.clone();
+        new[0] = 1;
+        new[10] = 2; // gap of 9 > threshold 8
+        let mut out = Vec::new();
+        let outcome = diff_page_opts(0, &old, &new, 8, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(outcome.runs_coalesced, 0);
+    }
+
+    #[test]
+    fn run_handle_shares_without_copying() {
+        let list: RunList = vec![
+            ModRun::new(0, vec![1].into()),
+            ModRun::new(8, vec![2, 3].into()),
+        ]
+        .into();
+        let h = RunHandle::new(&list, 1);
+        assert_eq!(h.addr, 8);
+        assert_eq!(h.run().len(), 2);
+        let h2 = h.clone();
+        // Both handles alias the same backing run storage.
+        assert!(std::ptr::eq(h.run(), h2.run()));
+        assert_eq!(Arc::strong_count(&list), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn run_handle_rejects_bad_index() {
+        let list: RunList = vec![ModRun::new(0, vec![1].into())].into();
+        let _ = RunHandle::new(&list, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "empty ModRun")]
+    fn empty_run_is_rejected() {
+        let _ = ModRun::new(0, Vec::new().into());
     }
 }

@@ -25,7 +25,7 @@ mod prot;
 mod space;
 
 pub use alloc::{StripAllocator, ThreadHeap, MAX_HEAP_THREADS};
-pub use diff::ModRun;
+pub use diff::{ModRun, RunHandle, RunList};
 pub use page::Page;
 pub use prot::PageFlags;
 pub use space::PrivateSpace;

@@ -93,6 +93,19 @@ impl PrivateSpace {
         }
     }
 
+    /// Snapshots page `idx` into a caller-provided page-sized buffer —
+    /// the allocation-free path used by the snapshot buffer pool.
+    ///
+    /// # Panics
+    /// Panics if `buf` is not exactly one page long.
+    pub fn snapshot_page_into(&self, idx: usize, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size, "snapshot buffer size mismatch");
+        match &self.pages[idx] {
+            Some(p) => buf.copy_from_slice(p.bytes()),
+            None => buf.fill(0),
+        }
+    }
+
     fn check_range(&self, addr: Addr, len: usize) {
         let end = addr.checked_add(len as u64).expect("address overflow");
         let space = (self.pages.len() * self.page_size) as u64;
@@ -145,10 +158,49 @@ impl PrivateSpace {
 
     /// Applies many runs in order (later runs overwrite earlier ones at
     /// conflicting addresses — the deterministic "remote wins" policy).
-    pub fn apply_runs(&mut self, runs: &[ModRun]) {
-        for r in runs {
-            self.apply_run(r);
+    ///
+    /// Batched per page: consecutive runs landing on the same page resolve
+    /// (and, under COW sharing, copy) that page once for the whole group
+    /// instead of once per run. Slice modification lists arrive sorted by
+    /// address (diffing walks pages in index order), so in the propagation
+    /// hot path nearly every group spans a slice's full per-page run
+    /// cluster. Runs that straddle a page boundary fall back to the
+    /// general write path. Returns the total bytes written.
+    pub fn apply_runs(&mut self, runs: &[ModRun]) -> u64 {
+        let mut applied: u64 = 0;
+        let mut k = 0;
+        while k < runs.len() {
+            let r = &runs[k];
+            let idx = self.page_of(r.addr);
+            let page_end = self.page_base(idx) + self.page_size as u64;
+            if r.end() > page_end {
+                // Page-straddling run (never produced by diffing, which is
+                // per-page): take the splitting slow path.
+                self.apply_run(r);
+                applied += r.len() as u64;
+                k += 1;
+                continue;
+            }
+            // Extend the group over every following run inside this page.
+            let mut end = k + 1;
+            while end < runs.len() {
+                let n = &runs[end];
+                if self.page_of(n.addr) != idx || n.end() > page_end {
+                    break;
+                }
+                end += 1;
+            }
+            self.check_range(runs[end - 1].end().saturating_sub(1), 1);
+            let base = self.page_base(idx);
+            let bytes = self.ensure_page(idx).bytes_mut();
+            for run in &runs[k..end] {
+                let off = (run.addr - base) as usize;
+                bytes[off..off + run.len()].copy_from_slice(&run.data);
+                applied += run.len() as u64;
+            }
+            k = end;
         }
+        applied
     }
 
     fn ensure_page(&mut self, idx: usize) -> &mut Page {
@@ -174,8 +226,10 @@ impl PrivateSpace {
 mod tests {
     use super::*;
 
+    const SPACE_BYTES: u64 = 64 * 1024;
+
     fn space() -> PrivateSpace {
-        PrivateSpace::new(64 * 1024, 4096)
+        PrivateSpace::new(SPACE_BYTES, 4096)
     }
 
     #[test]
@@ -242,13 +296,79 @@ mod tests {
     #[test]
     fn apply_runs_last_wins() {
         let mut s = space();
-        s.apply_runs(&[
+        let applied = s.apply_runs(&[
             ModRun::new(10, vec![1, 1, 1].into()),
             ModRun::new(11, vec![2].into()),
         ]);
+        assert_eq!(applied, 4);
         let mut buf = [0u8; 3];
         s.read(10, &mut buf);
         assert_eq!(buf, [1, 2, 1]);
+    }
+
+    #[test]
+    fn apply_runs_batches_across_pages_and_straddles() {
+        let mut s = space();
+        // Two runs on page 0, one straddling pages 1/2, one on page 3.
+        let applied = s.apply_runs(&[
+            ModRun::new(0, vec![1].into()),
+            ModRun::new(100, vec![2, 2].into()),
+            ModRun::new(2 * 4096 - 1, vec![3, 4].into()),
+            ModRun::new(3 * 4096 + 5, vec![5].into()),
+        ]);
+        assert_eq!(applied, 6);
+        assert_eq!(s.page(0).unwrap().bytes()[0], 1);
+        assert_eq!(s.page(0).unwrap().bytes()[100..102], [2, 2]);
+        assert_eq!(s.page(1).unwrap().bytes()[4095], 3);
+        assert_eq!(s.page(2).unwrap().bytes()[0], 4);
+        assert_eq!(s.page(3).unwrap().bytes()[5], 5);
+        assert_eq!(s.materialized_pages(), 4);
+    }
+
+    #[test]
+    fn apply_runs_matches_apply_run_one_by_one() {
+        let runs = vec![
+            ModRun::new(4090, vec![7; 3].into()),
+            ModRun::new(4096, vec![8; 2].into()),
+            ModRun::new(4100, vec![9].into()),
+        ];
+        let mut batched = space();
+        batched.apply_runs(&runs);
+        let mut serial = space();
+        for r in &runs {
+            serial.apply_run(r);
+        }
+        let (mut a, mut b) = (vec![0u8; 2 * 4096], vec![0u8; 2 * 4096]);
+        batched.read(0, &mut a);
+        serial.read(0, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn apply_runs_out_of_bounds_panics() {
+        let mut s = space();
+        s.apply_runs(&[ModRun::new(SPACE_BYTES - 1, vec![1, 2].into())]);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut s = space();
+        s.write(4096 + 17, &[9, 8, 7]);
+        let mut buf = vec![0xAAu8; 4096];
+        s.snapshot_page_into(1, &mut buf);
+        assert_eq!(&*s.snapshot_page(1), &buf[..]);
+        // Unmaterialized page zero-fills the reused buffer.
+        s.snapshot_page_into(2, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn snapshot_into_rejects_wrong_size() {
+        let s = space();
+        let mut buf = vec![0u8; 100];
+        s.snapshot_page_into(0, &mut buf);
     }
 
     #[test]

@@ -94,6 +94,96 @@ proptest! {
         }
     }
 
+    /// Differential pin: the chunked word-at-a-time kernel produces
+    /// byte-for-byte the same run list as the retained scalar reference,
+    /// at every buffer length (word-alignment edge cases included) and
+    /// under arbitrary mutation patterns.
+    #[test]
+    fn chunked_diff_matches_scalar_reference(
+        // 1..96 sweeps every length mod 8, covering partial-word tails.
+        len in 1usize..96,
+        base in prop::collection::vec(any::<u8>(), 96),
+        flips in prop::collection::vec((0usize..96, any::<u8>()), 0..48),
+        page_base in 0u64..1 << 40,
+    ) {
+        let snapshot = base[..len].to_vec();
+        let mut current = snapshot.clone();
+        for (pos, val) in flips {
+            current[pos % len] = val;
+        }
+        let (mut chunked, mut scalar) = (Vec::new(), Vec::new());
+        diff::diff_page(page_base, &snapshot, &current, &mut chunked);
+        diff::diff_page_scalar(page_base, &snapshot, &current, &mut scalar);
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    /// The targeted shapes the kernel's word loop can get wrong: runs
+    /// touching either page edge, a fully dirty page, and identical pages
+    /// — against the scalar reference on a real 4 KiB page.
+    #[test]
+    fn chunked_diff_edge_shapes(shape in 0u8..4, fill in any::<u8>(), seed in any::<u8>()) {
+        let snapshot = vec![fill; 4096];
+        let mut current = snapshot.clone();
+        match shape {
+            0 => { current[0] = fill.wrapping_add(1).wrapping_add(seed); }
+            1 => { current[4095] = fill.wrapping_add(1).wrapping_add(seed); }
+            2 => { for b in &mut current { *b = b.wrapping_add(1); } }
+            _ => {} // identical pages
+        }
+        let (mut chunked, mut scalar) = (Vec::new(), Vec::new());
+        diff::diff_page(8192, &snapshot, &current, &mut chunked);
+        diff::diff_page_scalar(8192, &snapshot, &current, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+        match shape {
+            2 => prop_assert_eq!(diff::runs_len(&chunked), 4096),
+            3 => prop_assert!(chunked.is_empty()),
+            _ => prop_assert_eq!(diff::runs_len(&chunked), 1),
+        }
+    }
+
+    /// Gap coalescing preserves the diff round-trip (coalesced runs
+    /// applied onto the snapshot still rebuild `current` exactly) and
+    /// only ever covers extra bytes whose current value equals the
+    /// snapshot value — the semantics-preservation invariant.
+    #[test]
+    fn coalesced_diff_roundtrip_and_gap_invariant(
+        snapshot in prop::collection::vec(any::<u8>(), 256),
+        flips in prop::collection::vec((0usize..256, any::<u8>()), 0..64),
+        gap in 0usize..32,
+    ) {
+        let mut current = snapshot.clone();
+        for (pos, val) in flips {
+            current[pos] = val;
+        }
+        let mut runs = Vec::new();
+        let outcome = diff::diff_page_opts(0, &snapshot, &current, gap, &mut runs);
+        prop_assert_eq!(outcome.bytes_scanned, 256);
+        let mut rebuilt = snapshot.clone();
+        for r in &runs {
+            prop_assert!(!r.is_empty());
+            rebuilt[r.addr as usize..r.end() as usize].copy_from_slice(&r.data);
+        }
+        prop_assert_eq!(&rebuilt, &current);
+        // Every run byte either differs from the snapshot (a real
+        // modification) or equals it (a coalesced gap byte — re-applying
+        // it onto an unchanged byte is a no-op by construction).
+        for r in &runs {
+            for (i, &b) in r.data.iter().enumerate() {
+                let idx = r.addr as usize + i;
+                prop_assert_eq!(b, current[idx]);
+            }
+            // Run boundaries are always real modifications.
+            prop_assert_ne!(r.data[0], snapshot[r.addr as usize]);
+            prop_assert_ne!(r.data[r.len() - 1], snapshot[r.end() as usize - 1]);
+        }
+        // Runs stay sorted, non-overlapping, and separated by more than
+        // `gap` unchanged bytes (otherwise they would have merged).
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end() <= w[1].addr);
+            prop_assert!((w[1].addr - w[0].end()) as usize > gap);
+        }
+    }
+
     /// Allocations from all strips never overlap, regardless of
     /// interleaving.
     #[test]

@@ -1,7 +1,7 @@
 //! Published slices.
 
 use rfdet_mem::diff;
-use rfdet_mem::ModRun;
+use rfdet_mem::{ModRun, RunList};
 use rfdet_vclock::{Tid, VClock};
 use std::sync::Arc;
 
@@ -17,7 +17,11 @@ pub struct SliceRec {
     /// Vector-clock timestamp taken at slice start.
     pub time: VClock,
     /// Ordered byte-granularity modifications computed by page diffing.
-    pub mods: Vec<ModRun>,
+    /// Sealed behind an `Arc` so every consumer of the slice — pending
+    /// lazy-write queues ([`rfdet_mem::RunHandle`]), barrier merges,
+    /// transitive propagation — shares the one run list instead of deep-
+    /// copying runs.
+    pub mods: RunList,
     heap_bytes: usize,
 }
 
@@ -26,7 +30,9 @@ pub struct SliceRec {
 pub type SliceRef = Arc<SliceRec>;
 
 impl SliceRec {
-    /// Seals a slice for publication.
+    /// Seals a slice for publication. The modification list is frozen into
+    /// a shared [`RunList`] here — publication is the point after which
+    /// the runs are immutable and multi-consumer.
     #[must_use]
     pub fn new(tid: Tid, seq: u64, time: VClock, mods: Vec<ModRun>) -> Self {
         let heap_bytes =
@@ -35,7 +41,7 @@ impl SliceRec {
             tid,
             seq,
             time,
-            mods,
+            mods: mods.into(),
             heap_bytes,
         }
     }

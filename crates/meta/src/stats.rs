@@ -67,6 +67,11 @@ atomic_stats!(
     prelock_premerged,
     lazy_deferred_bytes,
     lazy_elided_bytes,
+    diff_bytes_scanned,
+    snapshot_bytes_copied,
+    snapshot_pool_hits,
+    snapshot_pool_misses,
+    runs_coalesced,
     global_fences,
     serial_commits,
     private_pages,

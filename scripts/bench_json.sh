@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_2.json — machine-readable micro-bench numbers for
+# the memory-pipeline fast path (chunked diff kernel, zero-copy
+# propagation, snapshot pooling).
+#
+# Usage: scripts/bench_json.sh [--quick] [--out PATH]
+#   --quick  shrink measurement time for CI smoke runs
+#   --out    output path (default: BENCH_2.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p rfdet-bench --bin bench_json -- "$@"
