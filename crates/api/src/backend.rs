@@ -1,6 +1,6 @@
 //! The backend abstraction: anything that can execute a DMT workload.
 
-use crate::{RunConfig, Stats, ThreadFn};
+use crate::{RunConfig, RunError, Stats, ThreadFn};
 
 /// The result of running a workload to completion under some backend.
 #[derive(Clone, Debug, Default)]
@@ -41,8 +41,27 @@ pub trait DmtBackend: Send + Sync {
     fn is_deterministic(&self) -> bool;
 
     /// Runs `root` as the main thread and blocks until the whole thread
-    /// tree has finished.
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput;
+    /// tree has finished or the run fails.
+    ///
+    /// # Errors
+    /// Returns a [`RunError`] — carrying a reproducible
+    /// [`crate::FailureReport`] — when any thread panics, when every
+    /// live thread is provably blocked on another, or when the run makes
+    /// no progress for the configured wall-clock bound.
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError>;
+
+    /// [`Self::run`], panicking with the rendered failure report on
+    /// error. The convenience entry point for tests, benches and
+    /// examples that expect a clean run.
+    ///
+    /// # Panics
+    /// Panics with [`crate::FailureReport::render`] when the run fails.
+    fn run_expect(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
+        match self.run(cfg, root) {
+            Ok(out) => out,
+            Err(e) => panic!("{}", e.report().render()),
+        }
+    }
 }
 
 #[cfg(test)]

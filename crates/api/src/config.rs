@@ -1,5 +1,8 @@
 //! Run configuration shared by all backends.
 
+use crate::FaultPlan;
+use std::time::Duration;
+
 /// How RFDet monitors memory modifications (paper §4.2 and Figure 7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MonitorMode {
@@ -98,6 +101,19 @@ pub struct RunConfig {
     pub jitter_seed: Option<u64>,
     /// Upper bound on injected delay per point, in microseconds.
     pub jitter_max_us: u64,
+    /// Deterministic faults to inject (panics, failed allocations,
+    /// logical-clock jitter), keyed off per-thread sync-op/allocation
+    /// counts. Empty by default. See [`FaultPlan`].
+    pub fault_plan: FaultPlan,
+    /// Run supervision: convert worker panics, provable deadlocks and
+    /// wedged runs into a typed `RunError` with every parked thread
+    /// woken in bounded time. Disable only to measure its overhead.
+    pub supervise: bool,
+    /// Wall-clock fallback bound, in milliseconds: a thread making no
+    /// progress for this long fails the run as wedged (deadlocks are
+    /// normally detected structurally, long before this fires). `None`
+    /// disables the fallback.
+    pub deadlock_after_ms: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -113,6 +129,9 @@ impl Default for RunConfig {
             quantum_ticks: 10_000,
             jitter_seed: None,
             jitter_max_us: 50,
+            fault_plan: FaultPlan::new(),
+            supervise: true,
+            deadlock_after_ms: Some(30_000),
         }
     }
 }
@@ -132,6 +151,12 @@ impl RunConfig {
     #[must_use]
     pub fn num_pages(&self) -> u64 {
         self.space_bytes.div_ceil(self.page_size)
+    }
+
+    /// The wall-clock wedge bound as a [`Duration`].
+    #[must_use]
+    pub fn deadlock_after(&self) -> Option<Duration> {
+        self.deadlock_after_ms.map(Duration::from_millis)
     }
 
     /// Validates invariants (power-of-two page size, nonzero space).

@@ -19,10 +19,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod backend;
 mod config;
 mod ctx;
+mod error;
+mod fault;
 mod pod;
 mod rng;
 mod stats;
@@ -30,6 +33,8 @@ mod stats;
 pub use backend::{DmtBackend, RunOutput};
 pub use config::{MonitorMode, RfdetOpts, RunConfig};
 pub use ctx::{AtomicOp, BarrierId, CondId, DmtCtx, DmtCtxExt, MutexId, ThreadFn, ThreadHandle};
+pub use error::{FailureKind, FailureReport, RunError, ThreadReport, WaitEdge, WaitTarget};
+pub use fault::{FaultAction, FaultPlan, FaultSpec, SyncOpFault};
 pub use pod::Pod;
 pub use rng::DetRng;
 pub use stats::Stats;

@@ -80,7 +80,7 @@ fn main() {
     for b in &backends {
         let done = Arc::new(Mutex::new(None));
         let start = Instant::now();
-        let out = b.run(&cfg, scenario(Arc::clone(&done), start));
+        let out = b.run_expect(&cfg, scenario(Arc::clone(&done), start));
         let total = start.elapsed();
         let lockers = done.lock().expect("scenario records locker time");
         assert_eq!(out.output, format!("locks={}", 2 * LOCK_ITERS).as_bytes());

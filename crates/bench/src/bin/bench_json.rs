@@ -1,7 +1,9 @@
-//! Emits `BENCH_2.json`: machine-readable numbers for the memory-
+//! Emits `BENCH_3.json`: machine-readable numbers for the memory-
 //! pipeline fast path — chunked vs scalar diff kernel, gap coalescing,
-//! the propagate-heavy 4-thread workload, and the pool/diff stats
-//! counters from one instrumented run.
+//! the propagate-heavy 4-thread workload, the pool/diff stats counters
+//! from one instrumented run — plus the supervisor-overhead A/B
+//! (`cfg.supervise` on vs off on the 4-thread contended-mutex
+//! workload; DESIGN.md §4.7 budgets this at <2%).
 //!
 //! Usage: `bench_json [--out PATH] [--quick]`. `--quick` shrinks the
 //! measurement target so CI can smoke-test the emission path in
@@ -63,7 +65,7 @@ fn propagate_heavy_root(ctx: &mut dyn DmtCtx) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_3.json");
     let mut quick = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -138,7 +140,25 @@ fn main() {
             "rfdet/4t_propagate_heavy_eager"
         };
         let (ns, iters) = measure(target, || {
-            black_box(RfdetBackend::ci().run(&cfg, Box::new(propagate_heavy_root)));
+            black_box(RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root)));
+        });
+        results.push((id.to_owned(), ns, iters));
+    }
+
+    // Supervisor-overhead A/B on the same 4-thread contended-mutex
+    // workload: `supervise: true` (fault hooks armed, structural
+    // deadlock scans enabled — the default) vs `supervise: false`.
+    for supervise in [true, false] {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.fault_cost_spins = 0;
+        cfg.supervise = supervise;
+        let id = if supervise {
+            "rfdet/4t_propagate_heavy_supervised"
+        } else {
+            "rfdet/4t_propagate_heavy_unsupervised"
+        };
+        let (ns, iters) = measure(target, || {
+            black_box(RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root)));
         });
         results.push((id.to_owned(), ns, iters));
     }
@@ -146,7 +166,7 @@ fn main() {
     // One instrumented run for the new fast-path counters.
     let mut cfg = RunConfig::small();
     cfg.rfdet.fault_cost_spins = 0;
-    let run = RfdetBackend::ci().run(&cfg, Box::new(propagate_heavy_root));
+    let run = RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root));
     let s = &run.stats;
 
     let lookup = |id: &str| -> f64 {
@@ -182,6 +202,19 @@ fn main() {
         "    \"page_fragmented\": {:.2}",
         speedup("fragmented")
     );
+    json.push_str("  },\n");
+    let sup_ns = lookup("rfdet/4t_propagate_heavy_supervised");
+    let unsup_ns = lookup("rfdet/4t_propagate_heavy_unsupervised");
+    json.push_str("  \"supervisor_overhead\": {\n");
+    let _ = writeln!(json, "    \"bench\": \"rfdet/4t_propagate_heavy\",");
+    let _ = writeln!(json, "    \"supervised_ns\": {sup_ns:.1},");
+    let _ = writeln!(json, "    \"unsupervised_ns\": {unsup_ns:.1},");
+    let _ = writeln!(
+        json,
+        "    \"overhead_frac\": {:.4},",
+        sup_ns / unsup_ns - 1.0
+    );
+    let _ = writeln!(json, "    \"budget_frac\": 0.02");
     json.push_str("  },\n");
     json.push_str("  \"counters\": {\n");
     let _ = writeln!(

@@ -39,7 +39,8 @@ fn main() {
                 } else {
                     Some(u64::from(run))
                 };
-                let out = backend.run(&cfg, (racey.factory)(Params::new(threads, opts.size)));
+                let out =
+                    backend.run_expect(&cfg, (racey.factory)(Params::new(threads, opts.size)));
                 let sig = String::from_utf8_lossy(&out.output).trim().to_owned();
                 if run == 0 {
                     first = sig.clone();

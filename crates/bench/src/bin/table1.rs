@@ -27,9 +27,9 @@ fn main() {
     let mut rows = Vec::new();
     for w in opts.selected(benchmarks()) {
         let params = Params::new(opts.threads, opts.size);
-        let rf = RfdetBackend::ci().run(&cfg, (w.factory)(params));
-        let dt = DthreadsBackend.run(&cfg, (w.factory)(params));
-        let nat = NativeBackend.run(&cfg, (w.factory)(params));
+        let rf = RfdetBackend::ci().run_expect(&cfg, (w.factory)(params));
+        let dt = DthreadsBackend.run_expect(&cfg, (w.factory)(params));
+        let nat = NativeBackend.run_expect(&cfg, (w.factory)(params));
         let s = rf.stats;
         let page = cfg.page_size;
         // Footprints: pthreads = the app's real shared footprint (the

@@ -116,7 +116,7 @@ pub fn time_workload(
     let mut last = RunOutput::default();
     for _ in 0..reps {
         let start = Instant::now();
-        last = backend.run(cfg, (w.factory)(params));
+        last = backend.run_expect(cfg, (w.factory)(params));
         total += start.elapsed();
     }
     (total / reps, last)

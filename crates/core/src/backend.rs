@@ -2,8 +2,8 @@
 
 use crate::ctx::RfdetCtx;
 use crate::shared::RuntimeShared;
-use rfdet_api::{DmtBackend, MonitorMode, RunConfig, RunOutput, ThreadFn};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use rfdet_api::{DmtBackend, MonitorMode, RunConfig, RunError, RunOutput, ThreadFn};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// The RFDet deterministic-multithreading backend.
@@ -50,7 +50,7 @@ impl DmtBackend for RfdetBackend {
         true
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
         let mut cfg = cfg.clone();
         if let Some(m) = self.monitor_override {
             cfg.rfdet.monitor = m;
@@ -62,10 +62,13 @@ impl DmtBackend for RfdetBackend {
             main.on_exit();
         }));
         if let Err(payload) = result {
-            shared.record_panic(0, payload);
+            let state = main.thread_report();
+            shared.record_panic(0, payload, Some(state));
         }
         // Harvest every worker; children may keep spawning while we join,
-        // so loop until the handle map stays empty.
+        // so loop until the handle map stays empty. Workers never unwind
+        // out of their closure (panics route through record_panic), so
+        // these joins cannot themselves fail.
         loop {
             let handles: Vec<_> = {
                 let mut map = shared.os_handles.lock();
@@ -75,17 +78,16 @@ impl DmtBackend for RfdetBackend {
                 break;
             }
             for h in handles {
-                // Worker panics were already routed through record_panic.
                 let _ = h.join();
             }
         }
-        if let Some(payload) = shared.panic_payload.lock().take() {
-            resume_unwind(payload);
+        if let Some(err) = shared.take_run_error(&self.name()) {
+            return Err(err);
         }
-        RunOutput {
+        Ok(RunOutput {
             output: shared.meta.collect_output(),
             stats: shared.meta.stats.snapshot(),
-        }
+        })
     }
 }
 
@@ -110,7 +112,7 @@ mod tests {
 
     #[test]
     fn single_threaded_run_produces_output() {
-        let out = RfdetBackend::ci().run(
+        let out = RfdetBackend::ci().run_expect(
             &small(),
             Box::new(|ctx| {
                 ctx.write::<u64>(128, 9);
@@ -125,7 +127,7 @@ mod tests {
 
     #[test]
     fn spawn_join_propagates_child_writes() {
-        let out = RfdetBackend::ci().run(
+        let out = RfdetBackend::ci().run_expect(
             &small(),
             Box::new(|ctx| {
                 let h = ctx.spawn(Box::new(|ctx| {
@@ -143,7 +145,7 @@ mod tests {
 
     #[test]
     fn child_inherits_parent_memory_at_fork() {
-        let out = RfdetBackend::ci().run(
+        let out = RfdetBackend::ci().run_expect(
             &small(),
             Box::new(|ctx| {
                 ctx.write::<u64>(64, 77);
@@ -162,7 +164,7 @@ mod tests {
 
     #[test]
     fn mutex_critical_sections_compose() {
-        let out = RfdetBackend::ci().run(
+        let out = RfdetBackend::ci().run_expect(
             &small(),
             Box::new(|ctx| {
                 let m = MutexId(1);
@@ -265,9 +267,9 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates() {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            RfdetBackend::ci().run(
+    fn worker_panic_becomes_typed_error() {
+        let err = RfdetBackend::ci()
+            .run(
                 &small(),
                 Box::new(|ctx| {
                     let h = ctx.spawn(Box::new(|_ctx| {
@@ -276,7 +278,11 @@ mod tests {
                     ctx.join(h);
                 }),
             )
-        }));
-        assert!(result.is_err(), "panic must propagate out of run()");
+            .expect_err("worker panic must fail the run");
+        assert!(matches!(err, RunError::WorkerPanicked(_)));
+        let r = err.report();
+        assert_eq!(r.tid, 1, "the worker, not the joining main thread");
+        assert_eq!(r.message, "worker exploded");
+        assert!(r.culprit.is_some(), "culprit state captured");
     }
 }

@@ -71,6 +71,13 @@ pub struct RfdetCtx {
     /// A slice publication crossed the GC threshold; a pass runs at the
     /// next off-turn point.
     pub(crate) gc_pending: bool,
+    /// Synchronization operations started (the `FaultPlan` trigger
+    /// coordinate and the `sync_ops` field of failure reports).
+    pub(crate) sync_ops: u64,
+    /// The last sync op started, as `(kind, argument)` (for reports).
+    pub(crate) last_op: Option<(&'static str, Option<u64>)>,
+    /// Allocations performed (the `FaultPlan::fail_alloc` coordinate).
+    pub(crate) allocs: u64,
     exited: bool,
 }
 
@@ -130,6 +137,9 @@ impl RfdetCtx {
             meta_thread,
             mailbox,
             gc_pending: false,
+            sync_ops: 0,
+            last_op: None,
+            allocs: 0,
             exited: false,
         };
         // `begin_slice` applies pf protection; safe to call here because
@@ -393,6 +403,7 @@ impl DmtCtx for RfdetCtx {
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
         self.kendo.tick(1);
+        self.alloc_fault_point();
         self.stats.shared_bytes += size;
         self.heap.alloc(size, align)
     }

@@ -23,7 +23,7 @@
 //! use rfdet_core::RfdetBackend;
 //!
 //! let backend = RfdetBackend::default();
-//! let out = backend.run(&RunConfig::small(), Box::new(|ctx| {
+//! let out = backend.run_expect(&RunConfig::small(), Box::new(|ctx| {
 //!     let m = MutexId(0);
 //!     let counter = 4096; // an address in the static region
 //!     let children: Vec<_> = (0..2)
@@ -49,6 +49,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod backend;
 mod ctx;
@@ -56,6 +57,7 @@ mod handoff;
 mod propagation;
 mod shared;
 mod slices;
+mod supervise;
 mod sync;
 
 pub use backend::RfdetBackend;

@@ -1,6 +1,7 @@
 //! Run-wide shared state.
 
 use crate::handoff::Mailbox;
+use crate::supervise::Supervisor;
 use parking_lot::{Mutex, RwLock};
 use rfdet_api::{RunConfig, Tid};
 use rfdet_kendo::KendoState;
@@ -70,8 +71,8 @@ pub(crate) struct RuntimeShared {
     pub mailboxes: RwLock<Vec<Arc<Mutex<Mailbox>>>>,
     /// OS join handles of spawned threads, harvested at run teardown.
     pub os_handles: Mutex<HashMap<Tid, std::thread::JoinHandle<()>>>,
-    /// First panic payload captured from a worker thread.
-    pub panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Failure recording and teardown coordination (see `supervise`).
+    pub supervisor: Supervisor,
 }
 
 impl RuntimeShared {
@@ -79,7 +80,9 @@ impl RuntimeShared {
         cfg.validate();
         let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
         Self {
-            kendo: KendoState::new(),
+            // The wall-clock bound is only the *fallback*: structural
+            // deadlock detection (supervise.rs) normally fires first.
+            kendo: KendoState::new().with_deadlock_timeout(cfg.deadlock_after()),
             meta: MetaSpace::with_options(
                 cfg.meta_capacity_bytes as usize,
                 cfg.gc_threshold,
@@ -90,7 +93,7 @@ impl RuntimeShared {
             queues: SyncQueues::default(),
             mailboxes: RwLock::new(Vec::new()),
             os_handles: Mutex::new(HashMap::new()),
-            panic_payload: Mutex::new(None),
+            supervisor: Supervisor::default(),
             cfg,
         }
     }
@@ -107,18 +110,6 @@ impl RuntimeShared {
     /// Mailbox of an arbitrary thread (for depositing handoffs).
     pub fn mailbox(&self, tid: Tid) -> Arc<Mutex<Mailbox>> {
         Arc::clone(&self.mailboxes.read()[tid as usize])
-    }
-
-    /// Records a worker panic (first wins) and aborts the protocol.
-    pub fn record_panic(&self, tid: Tid, payload: Box<dyn std::any::Any + Send>) {
-        {
-            let mut slot = self.panic_payload.lock();
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
-        }
-        self.kendo.set_abort();
-        self.kendo.finish_forced(tid);
     }
 }
 
@@ -148,13 +139,13 @@ mod tests {
     }
 
     #[test]
-    fn record_panic_keeps_first_payload_and_aborts() {
+    fn record_panic_keeps_first_message_and_aborts() {
         let s = RuntimeShared::new(RunConfig::small());
         let _h = s.kendo.register(0);
-        s.record_panic(0, Box::new("first"));
-        s.record_panic(0, Box::new("second"));
+        s.record_panic(0, Box::new("first"), None);
+        s.record_panic(0, Box::new("second"), None);
         assert!(s.kendo.aborted());
-        let payload = s.panic_payload.lock().take().unwrap();
-        assert_eq!(*payload.downcast::<&str>().unwrap(), "first");
+        let err = s.take_run_error("test").unwrap();
+        assert_eq!(err.report().message, "first");
     }
 }

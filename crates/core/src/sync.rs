@@ -66,15 +66,22 @@ fn op_epilogue(ctx: &mut RfdetCtx) {
 fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
     let kendo_handle = ctx.kendo.clone();
     let shared = Arc::clone(&ctx.shared);
+    // Parked threads double as the deadlock detector: the park-idle
+    // callback runs the cheap all-blocked scan (supervise.rs), so a
+    // stable deadlock is found by the threads inside it — no watchdog
+    // thread, no wall clock.
     match premerge_source.filter(|_| ctx.shared.cfg.rfdet.prelock) {
         Some(src) => {
             // First round immediately, then periodically while parked.
             ctx.premerge_round(src);
-            shared
-                .kendo
-                .park_until_active_with(&kendo_handle, || ctx.premerge_round(src));
+            shared.kendo.park_until_active_with(&kendo_handle, || {
+                ctx.premerge_round(src);
+                shared.check_deadlock();
+            });
         }
-        None => shared.kendo.park_until_active(&kendo_handle),
+        None => shared
+            .kendo
+            .park_until_active_with(&kendo_handle, || shared.check_deadlock()),
     }
     let mail = ctx.mailbox.lock().drain();
     debug_assert!(!mail.is_empty(), "woken without a handoff");
@@ -99,6 +106,7 @@ enum LockPath {
 }
 
 pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
+    ctx.fault_point("lock", Some(u64::from(m.0)));
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.locks += 1;
@@ -180,6 +188,7 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
 }
 
 pub(crate) fn unlock_impl(ctx: &mut RfdetCtx, m: MutexId) {
+    ctx.fault_point("unlock", Some(u64::from(m.0)));
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.unlocks += 1;
@@ -223,6 +232,7 @@ fn handoff_release(ctx: &mut RfdetCtx, target: Tid, time: VClock) {
 }
 
 pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
+    ctx.fault_point("cond_wait", Some(u64::from(c.0)));
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.waits += 1;
@@ -268,6 +278,14 @@ pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
 }
 
 pub(crate) fn signal_impl(ctx: &mut RfdetCtx, c: CondId, broadcast: bool) {
+    ctx.fault_point(
+        if broadcast {
+            "cond_broadcast"
+        } else {
+            "cond_signal"
+        },
+        Some(u64::from(c.0)),
+    );
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.signals += 1;
@@ -345,6 +363,7 @@ pub(crate) fn signal_impl(ctx: &mut RfdetCtx, c: CondId, broadcast: bool) {
 
 pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
     assert!(parties > 0, "barrier with zero parties");
+    ctx.fault_point("barrier", Some(u64::from(b.0)));
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.barriers += 1;
@@ -408,6 +427,7 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
 }
 
 pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
+    ctx.fault_point("spawn", None);
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.forks += 1;
@@ -454,7 +474,10 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
                 child.on_exit();
             }));
             if let Err(payload) = result {
-                shared.record_panic(child_tid, payload);
+                // Capture the unwound thread's deterministic state while
+                // the context is still alive, then abort the protocol.
+                let state = child.thread_report();
+                shared.record_panic(child_tid, payload, Some(state));
             }
         })
         .expect("failed to spawn OS thread");
@@ -467,6 +490,7 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
 pub(crate) fn join_impl(ctx: &mut RfdetCtx, h: ThreadHandle) {
     let target = h.0;
     assert_ne!(target, ctx.tid, "thread joining itself");
+    ctx.fault_point("join", Some(u64::from(target)));
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.joins += 1;
@@ -521,6 +545,7 @@ pub(crate) fn atomic_impl(
     store: Option<u64>,
 ) -> u64 {
     assert_eq!(addr % 8, 0, "atomic cells must be 8-byte aligned");
+    ctx.fault_point("atomic", Some(addr));
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     ctx.stats.atomics += 1;
@@ -566,6 +591,7 @@ pub(crate) fn atomic_impl(
 /// The implicit exit operation: releases `SyncKey::Thread(tid)` and wakes
 /// joiners. Runs when the thread's entry function returns.
 pub(crate) fn exit_impl(ctx: &mut RfdetCtx) {
+    ctx.fault_point("exit", None);
     ctx.jitter_pause();
     ctx.shared.kendo.wait_for_turn(&ctx.kendo);
     let lower = op_boundary(ctx, Some(SyncKey::Thread(ctx.tid)));

@@ -45,7 +45,7 @@ fn racy_root(ctx: &mut dyn DmtCtx) {
 }
 
 fn digest_of(backend: &RfdetBackend, seed: Option<u64>, root: fn(&mut dyn DmtCtx)) -> u64 {
-    let out = backend.run(&cfg(seed), Box::new(root));
+    let out = backend.run_expect(&cfg(seed), Box::new(root));
     out.output_digest()
 }
 
@@ -137,7 +137,7 @@ fn every_optimization_combination_gives_the_same_result() {
         format!("sum={v}").into_bytes()
     };
     for c in optimization_matrix() {
-        let out = RfdetBackend::default().run(&c, Box::new(locked_root));
+        let out = RfdetBackend::default().run_expect(&c, Box::new(locked_root));
         assert_eq!(
             out.output, expected,
             "wrong result with opts merging={} prelock={} lazy={} monitor={:?}",
@@ -183,11 +183,11 @@ fn condvar_pingpong_is_deterministic() {
         ctx.emit_str(&format!("acc={a}"));
     }
     let backend = RfdetBackend::ci();
-    let base = backend.run(&cfg(None), Box::new(root));
+    let base = backend.run_expect(&cfg(None), Box::new(root));
     assert!(base.stats.waits > 0, "the test must actually block");
     assert!(base.stats.signals >= 80);
     for seed in [11u64, 12, 13] {
-        let out = backend.run(&cfg(Some(seed)), Box::new(root));
+        let out = backend.run_expect(&cfg(Some(seed)), Box::new(root));
         assert_eq!(out.output, base.output);
     }
 }
@@ -225,14 +225,14 @@ fn barrier_phases_see_all_prior_writes() {
         ctx.emit_str(&all.join(","));
     }
     let backend = RfdetBackend::ci();
-    let out = backend.run(&cfg(Some(3)), Box::new(root));
+    let out = backend.run_expect(&cfg(Some(3)), Box::new(root));
     // Every thread's final checksum is the phase-4 sum: Σ (400 + i).
     let expected: u64 = (0..4u64).map(|i| 400 + i).sum();
     let expected = format!("{expected},{expected},{expected},{expected}");
     assert_eq!(out.output, expected.as_bytes());
     assert_eq!(out.stats.barriers, 4 * 5 * 2);
     // And it is stable under jitter.
-    let again = backend.run(&cfg(Some(77)), Box::new(root));
+    let again = backend.run_expect(&cfg(Some(77)), Box::new(root));
     assert_eq!(again.output, out.output);
 }
 
@@ -274,8 +274,8 @@ fn unsynchronized_thread_never_blocks_on_others_locks() {
         ctx.emit_str(&format!("{locks},{compute}"));
     }
     let backend = RfdetBackend::ci();
-    let a = backend.run(&cfg(Some(1)), Box::new(root));
-    let b = backend.run(&cfg(Some(2)), Box::new(root));
+    let a = backend.run_expect(&cfg(Some(1)), Box::new(root));
+    let b = backend.run_expect(&cfg(Some(2)), Box::new(root));
     assert_eq!(a.output, b.output);
     assert!(a.output.starts_with(b"400,"));
 }
@@ -307,11 +307,11 @@ fn gc_reclaims_under_pressure_without_changing_results() {
     let mut tight = cfg(None);
     tight.meta_capacity_bytes = 8 << 10; // force GC
     tight.gc_threshold = 0.5;
-    let out = RfdetBackend::ci().run(&tight, Box::new(root));
+    let out = RfdetBackend::ci().run_expect(&tight, Box::new(root));
     assert!(out.stats.gc_count > 0, "GC must have triggered");
     let mut roomy = cfg(None);
     roomy.meta_capacity_bytes = 64 << 20;
-    let out2 = RfdetBackend::ci().run(&roomy, Box::new(root));
+    let out2 = RfdetBackend::ci().run_expect(&roomy, Box::new(root));
     assert_eq!(out.output, out2.output, "GC must be invisible to results");
     assert_eq!(out2.stats.gc_count, 0);
 }
@@ -357,12 +357,12 @@ fn barrier_reused_across_episodes_survives_gc() {
     let mut tight = cfg(None);
     tight.meta_capacity_bytes = 8 << 10;
     tight.gc_threshold = 0.5;
-    let out = RfdetBackend::ci().run(&tight, Box::new(root));
+    let out = RfdetBackend::ci().run_expect(&tight, Box::new(root));
     assert!(out.stats.gc_count > 0, "GC must trigger between episodes");
     assert_eq!(out.stats.barriers, 2 * 20 * 2);
     let mut roomy = cfg(None);
     roomy.meta_capacity_bytes = 64 << 20;
-    let out2 = RfdetBackend::ci().run(&roomy, Box::new(root));
+    let out2 = RfdetBackend::ci().run_expect(&roomy, Box::new(root));
     assert_eq!(out2.stats.gc_count, 0);
     assert_eq!(
         out.output, out2.output,
@@ -391,7 +391,7 @@ fn sync_hot_path_runs_out_of_per_thread_caches() {
             ctx.join(h);
         }
     }
-    let out = RfdetBackend::ci().run(&cfg(Some(9)), Box::new(root));
+    let out = RfdetBackend::ci().run_expect(&cfg(Some(9)), Box::new(root));
     assert_eq!(out.stats.atomics, 4 * 200);
     let s = &out.stats;
     // Distinct (thread, key) pairs bound the misses: 4 threads × 2 atomic
@@ -438,7 +438,7 @@ fn byte_granularity_race_merge_matches_paper_example() {
         ctx.emit_str(&format!("{v}"));
     }
     let backend = RfdetBackend::ci();
-    let out = backend.run(&cfg(None), Box::new(root));
+    let out = backend.run_expect(&cfg(None), Box::new(root));
     let v: u32 = String::from_utf8(out.output.clone())
         .unwrap()
         .parse()
@@ -448,7 +448,7 @@ fn byte_granularity_race_merge_matches_paper_example() {
         "merged value {v} is not byte-explainable"
     );
     for seed in [21u64, 22, 23, 24] {
-        let again = backend.run(&cfg(Some(seed)), Box::new(root));
+        let again = backend.run_expect(&cfg(Some(seed)), Box::new(root));
         assert_eq!(
             again.output, out.output,
             "race resolution must be deterministic"

@@ -2,17 +2,35 @@
 
 use crate::ctx::DtCtx;
 use crate::engine::{Engine, EngineMode};
-use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, RunConfig, RunError, RunOutput, ThreadFn};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Drives one complete run of the lockstep engine in `mode`. Shared by
-/// the DThreads and quantum backends.
-pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, root: ThreadFn) -> RunOutput {
+/// the DThreads and quantum backends (`backend` names the caller in
+/// failure reports).
+pub fn run_lockstep(
+    cfg: &RunConfig,
+    mode: EngineMode,
+    backend: &str,
+    root: ThreadFn,
+) -> Result<RunOutput, RunError> {
     let engine = Arc::new(Engine::new(cfg, mode));
     let (tid, image) = engine.register_main();
     let mut main = DtCtx::new(Arc::clone(&engine), tid, image);
-    root(&mut main);
-    main.exit();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        root(&mut main);
+        main.exit();
+    }));
+    if let Err(payload) = result {
+        let report = main.thread_report();
+        engine.record_worker_panic(tid, payload, report);
+        engine.force_exit(tid);
+    }
+    // Harvest every worker; children may keep spawning while we join, so
+    // loop until the handle map stays empty. Workers never unwind out of
+    // their closure (panics route through record_worker_panic), so these
+    // joins cannot themselves fail.
     loop {
         let handles: Vec<_> = {
             let mut map = engine.handles.lock();
@@ -22,10 +40,11 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, root: ThreadFn) -> RunOut
             break;
         }
         for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+            let _ = h.join();
         }
+    }
+    if let Some(err) = engine.take_run_error(backend) {
+        return Err(err);
     }
     // Report the global store's materialized size as the run's shared
     // footprint (workloads lay data out directly, so allocator byte
@@ -34,10 +53,10 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, root: ThreadFn) -> RunOut
         engine.global_store_bytes(),
         std::sync::atomic::Ordering::Relaxed,
     );
-    RunOutput {
+    Ok(RunOutput {
         output: engine.meta.collect_output(),
         stats: engine.meta.stats.snapshot(),
-    }
+    })
 }
 
 /// The DThreads-model backend: strong determinism via isolated threads,
@@ -55,7 +74,7 @@ impl DmtBackend for DthreadsBackend {
         true
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
-        run_lockstep(cfg, EngineMode::SyncOnly, root)
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+        run_lockstep(cfg, EngineMode::SyncOnly, &self.name(), root)
     }
 }

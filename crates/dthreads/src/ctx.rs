@@ -1,7 +1,10 @@
 //! The per-thread DThreads context.
 
 use crate::engine::{ChildSeed, Engine, EngineMode, PendingOp};
-use rfdet_api::{Addr, BarrierId, CondId, DmtCtx, MutexId, Stats, ThreadFn, ThreadHandle, Tid};
+use rfdet_api::{
+    Addr, BarrierId, CondId, DmtCtx, FaultPlan, MutexId, Stats, ThreadFn, ThreadHandle,
+    ThreadReport, Tid,
+};
 use rfdet_mem::{diff, ModRun, PrivateSpace, ThreadHeap};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,6 +25,11 @@ pub(crate) struct DtCtx {
     last_spawned_tid: Option<Tid>,
     pub heap: ThreadHeap,
     pub stats: Stats,
+    /// Sync ops executed, in program order — the trigger index for
+    /// [`FaultPlan`] and the progress metric in failure reports.
+    sync_ops: u64,
+    last_op: Option<(&'static str, Option<u64>)>,
+    allocs: u64,
 }
 
 impl DtCtx {
@@ -40,6 +48,60 @@ impl DtCtx {
             last_spawned_tid: None,
             heap,
             stats: Stats::default(),
+            sync_ops: 0,
+            last_op: None,
+            allocs: 0,
+        }
+    }
+
+    /// Entry hook of every synchronization operation: counts the op,
+    /// remembers it for failure reports, and applies any matching
+    /// [`FaultPlan`] entry. Op indices are per-thread program order, so
+    /// a plan written against one backend triggers at the same source
+    /// point on every backend. Jitter ticks are charged to the quantum
+    /// budget, deterministically perturbing round boundaries in
+    /// quantum mode.
+    fn fault_point(&mut self, kind: &'static str, arg: Option<u64>) {
+        if !self.engine.supervise {
+            return;
+        }
+        let op = self.sync_ops;
+        self.sync_ops += 1;
+        self.last_op = Some((kind, arg));
+        if !self.engine.fault_plan.is_empty() {
+            let f = self.engine.fault_plan.on_sync_op(self.tid, op);
+            if f.jitter_ticks > 0 {
+                self.charge(f.jitter_ticks);
+            }
+            if f.panic {
+                panic!("{}", FaultPlan::panic_message(self.tid, op));
+            }
+        }
+    }
+
+    /// Allocation hook for `FaultPlan::fail_alloc`.
+    fn alloc_fault_point(&mut self) {
+        if !self.engine.supervise {
+            return;
+        }
+        let nth = self.allocs;
+        self.allocs += 1;
+        if !self.engine.fault_plan.is_empty() && self.engine.fault_plan.on_alloc(self.tid, nth) {
+            panic!("{}", FaultPlan::alloc_panic_message(self.tid, nth));
+        }
+    }
+
+    /// This thread's deterministic progress summary for failure reports
+    /// (the lockstep engine keeps no vector clocks or slice counts).
+    pub(crate) fn thread_report(&self) -> ThreadReport {
+        ThreadReport {
+            tid: self.tid,
+            sync_ops: self.sync_ops,
+            last_op: self.last_op.map(|(k, a)| match a {
+                Some(a) => format!("{k}({a})"),
+                None => k.to_owned(),
+            }),
+            ..ThreadReport::default()
         }
     }
 
@@ -83,14 +145,17 @@ impl DtCtx {
         let handle = std::thread::Builder::new()
             .name(format!("dthreads-{tid}"))
             .spawn(move || {
+                let mut child = DtCtx::new(Arc::clone(&engine), tid, space);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut child = DtCtx::new(Arc::clone(&engine), tid, space);
                     entry(&mut child);
                     child.exit();
                 }));
                 if let Err(payload) = result {
-                    engine.force_exit(tid);
-                    std::panic::resume_unwind(payload);
+                    // Root-cause panics poison the engine (waking every
+                    // parked peer); Poisoned tokens just add diagnostics.
+                    let report = child.thread_report();
+                    child.engine.record_worker_panic(tid, payload, report);
+                    child.engine.force_exit(tid);
                 }
             })
             .expect("failed to spawn OS thread");
@@ -98,6 +163,7 @@ impl DtCtx {
     }
 
     pub fn exit(&mut self) {
+        self.fault_point("exit", None);
         let diff = self.take_diff();
         let (_, _, _) = self.engine.arrive(self.tid, PendingOp::Exit, diff);
         self.stats.private_pages = self.space.materialized_pages() as u64;
@@ -155,36 +221,43 @@ impl DmtCtx for DtCtx {
     }
 
     fn lock(&mut self, m: MutexId) {
+        self.fault_point("lock", Some(u64::from(m.0)));
         self.stats.locks += 1;
         let _ = self.sync_point(PendingOp::Lock(m.0));
     }
 
     fn unlock(&mut self, m: MutexId) {
+        self.fault_point("unlock", Some(u64::from(m.0)));
         self.stats.unlocks += 1;
         let _ = self.sync_point(PendingOp::Unlock(m.0));
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        self.fault_point("cond_wait", Some(u64::from(c.0)));
         self.stats.waits += 1;
         let _ = self.sync_point(PendingOp::Wait(c.0, m.0));
     }
 
     fn cond_signal(&mut self, c: CondId) {
+        self.fault_point("cond_signal", Some(u64::from(c.0)));
         self.stats.signals += 1;
         let _ = self.sync_point(PendingOp::Signal(c.0, false));
     }
 
     fn cond_broadcast(&mut self, c: CondId) {
+        self.fault_point("cond_broadcast", Some(u64::from(c.0)));
         self.stats.signals += 1;
         let _ = self.sync_point(PendingOp::Signal(c.0, true));
     }
 
     fn barrier(&mut self, b: BarrierId, parties: usize) {
+        self.fault_point("barrier", Some(u64::from(b.0)));
         self.stats.barriers += 1;
         let _ = self.sync_point(PendingOp::Barrier(b.0, parties));
     }
 
     fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
+        self.fault_point("spawn", None);
         self.stats.forks += 1;
         let _ = self.sync_point(PendingOp::Spawn(f));
         ThreadHandle(
@@ -195,11 +268,13 @@ impl DmtCtx for DtCtx {
     }
 
     fn join(&mut self, h: ThreadHandle) {
+        self.fault_point("join", Some(u64::from(h.0)));
         self.stats.joins += 1;
         let _ = self.sync_point(PendingOp::Join(h.0));
     }
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        self.alloc_fault_point();
         self.stats.shared_bytes += size;
         self.heap.alloc(size, align)
     }
@@ -213,6 +288,7 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
+        self.fault_point("atomic", Some(addr));
         self.stats.atomics += 1;
         self.sync_point(PendingOp::Atomic {
             addr,
@@ -223,6 +299,7 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
+        self.fault_point("atomic", Some(addr));
         self.stats.atomics += 1;
         self.sync_point(PendingOp::Atomic {
             addr,
@@ -233,6 +310,7 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
+        self.fault_point("atomic", Some(addr));
         self.stats.atomics += 1;
         self.sync_point(PendingOp::Atomic {
             addr,

@@ -1,11 +1,22 @@
 //! The lockstep engine: global fence + serial token-order commit.
 
 use parking_lot::{Condvar, Mutex};
-use rfdet_api::{AtomicOp, RunConfig, ThreadFn, Tid};
+use rfdet_api::{
+    AtomicOp, FailureKind, FailureReport, FaultPlan, RunConfig, RunError, ThreadFn, ThreadReport,
+    Tid, WaitEdge, WaitTarget,
+};
 use rfdet_mem::{ModRun, PrivateSpace};
 use rfdet_meta::MetaSpace;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::Ordering::Relaxed;
+use std::panic::panic_any;
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::time::Duration;
+
+/// Panic token used to tear down peers once the engine is poisoned. A
+/// recognizable payload lets the worker catch distinguish the secondary
+/// unwinds it causes from real (root-cause) panics.
+pub(crate) struct Poisoned;
 
 /// What ends a parallel phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +126,22 @@ pub(crate) struct Engine {
 
     pub handles: Mutex<HashMap<Tid, std::thread::JoinHandle<()>>>,
     pub strips: rfdet_mem::StripAllocator,
+
+    /// Fault-injection / bookkeeping gate (`RunConfig::supervise`).
+    pub supervise: bool,
+    pub fault_plan: FaultPlan,
+    /// Wall-clock fallback for runs that stall without a provable
+    /// structural deadlock (`RunConfig::deadlock_after_ms`).
+    wedge_after: Option<Duration>,
+    /// Once set, every thread unwinds with a [`Poisoned`] token at its
+    /// next engine interaction; no further serial phases run.
+    poisoned: AtomicBool,
+    /// The root-cause failure. First writer wins; `backend` is filled in
+    /// at teardown.
+    failure: Mutex<Option<FailureReport>>,
+    /// Best-effort states of threads that unwound after the root cause
+    /// (excluded from the report digest).
+    peers: Mutex<BTreeMap<Tid, ThreadReport>>,
 }
 
 /// Everything a freshly spawned thread needs.
@@ -146,7 +173,161 @@ impl Engine {
             mode,
             handles: Mutex::new(HashMap::new()),
             strips: rfdet_mem::StripAllocator::new(heap_base, cfg.space_bytes - heap_base),
+            supervise: cfg.supervise,
+            fault_plan: cfg.fault_plan.clone(),
+            wedge_after: cfg.deadlock_after(),
+            poisoned: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            peers: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(SeqCst)
+    }
+
+    /// Records the run's root-cause failure (first writer wins), poisons
+    /// the engine and wakes every parked thread so teardown is bounded.
+    fn record_failure(
+        &self,
+        kind: FailureKind,
+        tid: Tid,
+        message: String,
+        culprit: Option<ThreadReport>,
+        wait_graph: Vec<WaitEdge>,
+        cycle: Vec<Tid>,
+    ) {
+        {
+            let mut slot = self.failure.lock();
+            if slot.is_none() {
+                *slot = Some(FailureReport {
+                    backend: String::new(),
+                    kind,
+                    tid,
+                    message,
+                    culprit,
+                    wait_graph,
+                    cycle,
+                    peers: Vec::new(),
+                });
+            } else if let Some(c) = culprit {
+                self.peers.lock().entry(tid).or_insert(c);
+            }
+        }
+        self.poisoned.store(true, SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// A worker (or the root) unwound. [`Poisoned`] tokens are the
+    /// secondary unwinds of an already-failed run and only contribute
+    /// peer diagnostics; anything else is a root-cause panic.
+    pub fn record_worker_panic(
+        &self,
+        tid: Tid,
+        payload: Box<dyn std::any::Any + Send>,
+        report: ThreadReport,
+    ) {
+        if payload.is::<Poisoned>() {
+            self.peers.lock().entry(tid).or_insert(report);
+            return;
+        }
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_owned()
+        };
+        self.record_failure(
+            FailureKind::Panic,
+            tid,
+            message,
+            Some(report),
+            Vec::new(),
+            Vec::new(),
+        );
+    }
+
+    /// Assembles the final [`RunError`] at teardown, if the run failed.
+    pub fn take_run_error(&self, backend: &str) -> Option<RunError> {
+        let mut f = self.failure.lock().take()?;
+        f.backend = backend.to_owned();
+        let tid = f.tid;
+        f.peers = std::mem::take(&mut *self.peers.lock())
+            .into_iter()
+            .filter(|&(t, _)| t != tid)
+            .map(|(_, r)| r)
+            .collect();
+        Some(RunError::from_report(f))
+    }
+
+    /// The wait-for graph read off the engine's deterministic queueing
+    /// state: retrying `Lock` arrivals plus every parked waiter, sorted
+    /// by waiter tid.
+    fn wait_graph(st: &EngineState) -> Vec<WaitEdge> {
+        let mut edges = Vec::new();
+        for (&tid, a) in &st.arrived {
+            if let PendingOp::Lock(m) = a.op {
+                edges.push(WaitEdge {
+                    waiter: tid,
+                    target: WaitTarget::Mutex {
+                        id: m,
+                        holder: st.lock_owner.get(&m).copied().flatten(),
+                    },
+                });
+            }
+        }
+        let mut cond_ids: Vec<u32> = st.cond_waiters.keys().copied().collect();
+        cond_ids.sort_unstable();
+        for id in cond_ids {
+            for &(w, _) in &st.cond_waiters[&id] {
+                edges.push(WaitEdge {
+                    waiter: w,
+                    target: WaitTarget::Cond { id },
+                });
+            }
+        }
+        let mut barrier_ids: Vec<u32> = st.barrier_waiters.keys().copied().collect();
+        barrier_ids.sort_unstable();
+        for id in barrier_ids {
+            for &w in &st.barrier_waiters[&id] {
+                edges.push(WaitEdge {
+                    waiter: w,
+                    target: WaitTarget::Barrier { id },
+                });
+            }
+        }
+        let mut join_targets: Vec<Tid> = st.join_waiters.keys().copied().collect();
+        join_targets.sort_unstable();
+        for target in join_targets {
+            for &w in &st.join_waiters[&target] {
+                edges.push(WaitEdge {
+                    waiter: w,
+                    target: WaitTarget::Join { target },
+                });
+            }
+        }
+        edges.sort_by_key(|e| e.waiter);
+        edges
+    }
+
+    /// Records a structural deadlock discovered from the engine state.
+    /// The state (and hence the report and its digest) is a deterministic
+    /// function of the schedule, so this reproduces across reruns.
+    fn record_deadlock(&self, st: &EngineState) {
+        let wait_graph = Self::wait_graph(st);
+        let cycle = FailureReport::find_cycle(&wait_graph);
+        let tid = wait_graph.first().map_or(0, |e| e.waiter);
+        let message = if cycle.is_empty() {
+            format!(
+                "all {} live threads blocked with no possible waker",
+                wait_graph.len()
+            )
+        } else {
+            let cyc: Vec<String> = cycle.iter().map(|t| format!("t{t}")).collect();
+            format!("wait-for cycle {}", cyc.join(" -> "))
+        };
+        self.record_failure(FailureKind::Deadlock, tid, message, None, wait_graph, cycle);
     }
 
     /// Registers the main thread (tid 0) and returns its starting image.
@@ -179,44 +360,62 @@ impl Engine {
         );
         self.maybe_phases(&mut st);
         loop {
+            if self.is_poisoned() {
+                drop(st);
+                panic_any(Poisoned);
+            }
             if let Some(Outcome::Done(img)) = st.slots[tid as usize].outcome.take() {
                 let seed = st.slots[tid as usize].seed.take();
                 let value = st.slots[tid as usize].value.take();
                 return (img, seed, value);
             }
-            let timed_out = self
-                .cv
-                .wait_for(&mut st, std::time::Duration::from_secs(20))
-                .timed_out();
-            if timed_out && st.slots[tid as usize].outcome.is_none() {
-                panic!(
-                    "dthreads engine stalled: tid={tid} phase={} active={:?} arrived={:?} \
-                     owners={:?} cond_waiters={:?} barrier_waiters={:?} join_waiters={:?} \
-                     finished={:?}",
+            let timeout = self.wedge_after.unwrap_or(Duration::from_secs(60));
+            let timed_out = self.cv.wait_for(&mut st, timeout).timed_out();
+            if timed_out
+                && self.wedge_after.is_some()
+                && !self.is_poisoned()
+                && st.slots[tid as usize].outcome.is_none()
+            {
+                // Wall-clock fallback: the run stalled without tripping
+                // the structural detector (e.g. an active thread spinning
+                // forever). Record a wedge and tear everything down.
+                let message = format!(
+                    "dthreads engine stalled: tid={tid} phase={} active={:?} arrived={:?}",
                     st.phase,
                     st.active,
                     st.arrived
                         .iter()
                         .map(|(t, a)| (*t, a.op.describe()))
                         .collect::<Vec<_>>(),
-                    st.lock_owner
-                        .iter()
-                        .filter(|(_, o)| o.is_some())
-                        .collect::<Vec<_>>(),
-                    st.cond_waiters,
-                    st.barrier_waiters,
-                    st.join_waiters,
-                    st.finished,
+                );
+                let wait_graph = Self::wait_graph(&st);
+                self.record_failure(
+                    FailureKind::Wedged,
+                    tid,
+                    message,
+                    None,
+                    wait_graph,
+                    Vec::new(),
                 );
             }
         }
     }
 
-    /// Runs serial phases for as long as the fence condition holds.
+    /// Runs serial phases for as long as the fence condition holds, then
+    /// checks for the everyone-parked deadlock (no thread left to wake
+    /// the waiters).
     fn maybe_phases(&self, st: &mut EngineState) {
-        while !st.active.is_empty() && st.arrived.len() == st.active.len() {
+        while !self.is_poisoned() && !st.active.is_empty() && st.arrived.len() == st.active.len() {
             self.run_serial_phase(st);
             self.cv.notify_all();
+        }
+        if !self.is_poisoned()
+            && st.active.is_empty()
+            && (st.cond_waiters.values().any(|q| !q.is_empty())
+                || st.barrier_waiters.values().any(|v| !v.is_empty())
+                || st.join_waiters.values().any(|v| !v.is_empty()))
+        {
+            self.record_deadlock(st);
         }
     }
 
@@ -372,12 +571,13 @@ impl Engine {
             }
         }
 
-        assert!(
-            !(done.is_empty() && exited.is_empty() && parked == 0 && spawned == 0),
-            "dthreads engine: deterministic deadlock — no operation can \
-             make progress (phase {})",
-            st.phase
-        );
+        // A full phase with zero progress: every arrived op is a mutex
+        // acquisition whose owner is itself parked or retrying, and the
+        // fence guarantees nobody else can run — a stable deadlock.
+        if done.is_empty() && exited.is_empty() && parked == 0 && spawned == 0 {
+            self.record_deadlock(st);
+            return;
+        }
 
         for tid in done {
             st.arrived.remove(&tid);
@@ -401,7 +601,9 @@ impl Engine {
     }
 
     /// Emergency removal of a panicked thread so the fence can still
-    /// close; joiners are released as if the thread exited.
+    /// close; joiners are released as if the thread exited. With the
+    /// engine poisoned this is pure bookkeeping — no phases run, the
+    /// notify just hastens peer teardown.
     pub fn force_exit(&self, tid: Tid) {
         let mut st = self.state.lock();
         st.active.remove(&tid);
@@ -418,7 +620,9 @@ impl Engine {
                 },
             );
         }
-        self.maybe_phases(&mut st);
+        if !self.is_poisoned() {
+            self.maybe_phases(&mut st);
+        }
         self.cv.notify_all();
     }
 }

@@ -29,8 +29,8 @@ fn locked_counter_is_exact_and_deterministic() {
         let v: u64 = ctx.read(0);
         ctx.emit_str(&v.to_string());
     }
-    let a = DthreadsBackend.run(&cfg(), Box::new(root));
-    let b = DthreadsBackend.run(&cfg(), Box::new(root));
+    let a = DthreadsBackend.run_expect(&cfg(), Box::new(root));
+    let b = DthreadsBackend.run_expect(&cfg(), Box::new(root));
     let expected: u64 = (0..4u64)
         .flat_map(|i| (0..50u64).map(move |k| i * 100 + k))
         .sum();
@@ -59,7 +59,7 @@ fn racy_writes_resolve_deterministically() {
         ctx.emit_str(&v.to_string());
     }
     let outs: Vec<_> = (0..5)
-        .map(|_| DthreadsBackend.run(&cfg(), Box::new(root)).output)
+        .map(|_| DthreadsBackend.run_expect(&cfg(), Box::new(root)).output)
         .collect();
     for o in &outs[1..] {
         assert_eq!(o, &outs[0], "race must resolve identically every run");
@@ -97,7 +97,7 @@ fn isolation_holds_between_sync_points() {
         let v: u64 = ctx.read(0);
         ctx.emit_str(&format!("{v},{seen_before_commit}"));
     }
-    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    let out = DthreadsBackend.run_expect(&cfg(), Box::new(root));
     // After join the write is always visible.
     assert!(out.output.starts_with(b"9,"));
 }
@@ -135,12 +135,12 @@ fn condvar_producer_consumer_works() {
         let t: u64 = ctx.read(16);
         ctx.emit_str(&t.to_string());
     }
-    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    let out = DthreadsBackend.run_expect(&cfg(), Box::new(root));
     assert_eq!(out.output, b"55");
     // Note: the deterministic token order can produce perfect
     // producer/consumer alternation, in which case no cond_wait ever
     // blocks — so we assert correctness, not wait counts.
-    let again = DthreadsBackend.run(&cfg(), Box::new(root));
+    let again = DthreadsBackend.run_expect(&cfg(), Box::new(root));
     assert_eq!(again.output, b"55");
 }
 
@@ -167,7 +167,7 @@ fn barriers_work_across_phases() {
         let v: u64 = ctx.read_idx::<u64>(256, 0);
         ctx.emit_str(&v.to_string());
     }
-    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    let out = DthreadsBackend.run_expect(&cfg(), Box::new(root));
     // Final phase (3): cells are 3, 4, 5 → sum 12.
     assert_eq!(out.output, b"12");
 }
@@ -200,14 +200,14 @@ fn compute_heavy_thread_delays_fences() {
         let b: u64 = ctx.read(8);
         ctx.emit_str(&format!("{a},{b}"));
     }
-    let out = DthreadsBackend.run(&cfg(), Box::new(root));
+    let out = DthreadsBackend.run_expect(&cfg(), Box::new(root));
     assert_eq!(out.output, b"20,1");
 }
 
 #[test]
 fn worker_panic_does_not_hang_the_fence() {
     let result = std::panic::catch_unwind(|| {
-        DthreadsBackend.run(
+        DthreadsBackend.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let h = ctx.spawn(Box::new(|_ctx: &mut dyn DmtCtx| {

@@ -162,7 +162,7 @@ impl KendoState {
     fn check_abort(&self) {
         assert!(
             !self.aborted(),
-            "kendo: run aborted because another thread panicked"
+            "kendo: run aborted by supervisor (peer panic, deadlock, or wedge)"
         );
     }
 
@@ -171,6 +171,38 @@ impl KendoState {
     pub fn with_deadlock_timeout(mut self, t: Option<Duration>) -> Self {
         self.deadlock_after = t;
         self
+    }
+
+    /// Epoch-stable stable-deadlock scan: `Some(blocked tids)` iff at
+    /// least one registered thread is `Blocked` and **every** registered,
+    /// non-`Finished` thread is `Blocked` — verified with `wake_epoch`
+    /// unchanged across the scan, exactly like `has_turn`.
+    ///
+    /// Why a clean scan proves a *stable* deadlock: a `Blocked` thread
+    /// never wakes another thread (wakes happen only inside a waker's
+    /// turn, and only `Active` threads take turns), so once every live
+    /// thread is observed `Blocked` under one epoch, no future wake can
+    /// originate inside the run. The state is permanent — no wall clock
+    /// needed. A mid-scan register or wake bumps the epoch and the scan
+    /// reports `None` (caller retries later).
+    #[must_use]
+    pub fn blocked_snapshot(&self) -> Option<Vec<Tid>> {
+        let epoch_before = self.wake_epoch.load(SeqCst);
+        let mut blocked = Vec::new();
+        {
+            let slots = self.slots.read();
+            for (i, s) in slots.iter().enumerate() {
+                match Status::from_u8(s.status.load(SeqCst)) {
+                    Status::Active => return None,
+                    Status::Blocked => blocked.push(i as Tid),
+                    Status::Finished => {}
+                }
+            }
+        }
+        if blocked.is_empty() || self.wake_epoch.load(SeqCst) != epoch_before {
+            return None;
+        }
+        Some(blocked)
     }
 
     /// Registers the next thread with an initial clock and returns its
@@ -238,10 +270,14 @@ impl KendoState {
         let mut spins: u32 = 0;
         let start = Instant::now();
         loop {
+            // Abort check must precede the fast-path return: a thread
+            // that is always the clock leader (all peers dead or parked)
+            // would otherwise never observe the abort and could spin
+            // forever on application state nobody will ever publish.
+            self.check_abort();
             if self.has_turn(me) {
                 return;
             }
-            self.check_abort();
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
@@ -259,6 +295,10 @@ impl KendoState {
                 }
                 if let Some(limit) = self.deadlock_after {
                     if start.elapsed() > limit {
+                        // Abort first so every *other* waiter (parked or
+                        // spinning) wakes and unwinds too, instead of
+                        // only the thread that noticed.
+                        self.set_abort();
                         panic!(
                             "kendo: thread {} starved waiting for its turn for {:?} \
                              (clock={}, state={})",
@@ -389,6 +429,10 @@ impl KendoState {
                 if start.elapsed() > limit
                     && Status::from_u8(me.slot.status.load(SeqCst)) != Status::Active
                 {
+                    // Wake-all before unwinding: peers parked on other
+                    // slots must not be left behind.
+                    drop(guard);
+                    self.set_abort();
                     panic!(
                         "kendo: thread {} parked for {:?} without wakeup — \
                          likely an application deadlock (state={})",
@@ -556,6 +600,57 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn blocked_snapshot_only_when_every_live_thread_is_blocked() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(1);
+        assert!(k.blocked_snapshot().is_none(), "both threads active");
+        k.block(&a);
+        assert!(k.blocked_snapshot().is_none(), "b still active");
+        k.block(&b);
+        assert_eq!(k.blocked_snapshot(), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn blocked_snapshot_skips_finished_threads() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(1);
+        k.block(&a);
+        k.finish(&b);
+        assert_eq!(k.blocked_snapshot(), Some(vec![0]));
+    }
+
+    #[test]
+    fn blocked_snapshot_none_when_all_finished_or_empty() {
+        let k = KendoState::new();
+        assert!(k.blocked_snapshot().is_none());
+        let a = k.register(0);
+        k.finish(&a);
+        assert!(k.blocked_snapshot().is_none());
+    }
+
+    #[test]
+    fn timeout_aborts_the_whole_run_not_just_the_scanner() {
+        let k = Arc::new(KendoState::new().with_deadlock_timeout(Some(Duration::from_millis(100))));
+        let _a = k.register(10); // minimal active thread; never progresses
+        let b = k.register(10); // loses the tid tie-break: starves
+        let c = k.register(0); // will park
+        k.block(&c); // c holds the turn (clock 0) and blocks itself
+        let k2 = Arc::clone(&k);
+        let starved = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| k2.wait_for_turn(&b))).is_err()
+        });
+        // b's starvation timeout must flip the global abort so c — parked
+        // on a different slot, with no wakeup ever coming — unwinds too.
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| k.park_until_active(&c)));
+        assert!(res.is_err(), "abort must reach parked peers");
+        assert!(k.aborted());
+        assert!(starved.join().unwrap());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The [`NativeBackend`] entry point.
 
 use crate::ctx::{NativeCtx, NativeShared};
-use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, RunConfig, RunError, RunOutput, ThreadFn};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Conventional nondeterministic multithreading ("pthreads" in the
@@ -18,12 +19,19 @@ impl DmtBackend for NativeBackend {
         false
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
         let shared = Arc::new(NativeShared::new(cfg));
         let mut main = NativeCtx::new(Arc::clone(&shared));
-        root(&mut main);
-        main.flush_stats();
-        // Harvest leaked (never-joined) threads so the run quiesces.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            root(&mut main);
+            main.flush_stats();
+        }));
+        if let Err(payload) = result {
+            let report = main.thread_report();
+            shared.sup.record_worker_panic(0, payload, report);
+        }
+        // Harvest leaked (never-joined) threads so the run quiesces;
+        // workers catch their own panics, so joins cannot fail.
         loop {
             let handles: Vec<_> = {
                 let mut map = shared.handles.lock();
@@ -36,9 +44,12 @@ impl DmtBackend for NativeBackend {
                 let _ = h.join();
             }
         }
-        RunOutput {
+        if let Some(err) = shared.sup.take_run_error(&self.name()) {
+            return Err(err);
+        }
+        Ok(RunOutput {
             output: shared.meta.collect_output(),
             stats: shared.meta.stats.snapshot(),
-        }
+        })
     }
 }

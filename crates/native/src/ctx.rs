@@ -1,14 +1,16 @@
 //! The native per-thread context.
 
+use crate::supervise::Supervision;
 use crate::sync::{BarrierVar, CondVar, LockVar, Registry};
 use parking_lot::Mutex;
 use rfdet_api::{
-    Addr, BarrierId, CondId, DmtCtx, MutexId, RunConfig, Stats, ThreadFn, ThreadHandle, Tid,
+    Addr, BarrierId, CondId, DmtCtx, FaultPlan, MutexId, RunConfig, Stats, ThreadFn, ThreadHandle,
+    ThreadReport, Tid,
 };
 use rfdet_mem::{StripAllocator, ThreadHeap};
 use rfdet_meta::MetaSpace;
 use std::collections::HashMap;
-use std::panic::resume_unwind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
 use std::sync::Arc;
 
@@ -27,6 +29,8 @@ pub(crate) struct NativeShared {
     /// Striped locks making 8-byte atomics atomic over the byte-cell
     /// memory (§4.6 extension).
     pub atomic_stripes: Vec<Mutex<()>>,
+    /// Failure recording and poison-based teardown (see `supervise`).
+    pub sup: Supervision,
 }
 
 impl NativeShared {
@@ -42,6 +46,7 @@ impl NativeShared {
             meta: MetaSpace::new(cfg.meta_capacity_bytes as usize, cfg.gc_threshold),
             handles: Mutex::new(HashMap::new()),
             atomic_stripes: (0..64).map(|_| Mutex::new(())).collect(),
+            sup: Supervision::new(cfg),
         }
     }
 }
@@ -52,6 +57,11 @@ pub(crate) struct NativeCtx {
     pub tid: Tid,
     pub heap: ThreadHeap,
     pub stats: Stats,
+    /// Sync ops executed, in program order — the trigger index for
+    /// [`FaultPlan`] and the progress metric in failure reports.
+    sync_ops: u64,
+    last_op: Option<(&'static str, Option<u64>)>,
+    allocs: u64,
 }
 
 impl NativeCtx {
@@ -63,6 +73,61 @@ impl NativeCtx {
             tid,
             heap,
             stats: Stats::default(),
+            sync_ops: 0,
+            last_op: None,
+            allocs: 0,
+        }
+    }
+
+    /// Entry hook of every synchronization operation: counts the op,
+    /// remembers it for failure reports, and applies any matching
+    /// [`FaultPlan`] entry. Op indices are per-thread program order, so
+    /// a plan written against a deterministic backend triggers at the
+    /// same source point here. Jitter ticks become a short spin — the
+    /// closest native analogue of perturbing a logical clock.
+    fn fault_point(&mut self, kind: &'static str, arg: Option<u64>) {
+        if !self.shared.sup.supervise {
+            return;
+        }
+        let op = self.sync_ops;
+        self.sync_ops += 1;
+        self.last_op = Some((kind, arg));
+        if !self.shared.sup.fault_plan.is_empty() {
+            let f = self.shared.sup.fault_plan.on_sync_op(self.tid, op);
+            for _ in 0..f.jitter_ticks {
+                std::hint::spin_loop();
+            }
+            if f.panic {
+                panic!("{}", FaultPlan::panic_message(self.tid, op));
+            }
+        }
+    }
+
+    /// Allocation hook for `FaultPlan::fail_alloc`.
+    fn alloc_fault_point(&mut self) {
+        if !self.shared.sup.supervise {
+            return;
+        }
+        let nth = self.allocs;
+        self.allocs += 1;
+        if !self.shared.sup.fault_plan.is_empty()
+            && self.shared.sup.fault_plan.on_alloc(self.tid, nth)
+        {
+            panic!("{}", FaultPlan::alloc_panic_message(self.tid, nth));
+        }
+    }
+
+    /// This thread's progress summary for failure reports (the native
+    /// backend keeps no vector clocks or slice counts).
+    pub(crate) fn thread_report(&self) -> ThreadReport {
+        ThreadReport {
+            tid: self.tid,
+            sync_ops: self.sync_ops,
+            last_op: self.last_op.map(|(k, a)| match a {
+                Some(a) => format!("{k}({a})"),
+                None => k.to_owned(),
+            }),
+            ..ThreadReport::default()
         }
     }
 
@@ -107,38 +172,48 @@ impl DmtCtx for NativeCtx {
     }
 
     fn lock(&mut self, m: MutexId) {
+        self.fault_point("lock", Some(u64::from(m.0)));
         self.stats.locks += 1;
-        self.shared.locks.get(m.0).lock();
+        self.shared.locks.get(m.0).lock(&self.shared.sup, self.tid);
     }
 
     fn unlock(&mut self, m: MutexId) {
+        self.fault_point("unlock", Some(u64::from(m.0)));
         self.stats.unlocks += 1;
         self.shared.locks.get(m.0).unlock();
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        self.fault_point("cond_wait", Some(u64::from(c.0)));
         self.stats.waits += 1;
         let cond = self.shared.conds.get(c.0);
         let mutex = self.shared.locks.get(m.0);
-        cond.wait(&mutex);
+        cond.wait(&mutex, &self.shared.sup, self.tid);
     }
 
     fn cond_signal(&mut self, c: CondId) {
+        self.fault_point("cond_signal", Some(u64::from(c.0)));
         self.stats.signals += 1;
         self.shared.conds.get(c.0).signal();
     }
 
     fn cond_broadcast(&mut self, c: CondId) {
+        self.fault_point("cond_broadcast", Some(u64::from(c.0)));
         self.stats.signals += 1;
         self.shared.conds.get(c.0).broadcast();
     }
 
     fn barrier(&mut self, b: BarrierId, parties: usize) {
+        self.fault_point("barrier", Some(u64::from(b.0)));
         self.stats.barriers += 1;
-        self.shared.barriers.get(b.0).wait(parties);
+        self.shared
+            .barriers
+            .get(b.0)
+            .wait(parties, &self.shared.sup, self.tid);
     }
 
     fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
+        self.fault_point("spawn", None);
         self.stats.forks += 1;
         let shared = Arc::clone(&self.shared);
         let mut child = NativeCtx::new(Arc::clone(&shared));
@@ -146,8 +221,16 @@ impl DmtCtx for NativeCtx {
         let handle = std::thread::Builder::new()
             .name(format!("native-{tid}"))
             .spawn(move || {
-                f(&mut child);
-                child.flush_stats();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    f(&mut child);
+                    child.flush_stats();
+                }));
+                if let Err(payload) = result {
+                    // Root-cause panics poison the run (unparking every
+                    // polling waiter); Poisoned tokens add diagnostics.
+                    let report = child.thread_report();
+                    child.shared.sup.record_worker_panic(tid, payload, report);
+                }
             })
             .expect("failed to spawn OS thread");
         self.shared.handles.lock().insert(tid, handle);
@@ -155,6 +238,7 @@ impl DmtCtx for NativeCtx {
     }
 
     fn join(&mut self, h: ThreadHandle) {
+        self.fault_point("join", Some(u64::from(h.0)));
         self.stats.joins += 1;
         let handle = self
             .shared
@@ -162,12 +246,15 @@ impl DmtCtx for NativeCtx {
             .lock()
             .remove(&h.0)
             .unwrap_or_else(|| panic!("join of unknown or already-joined thread {}", h.0));
-        if let Err(payload) = handle.join() {
-            resume_unwind(payload);
-        }
+        // The child caught its own panic (recording it as the root
+        // cause), so the join itself cannot fail — but if the run is now
+        // poisoned the joiner must unwind too.
+        let _ = handle.join();
+        self.shared.sup.check_poison();
     }
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        self.alloc_fault_point();
         self.stats.shared_bytes += size;
         self.heap.alloc(size, align)
     }
@@ -181,6 +268,8 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
+        self.fault_point("atomic", Some(addr));
+        self.shared.sup.check_poison();
         self.stats.atomics += 1;
         self.check_range(addr, 8);
         let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
@@ -198,6 +287,8 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
+        self.fault_point("atomic", Some(addr));
+        self.shared.sup.check_poison();
         self.stats.atomics += 1;
         self.check_range(addr, 8);
         let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
@@ -211,6 +302,8 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
+        self.fault_point("atomic", Some(addr));
+        self.shared.sup.check_poison();
         self.stats.atomics += 1;
         self.check_range(addr, 8);
         let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];

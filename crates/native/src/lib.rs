@@ -15,6 +15,7 @@
 
 mod backend;
 mod ctx;
+mod supervise;
 mod sync;
 
 pub use backend::NativeBackend;
@@ -26,7 +27,7 @@ mod tests {
 
     #[test]
     fn counter_with_locks_is_exact() {
-        let out = NativeBackend.run(
+        let out = NativeBackend.run_expect(
             &RunConfig::small(),
             Box::new(|ctx| {
                 let m = MutexId(0);
@@ -55,7 +56,7 @@ mod tests {
 
     #[test]
     fn condvar_handshake_works() {
-        let out = NativeBackend.run(
+        let out = NativeBackend.run_expect(
             &RunConfig::small(),
             Box::new(|ctx| {
                 let m = MutexId(0);
@@ -82,7 +83,7 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes_phases() {
-        let out = NativeBackend.run(
+        let out = NativeBackend.run_expect(
             &RunConfig::small(),
             Box::new(|ctx| {
                 let b = BarrierId(0);
@@ -114,7 +115,7 @@ mod tests {
 
     #[test]
     fn alloc_roundtrip() {
-        let out = NativeBackend.run(
+        let out = NativeBackend.run_expect(
             &RunConfig::small(),
             Box::new(|ctx| {
                 let a = ctx.alloc(64, 8);
@@ -130,7 +131,7 @@ mod tests {
 
     #[test]
     fn unaligned_and_cross_word_accesses() {
-        let out = NativeBackend.run(
+        let out = NativeBackend.run_expect(
             &RunConfig::small(),
             Box::new(|ctx| {
                 ctx.write::<u64>(13, 0x0102_0304_0506_0708);

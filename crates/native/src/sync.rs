@@ -1,7 +1,16 @@
 //! Conventional synchronization primitives keyed by application IDs.
+//!
+//! Every blocking wait polls the run's [`Supervision`] state on a short
+//! period: a poisoned run unwinds the waiter with a `Poisoned` token,
+//! and a wait that outlives the wedge deadline records a `Wedged`
+//! failure (then unwinds on the next poll). That keeps teardown bounded
+//! even when peers are parked forever.
 
+use crate::supervise::{Poisoned, Supervision, POLL};
 use parking_lot::{Condvar, Mutex};
+use rfdet_api::Tid;
 use std::collections::HashMap;
+use std::panic::panic_any;
 use std::sync::Arc;
 
 /// A pthreads-style mutex usable through split `lock`/`unlock` calls.
@@ -12,10 +21,18 @@ pub(crate) struct LockVar {
 }
 
 impl LockVar {
-    pub fn lock(&self) {
+    pub fn lock(&self, sup: &Supervision, tid: Tid) {
         let mut g = self.locked.lock();
+        let deadline = sup.wedge_deadline();
         while *g {
-            self.cv.wait(&mut g);
+            if sup.is_poisoned() {
+                drop(g);
+                panic_any(Poisoned);
+            }
+            let timed_out = self.cv.wait_for(&mut g, POLL).timed_out();
+            if timed_out && *g && Supervision::deadline_passed(deadline) {
+                sup.record_wedge(tid, format!("native: thread {tid} stuck acquiring a mutex"));
+            }
         }
         *g = true;
     }
@@ -40,15 +57,23 @@ pub(crate) struct CondVar {
 impl CondVar {
     /// Atomically releases `mutex` and waits for a signal; re-acquires
     /// `mutex` before returning.
-    pub fn wait(&self, mutex: &LockVar) {
+    pub fn wait(&self, mutex: &LockVar, sup: &Supervision, tid: Tid) {
         let mut g = self.gen.lock();
         let my_gen = *g;
         mutex.unlock();
+        let deadline = sup.wedge_deadline();
         while *g == my_gen {
-            self.cv.wait(&mut g);
+            if sup.is_poisoned() {
+                drop(g);
+                panic_any(Poisoned);
+            }
+            let timed_out = self.cv.wait_for(&mut g, POLL).timed_out();
+            if timed_out && *g == my_gen && Supervision::deadline_passed(deadline) {
+                sup.record_wedge(tid, format!("native: thread {tid} stuck in cond_wait"));
+            }
         }
         drop(g);
-        mutex.lock();
+        mutex.lock(sup, tid);
     }
 
     pub fn signal(&self) {
@@ -70,7 +95,7 @@ pub(crate) struct BarrierVar {
 }
 
 impl BarrierVar {
-    pub fn wait(&self, parties: usize) {
+    pub fn wait(&self, parties: usize, sup: &Supervision, tid: Tid) {
         let mut g = self.state.lock();
         g.0 += 1;
         if g.0 >= parties {
@@ -80,8 +105,16 @@ impl BarrierVar {
             self.cv.notify_all();
         } else {
             let gen = g.1;
+            let deadline = sup.wedge_deadline();
             while g.1 == gen {
-                self.cv.wait(&mut g);
+                if sup.is_poisoned() {
+                    drop(g);
+                    panic_any(Poisoned);
+                }
+                let timed_out = self.cv.wait_for(&mut g, POLL).timed_out();
+                if timed_out && g.1 == gen && Supervision::deadline_passed(deadline) {
+                    sup.record_wedge(tid, format!("native: thread {tid} stuck at a barrier"));
+                }
             }
         }
     }
@@ -102,21 +135,28 @@ impl<T: Default> Registry<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rfdet_api::RunConfig;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sup() -> Arc<Supervision> {
+        Arc::new(Supervision::new(&RunConfig::small()))
+    }
 
     #[test]
     fn lockvar_provides_mutual_exclusion() {
         let lv = Arc::new(LockVar::default());
         let counter = Arc::new(AtomicU64::new(0));
         let inside = Arc::new(AtomicU64::new(0));
+        let sup = sup();
         let hs: Vec<_> = (0..4)
-            .map(|_| {
+            .map(|i| {
                 let lv = Arc::clone(&lv);
                 let counter = Arc::clone(&counter);
                 let inside = Arc::clone(&inside);
+                let sup = Arc::clone(&sup);
                 std::thread::spawn(move || {
                     for _ in 0..200 {
-                        lv.lock();
+                        lv.lock(&sup, i);
                         assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
                         counter.fetch_add(1, Ordering::SeqCst);
                         inside.fetch_sub(1, Ordering::SeqCst);
@@ -141,12 +181,14 @@ mod tests {
     fn barrier_releases_all() {
         let b = Arc::new(BarrierVar::default());
         let released = Arc::new(AtomicU64::new(0));
+        let sup = sup();
         let hs: Vec<_> = (0..3)
-            .map(|_| {
+            .map(|i| {
                 let b = Arc::clone(&b);
                 let released = Arc::clone(&released);
+                let sup = Arc::clone(&sup);
                 std::thread::spawn(move || {
-                    b.wait(3);
+                    b.wait(3, &sup, i);
                     released.fetch_add(1, Ordering::SeqCst);
                 })
             })
@@ -155,6 +197,26 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(released.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn poisoning_releases_a_parked_lock_waiter() {
+        let lv = Arc::new(LockVar::default());
+        let sup = sup();
+        lv.lock(&sup, 0);
+        let h = {
+            let lv = Arc::clone(&lv);
+            let sup = Arc::clone(&sup);
+            std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    lv.lock(&sup, 1);
+                }));
+                assert!(r.is_err(), "waiter must unwind once poisoned");
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        sup.record_wedge(0, "test poison".into());
+        h.join().unwrap();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, RunConfig, RunError, RunOutput, ThreadFn};
 use rfdet_dthreads::{run_lockstep, EngineMode};
 
 /// The quantum-based strongly deterministic backend ("CoreDet-q" in the
@@ -28,8 +28,13 @@ impl DmtBackend for QuantumBackend {
         true
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> RunOutput {
-        run_lockstep(cfg, EngineMode::Quantum(cfg.quantum_ticks), root)
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+        run_lockstep(
+            cfg,
+            EngineMode::Quantum(cfg.quantum_ticks),
+            &self.name(),
+            root,
+        )
     }
 }
 
@@ -42,7 +47,7 @@ mod tests {
     fn quantum_rounds_fire_without_synchronization() {
         let mut cfg = RunConfig::small();
         cfg.quantum_ticks = 100;
-        let out = QuantumBackend.run(
+        let out = QuantumBackend.run_expect(
             &cfg,
             Box::new(|ctx| {
                 let h = ctx.spawn(Box::new(|ctx| {
@@ -88,8 +93,8 @@ mod tests {
             let v: u64 = ctx.read(0);
             ctx.emit_str(&v.to_string());
         }
-        let q = QuantumBackend.run(&RunConfig::small(), Box::new(root));
-        let d = rfdet_dthreads::DthreadsBackend.run(&RunConfig::small(), Box::new(root));
+        let q = QuantumBackend.run_expect(&RunConfig::small(), Box::new(root));
+        let d = rfdet_dthreads::DthreadsBackend.run_expect(&RunConfig::small(), Box::new(root));
         assert_eq!(q.output, b"90");
         assert_eq!(d.output, b"90");
     }

@@ -58,7 +58,7 @@ fn main() {
             jitter_seed: Some(run * 31 + 5),
             ..RunConfig::default()
         };
-        let out = RfdetBackend::ci().run(&cfg, Box::new(program));
+        let out = RfdetBackend::ci().run_expect(&cfg, Box::new(program));
         let text = String::from_utf8_lossy(&out.output).into_owned();
         println!("  run {run}: {text}");
         orders.insert(text);

@@ -48,7 +48,7 @@ fn main() {
     let rfdet = RfdetBackend::ci();
     let mut outputs = std::collections::HashSet::new();
     for i in 0..5 {
-        let out = rfdet.run(&cfg, Box::new(program));
+        let out = rfdet.run_expect(&cfg, Box::new(program));
         let text = String::from_utf8_lossy(&out.output).into_owned();
         println!("  run {i}: {text}");
         outputs.insert(text);
@@ -59,7 +59,7 @@ fn main() {
     println!("pthreads (conventional): five runs");
     let mut native_outputs = std::collections::HashSet::new();
     for i in 0..5 {
-        let out = NativeBackend.run(&cfg, Box::new(program));
+        let out = NativeBackend.run_expect(&cfg, Box::new(program));
         let text = String::from_utf8_lossy(&out.output).into_owned();
         println!("  run {i}: {text}");
         native_outputs.insert(text);

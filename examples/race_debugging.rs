@@ -13,7 +13,7 @@
 //! re-run without losing the bug. The paper: strong determinism makes
 //! "the most severe races reproducible, and thus, debuggable" (§2).
 
-use rfdet::{DmtBackend, DmtCtx, DmtCtxExt, RfdetBackend, RunConfig};
+use rfdet::{DmtBackend, DmtCtx, DmtCtxExt, FaultPlan, RfdetBackend, RunConfig, RunError};
 
 const READY_FLAG: u64 = 4096;
 const PAYLOAD: u64 = 4104; // 8 u64s
@@ -71,7 +71,7 @@ fn main() {
         let mut c = cfg.clone();
         c.jitter_seed = Some(i);
         c.jitter_max_us = 100;
-        let out = backend.run(&c, Box::new(buggy_program));
+        let out = backend.run_expect(&c, Box::new(buggy_program));
         let text = String::from_utf8_lossy(&out.output).into_owned();
         println!("  run {i}: {text}");
         distinct.insert(text);
@@ -86,4 +86,27 @@ fn main() {
          happens-before edge, so the writer's update must not become\n\
          visible — ad hoc synchronization is unsupported by design, §4.6.)"
     );
+
+    // Act two: crash the writer mid-publication with a deterministic
+    // injected fault. The run comes back as a typed `RunError` carrying a
+    // full failure report — and because the fault is keyed to the logical
+    // schedule, the report digest is identical on every rerun.
+    println!("\nnow killing the writer at its first sync op (its exit), twice:");
+    let mut digests = std::collections::HashSet::new();
+    for attempt in 0..2 {
+        let mut c = cfg.clone();
+        c.jitter_seed = Some(attempt);
+        c.jitter_max_us = 100;
+        c.fault_plan = FaultPlan::new().panic_at(1, 0);
+        let err = backend
+            .run(&c, Box::new(buggy_program))
+            .expect_err("the injected fault must fail the run");
+        assert!(matches!(err, RunError::WorkerPanicked(_)));
+        digests.insert(err.report_digest());
+        if attempt == 0 {
+            println!("{}", err.report().render());
+        }
+    }
+    assert_eq!(digests.len(), 1);
+    println!("both crashes produced the same report digest: the failure itself is reproducible.");
 }

@@ -99,7 +99,7 @@ fn main() {
             jitter_seed: Some(replica_id * 7 + 1),
             ..RunConfig::default()
         };
-        let out = RfdetBackend::ci().run(&cfg, replica(input_seed));
+        let out = RfdetBackend::ci().run_expect(&cfg, replica(input_seed));
         let text = String::from_utf8_lossy(&out.output).into_owned();
         println!("  replica {replica_id}: {text}");
         states.insert(text);
@@ -112,6 +112,6 @@ fn main() {
          log, no coordination. A different input gives a different (but\n\
          equally replicated) history:"
     );
-    let out = RfdetBackend::ci().run(&RunConfig::default(), replica(42));
+    let out = RfdetBackend::ci().run_expect(&RunConfig::default(), replica(42));
     println!("  input 42: {}", String::from_utf8_lossy(&out.output));
 }

@@ -51,7 +51,7 @@ fn main() {
 
     let cfg = RunConfig::default();
     let start = std::time::Instant::now();
-    let out = backend.run(&cfg, (workload.factory)(Params::new(threads, size)));
+    let out = backend.run_expect(&cfg, (workload.factory)(Params::new(threads, size)));
     let elapsed = start.elapsed();
 
     println!(

@@ -41,8 +41,9 @@ pub use rfdet_vclock as vclock;
 pub use rfdet_workloads as workloads;
 
 pub use rfdet_api::{
-    Addr, AtomicOp, BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, MonitorMode, MutexId, Pod,
-    RfdetOpts, RunConfig, RunOutput, Stats, ThreadFn, ThreadHandle, Tid,
+    Addr, AtomicOp, BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, FailureKind, FailureReport,
+    FaultAction, FaultPlan, FaultSpec, MonitorMode, MutexId, Pod, RfdetOpts, RunConfig, RunError,
+    RunOutput, Stats, ThreadFn, ThreadHandle, ThreadReport, Tid, WaitEdge, WaitTarget,
 };
 pub use rfdet_core::RfdetBackend;
 pub use rfdet_dthreads::DthreadsBackend;

@@ -3,9 +3,8 @@
 
 use rfdet::{
     BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, DthreadsBackend, MutexId, QuantumBackend,
-    RfdetBackend, RunConfig,
+    RfdetBackend, RunConfig, RunError,
 };
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn cfg() -> RunConfig {
     let mut c = RunConfig::small();
@@ -25,7 +24,7 @@ fn det_backends() -> Vec<Box<dyn DmtBackend>> {
 #[test]
 fn broadcast_wakes_every_waiter() {
     for b in det_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let m = MutexId(0);
@@ -64,7 +63,7 @@ fn signal_with_no_waiter_is_lost() {
     // pthreads semantics: a signal with no waiter does nothing; the later
     // waiter must rely on its predicate, which the producer already set.
     for b in det_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let m = MutexId(0);
@@ -93,7 +92,7 @@ fn signal_with_no_waiter_is_lost() {
 #[test]
 fn barriers_are_reusable_across_generations() {
     for b in det_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let bar = BarrierId(3);
@@ -127,41 +126,48 @@ fn barriers_are_reusable_across_generations() {
 
 #[test]
 fn rfdet_rejects_unlock_of_unheld_mutex() {
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        RfdetBackend::ci().run(
+    let err = RfdetBackend::ci()
+        .run(
             &cfg(),
             Box::new(|ctx| {
                 ctx.unlock(MutexId(5));
             }),
         )
-    }));
-    assert!(result.is_err());
+        .expect_err("unlocking an unheld mutex must fail the run");
+    assert!(matches!(err, RunError::WorkerPanicked(_)));
+    assert_eq!(err.report().tid, 0);
 }
 
 #[test]
 fn rfdet_rejects_recursive_lock() {
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        RfdetBackend::ci().run(
+    let err = RfdetBackend::ci()
+        .run(
             &cfg(),
             Box::new(|ctx| {
                 ctx.lock(MutexId(5));
                 ctx.lock(MutexId(5));
             }),
         )
-    }));
-    assert!(result.is_err());
+        .expect_err("recursive locking must fail the run");
+    assert!(matches!(err, RunError::WorkerPanicked(_)));
+    assert!(
+        err.report().message.contains("lock"),
+        "message should describe the misuse: {}",
+        err.report().message
+    );
 }
 
 #[test]
 fn deadlock_is_detected_not_hung() {
     // Two threads take two locks in opposite order without ordering
-    // discipline — a classic deadlock. The runtime must panic (watchdog)
-    // rather than hang forever.
+    // discipline — a classic deadlock. The supervisor's structural
+    // detector (parked threads scanning the blocked set) must return a
+    // typed error with the wait-for cycle, fast — no wall-clock wait.
     let mut c = cfg();
     c.jitter_seed = None;
     let start = std::time::Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        RfdetBackend::ci().run(
+    let err = RfdetBackend::ci()
+        .run(
             &c,
             Box::new(|ctx| {
                 let a = MutexId(1);
@@ -184,18 +190,20 @@ fn deadlock_is_detected_not_hung() {
                 ctx.join(t2);
             }),
         )
-    }));
-    assert!(result.is_err(), "deadlock must be detected");
+        .expect_err("deadlock must be detected");
+    assert!(matches!(err, RunError::Deadlock(_)), "typed: {err}");
+    let r = err.report();
+    assert!(!r.cycle.is_empty(), "wait-for cycle identified: {r:?}");
     assert!(
-        start.elapsed() < std::time::Duration::from_secs(120),
-        "watchdog must fire in bounded time"
+        start.elapsed() < std::time::Duration::from_secs(20),
+        "structural detection must not wait for a wall-clock watchdog"
     );
 }
 
 #[test]
 fn thread_ids_are_deterministic_and_dense() {
     for b in det_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 assert_eq!(ctx.tid(), 0, "main thread is tid 0");

@@ -31,7 +31,7 @@ fn concurrent_fetch_add_never_loses_updates() {
     // The quickstart's racy counter, now with an atomic: every backend —
     // including pthreads — must count exactly.
     for b in all_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let hs: Vec<_> = (0..4)
@@ -62,7 +62,7 @@ fn exchange_order_is_deterministic_on_deterministic_backends() {
     fn run(b: &dyn DmtBackend, jitter: Option<u64>) -> Vec<u8> {
         let mut c = cfg();
         c.jitter_seed = jitter;
-        b.run(
+        b.run_expect(
             &c,
             Box::new(|ctx| {
                 let hs: Vec<_> = (1..=3u64)
@@ -104,7 +104,7 @@ fn cas_spinlock_works_on_every_backend() {
     const LOCK: u64 = 4200;
     const COUNT: u64 = 4208;
     for b in all_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let hs: Vec<_> = (0..3)
@@ -153,7 +153,7 @@ fn lockfree_treiber_stack_roundtrips() {
     const HEAD: u64 = 4304; // 0 = empty, else node index + 1
     const NODES: u64 = 8192; // node i: [next, value] at NODES + i*16
     for b in all_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let pushers: Vec<_> = (0..2u64)
@@ -213,7 +213,7 @@ fn lockfree_treiber_stack_roundtrips() {
 fn atomics_mix_with_locks_and_barriers() {
     use rfdet::{BarrierId, MutexId};
     for b in all_backends() {
-        let out = b.run(
+        let out = b.run_expect(
             &cfg(),
             Box::new(|ctx| {
                 let m = MutexId(0);

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use rfdet::{
-    BarrierId, DmtBackend, DmtCtx, DmtCtxExt, DthreadsBackend, MutexId, NativeBackend,
+    BarrierId, DmtBackend, DmtCtx, DmtCtxExt, DthreadsBackend, FaultPlan, MutexId, NativeBackend,
     QuantumBackend, RfdetBackend, RunConfig,
 };
 
@@ -97,9 +97,22 @@ fn arb_program() -> impl Strategy<Value = Vec<Vec<Step>>> {
 }
 
 fn run_program(backend: &dyn DmtBackend, scripts: &[Vec<Step>], jitter: Option<u64>) -> Vec<u8> {
+    run_program_faulted(backend, scripts, jitter, &FaultPlan::new())
+        .expect("fault-free program must succeed")
+}
+
+/// Like [`run_program`] but with an injected [`FaultPlan`]; a failed run
+/// yields `Err(report_digest)`.
+fn run_program_faulted(
+    backend: &dyn DmtBackend,
+    scripts: &[Vec<Step>],
+    jitter: Option<u64>,
+    plan: &FaultPlan,
+) -> Result<Vec<u8>, u64> {
     let mut cfg = RunConfig::small();
     cfg.rfdet.fault_cost_spins = 0;
     cfg.jitter_seed = jitter;
+    cfg.fault_plan = plan.clone();
     let parties = scripts.len();
     let scripts = scripts.to_vec();
     let out = backend.run(
@@ -167,7 +180,10 @@ fn run_program(backend: &dyn DmtBackend, scripts: &[Vec<Step>], jitter: Option<u
             ctx.emit_str(&cells.join(","));
         }),
     );
-    out.output
+    match out {
+        Ok(out) => Ok(out.output),
+        Err(err) => Err(err.report_digest()),
+    }
 }
 
 proptest! {
@@ -248,6 +264,35 @@ proptest! {
                     &again, &baseline,
                     "{} racy result moved under jitter {} on {:?}",
                     b.name(), seed, scripts
+                );
+            }
+        }
+    }
+
+    /// Injected faults are part of the deterministic surface: the same
+    /// program with the same [`FaultPlan`] must either succeed with the
+    /// same output or fail with a byte-identical report digest, under
+    /// every jitter schedule. (A plan targeting an op index the thread
+    /// never reaches simply doesn't fire — the Ok/Ok branch.)
+    #[test]
+    fn fault_reports_are_jitter_stable(scripts in arb_program(), target in 0u64..6) {
+        let plan = FaultPlan::new()
+            .panic_at(1, target)
+            .jitter_at(2, 1, 17);
+        let backends: Vec<Box<dyn DmtBackend>> = vec![
+            Box::new(RfdetBackend::ci()),
+            Box::new(RfdetBackend::pf()),
+            Box::new(DthreadsBackend),
+            Box::new(QuantumBackend),
+        ];
+        for b in &backends {
+            let baseline = run_program_faulted(b.as_ref(), &scripts, None, &plan);
+            for seed in [3u64, 0xFACE] {
+                let again = run_program_faulted(b.as_ref(), &scripts, Some(seed), &plan);
+                prop_assert_eq!(
+                    &again, &baseline,
+                    "{} fault outcome moved under jitter {} (plan {:?}) on {:?}",
+                    b.name(), seed, plan, scripts
                 );
             }
         }

@@ -14,7 +14,7 @@ fn cfg() -> RunConfig {
 
 fn run(backend: &dyn DmtBackend, name: &str, threads: usize) -> Vec<u8> {
     let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-    let out = backend.run(&cfg(), (w.factory)(Params::new(threads, Size::Test)));
+    let out = backend.run_expect(&cfg(), (w.factory)(Params::new(threads, Size::Test)));
     assert!(!out.output.is_empty(), "{name} produced no output");
     out.output
 }
@@ -98,7 +98,7 @@ fn racey_is_stable_under_rfdet_and_unstable_contract_holds() {
     let w = by_name("racey").unwrap();
     let mut jcfg = cfg();
     jcfg.jitter_seed = Some(42);
-    let jit = b.run(&jcfg, (w.factory)(Params::new(4, Size::Test)));
+    let jit = b.run_expect(&jcfg, (w.factory)(Params::new(4, Size::Test)));
     assert_eq!(jit.output, first);
 }
 
