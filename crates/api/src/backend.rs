@@ -1,6 +1,7 @@
 //! The backend abstraction: anything that can execute a DMT workload.
 
-use crate::{RunConfig, RunError, Stats, ThreadFn};
+use crate::{FaultPlan, RunConfig, RunError, Stats, ThreadFn};
+use rfdet_trace::{ddmin, RunTrace, TraceFault};
 
 /// The result of running a workload to completion under some backend.
 #[derive(Clone, Debug, Default)]
@@ -25,6 +26,44 @@ impl RunOutput {
     }
 }
 
+/// A run result together with its flight-recorder trace (present only
+/// when [`RunConfig::trace`] was on).
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The run's outcome.
+    pub result: Result<RunOutput, RunError>,
+    /// The recorded trace. For failed runs it has already been persisted
+    /// (best effort) and the report's `trace_path` stamped.
+    pub trace: Option<Box<RunTrace>>,
+}
+
+/// The outcome of re-executing a recorded trace.
+#[derive(Debug)]
+pub struct Replay {
+    /// The replay run's own outcome.
+    pub result: Result<RunOutput, RunError>,
+    /// The replay's own recording (replays re-record so schedules can be
+    /// compared).
+    pub trace: Option<Box<RunTrace>>,
+    /// Whether the replay reproduced the recorded terminal digest
+    /// (`report_digest` for failures, `output_digest` for clean runs).
+    pub digest_match: bool,
+    /// Whether the culprit thread's recorded event stream reproduced
+    /// exactly ([`RunTrace::culprit_events`]). `None` when either side
+    /// recorded no schedule (e.g. unsupervised runs).
+    pub schedule_match: Option<bool>,
+}
+
+impl Replay {
+    /// `true` when the replay verifiably reproduced the recorded run:
+    /// the digest matches and the schedule comparison, when possible,
+    /// agrees.
+    #[must_use]
+    pub fn reproduced(&self) -> bool {
+        self.digest_match && self.schedule_match != Some(false)
+    }
+}
+
 /// A deterministic-multithreading execution engine.
 ///
 /// Implementations: `rfdet-core` (the paper), `rfdet-dthreads`,
@@ -40,6 +79,13 @@ pub trait DmtBackend: Send + Sync {
     /// (strong determinism: identical results even with data races).
     fn is_deterministic(&self) -> bool;
 
+    /// Runs `root` as the main thread, blocks until the whole thread
+    /// tree has finished or the run fails, and — when
+    /// [`RunConfig::trace`] is on — returns the flight-recorder trace
+    /// alongside the result. Failing traced runs persist their trace
+    /// before returning (see [`rfdet_trace::persist`]).
+    fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun;
+
     /// Runs `root` as the main thread and blocks until the whole thread
     /// tree has finished or the run fails.
     ///
@@ -48,7 +94,9 @@ pub trait DmtBackend: Send + Sync {
     /// [`crate::FailureReport`] — when any thread panics, when every
     /// live thread is provably blocked on another, or when the run makes
     /// no progress for the configured wall-clock bound.
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError>;
+    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+        self.run_traced(cfg, root).result
+    }
 
     /// [`Self::run`], panicking with the rendered failure report on
     /// error. The convenience entry point for tests, benches and
@@ -61,6 +109,74 @@ pub trait DmtBackend: Send + Sync {
             Ok(out) => out,
             Err(e) => panic!("{}", e.report().render()),
         }
+    }
+
+    /// Re-executes a recorded run: rebuilds the trace's configuration
+    /// (config, seed, fault plan), runs `root` under it with recording
+    /// on, and compares the terminal digest and the culprit thread's
+    /// event stream against the recording. `root` must be the same
+    /// workload the trace was recorded from (the trace stores only its
+    /// name — closures do not serialize).
+    fn replay(&self, trace: &RunTrace, root: ThreadFn) -> Replay {
+        let cfg = RunConfig::from_trace(trace);
+        let rerun = self.run_traced(&cfg, root);
+        let digest = match &rerun.result {
+            Ok(out) => out.output_digest(),
+            Err(e) => e.report_digest(),
+        };
+        let digest_match = digest == trace.failure.report_digest;
+        let schedule_match = match &rerun.trace {
+            Some(t) if !t.events.is_empty() && !trace.events.is_empty() => {
+                Some(t.culprit_events() == trace.culprit_events())
+            }
+            _ => None,
+        };
+        Replay {
+            result: rerun.result,
+            trace: rerun.trace,
+            digest_match,
+            schedule_match,
+        }
+    }
+
+    /// Delta-debugs a failing trace's fault plan down to a 1-minimal
+    /// sublist that still reproduces the same [`crate::FailureKind`],
+    /// re-running the workload once per probe (`make_root` must hand out
+    /// a fresh root closure each time). Returns the trace of a final
+    /// verification run under the minimized plan — strictly smaller than
+    /// the recorded one — or `None` when the trace did not fail, the
+    /// plan cannot shrink, or the verification run diverged.
+    fn shrink_plan(
+        &self,
+        trace: &RunTrace,
+        make_root: &mut dyn FnMut() -> ThreadFn,
+    ) -> Option<Box<RunTrace>> {
+        if !trace.failure.is_failure() {
+            return None;
+        }
+        let base = RunConfig::from_trace(trace);
+        let kind = trace.failure.kind;
+        let mut oracle = |subset: &[TraceFault]| {
+            let mut cfg = base.clone();
+            // Probes skip recording: no event collection, no disk churn.
+            cfg.trace = None;
+            cfg.fault_plan = FaultPlan::from_trace_faults(subset);
+            match self.run_traced(&cfg, make_root()).result {
+                Err(e) => e.report().kind.code() == kind,
+                Ok(_) => false,
+            }
+        };
+        let min = ddmin(&trace.faults, &mut oracle);
+        if min.len() >= trace.faults.len() {
+            return None;
+        }
+        // One last traced run under the minimized plan produces the
+        // minimal trace (and persists it, as any failing traced run).
+        let mut cfg = base;
+        cfg.fault_plan = FaultPlan::from_trace_faults(&min);
+        self.run_traced(&cfg, make_root())
+            .trace
+            .filter(|t| t.failure.kind == kind)
     }
 }
 

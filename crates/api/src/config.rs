@@ -1,6 +1,7 @@
 //! Run configuration shared by all backends.
 
 use crate::FaultPlan;
+use rfdet_trace::{RunTrace, TraceConfig};
 use std::time::Duration;
 
 /// How RFDet monitors memory modifications (paper §4.2 and Figure 7).
@@ -114,6 +115,16 @@ pub struct RunConfig {
     /// normally detected structurally, long before this fires). `None`
     /// disables the fallback.
     pub deadlock_after_ms: Option<u64>,
+    /// Flight recorder: when `Some(workload_name)`, the run records a
+    /// [`RunTrace`] of its schedule, and a failing run persists it to
+    /// `target/rfdet-traces/<digest>.trace` (override the directory with
+    /// `RFDET_TRACE_DIR`). The name labels the trace so the `replay` CLI
+    /// can resolve the root function again — closures do not serialize.
+    /// Recording points piggyback on the supervision hooks, so traces of
+    /// unsupervised runs (`supervise: false`) contain no events. `None`
+    /// (the default) keeps the recorder off at the cost of one branch
+    /// per sync op.
+    pub trace: Option<String>,
 }
 
 impl Default for RunConfig {
@@ -132,6 +143,7 @@ impl Default for RunConfig {
             fault_plan: FaultPlan::new(),
             supervise: true,
             deadlock_after_ms: Some(30_000),
+            trace: None,
         }
     }
 }
@@ -157,6 +169,71 @@ impl RunConfig {
     #[must_use]
     pub fn deadlock_after(&self) -> Option<Duration> {
         self.deadlock_after_ms.map(Duration::from_millis)
+    }
+
+    /// The determinism-relevant projection of this configuration in the
+    /// codec-stable trace form ([`TraceConfig`]). The jitter seed and
+    /// fault plan travel as separate [`RunTrace`] fields.
+    #[must_use]
+    pub fn trace_config(&self) -> TraceConfig {
+        TraceConfig {
+            space_bytes: self.space_bytes,
+            page_size: self.page_size,
+            meta_capacity_bytes: self.meta_capacity_bytes,
+            gc_threshold_bits: self.gc_threshold.to_bits(),
+            meta_max_slices: self.meta_max_slices,
+            sync_shards: self.sync_shards as u64,
+            monitor: match self.rfdet.monitor {
+                MonitorMode::Ci => 0,
+                MonitorMode::Pf => 1,
+            },
+            slice_merging: self.rfdet.slice_merging,
+            prelock: self.rfdet.prelock,
+            lazy_writes: self.rfdet.lazy_writes,
+            fault_cost_spins: self.rfdet.fault_cost_spins,
+            diff_gap_coalesce: self.rfdet.diff_gap_coalesce as u64,
+            snap_pool_pages: self.rfdet.snap_pool_pages as u64,
+            quantum_ticks: self.quantum_ticks,
+            jitter_max_us: self.jitter_max_us,
+            supervise: self.supervise,
+            deadlock_after_ms: self.deadlock_after_ms,
+        }
+    }
+
+    /// Reconstructs the configuration a trace was recorded under —
+    /// config, seed and fault plan — with recording re-enabled, so a
+    /// replay observes its own schedule for comparison.
+    #[must_use]
+    pub fn from_trace(trace: &RunTrace) -> Self {
+        let c = &trace.config;
+        Self {
+            space_bytes: c.space_bytes,
+            page_size: c.page_size,
+            meta_capacity_bytes: c.meta_capacity_bytes,
+            gc_threshold: f64::from_bits(c.gc_threshold_bits),
+            meta_max_slices: c.meta_max_slices,
+            sync_shards: c.sync_shards as usize,
+            rfdet: RfdetOpts {
+                monitor: if c.monitor == 1 {
+                    MonitorMode::Pf
+                } else {
+                    MonitorMode::Ci
+                },
+                slice_merging: c.slice_merging,
+                prelock: c.prelock,
+                lazy_writes: c.lazy_writes,
+                fault_cost_spins: c.fault_cost_spins,
+                diff_gap_coalesce: c.diff_gap_coalesce as usize,
+                snap_pool_pages: c.snap_pool_pages as usize,
+            },
+            quantum_ticks: c.quantum_ticks,
+            jitter_seed: trace.seed,
+            jitter_max_us: c.jitter_max_us,
+            fault_plan: FaultPlan::from_trace_faults(&trace.faults),
+            supervise: c.supervise,
+            deadlock_after_ms: c.deadlock_after_ms,
+            trace: Some(trace.workload.clone()),
+        }
     }
 
     /// Validates invariants (power-of-two page size, nonzero space).
@@ -214,6 +291,36 @@ mod tests {
         let mut c = RunConfig::small();
         c.space_bytes = 4096 + 7;
         c.validate();
+    }
+
+    #[test]
+    fn trace_config_round_trips_through_a_trace() {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.monitor = MonitorMode::Pf;
+        cfg.jitter_seed = Some(99);
+        cfg.fault_plan = FaultPlan::new().panic_at(1, 3).jitter_at(2, 0, 7);
+        cfg.trace = Some("w".to_owned());
+        let trace = rfdet_trace::RunTrace {
+            backend: "b".into(),
+            workload: "w".into(),
+            seed: cfg.jitter_seed,
+            config: cfg.trace_config(),
+            faults: cfg.fault_plan.to_trace_faults(),
+            events: Vec::new(),
+            failure: rfdet_trace::FailureSummary {
+                kind: rfdet_trace::KIND_PANIC,
+                tid: 1,
+                report_digest: 0,
+            },
+        };
+        let back = RunConfig::from_trace(&trace);
+        assert_eq!(back.space_bytes, cfg.space_bytes);
+        assert_eq!(back.gc_threshold.to_bits(), cfg.gc_threshold.to_bits());
+        assert_eq!(back.rfdet.monitor, MonitorMode::Pf);
+        assert_eq!(back.jitter_seed, Some(99));
+        assert_eq!(back.fault_plan, cfg.fault_plan);
+        assert_eq!(back.trace.as_deref(), Some("w"));
+        back.validate();
     }
 
     #[test]

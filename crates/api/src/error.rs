@@ -20,6 +20,7 @@
 use crate::Tid;
 use rfdet_vclock::VClock;
 use std::fmt;
+use std::path::PathBuf;
 
 /// How a run failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +36,31 @@ pub enum FailureKind {
     /// time, so *when* it fires is not deterministic — only that the
     /// underlying schedule never finishes is.
     Wedged,
+}
+
+impl FailureKind {
+    /// The codec-stable code recorded in traces ([`rfdet_trace::KIND_PANIC`]
+    /// and friends).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            FailureKind::Panic => rfdet_trace::KIND_PANIC,
+            FailureKind::Deadlock => rfdet_trace::KIND_DEADLOCK,
+            FailureKind::Wedged => rfdet_trace::KIND_WEDGED,
+        }
+    }
+
+    /// Inverse of [`Self::code`]. `None` for unknown codes and for
+    /// [`rfdet_trace::KIND_NONE`] (a clean run has no failure kind).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            rfdet_trace::KIND_PANIC => Some(FailureKind::Panic),
+            rfdet_trace::KIND_DEADLOCK => Some(FailureKind::Deadlock),
+            rfdet_trace::KIND_WEDGED => Some(FailureKind::Wedged),
+            _ => None,
+        }
+    }
 }
 
 /// What a blocked thread is waiting on.
@@ -159,6 +185,11 @@ pub struct FailureReport {
     /// from [`Self::report_digest`]: how far a peer got before the abort
     /// reached it depends on physical timing.
     pub peers: Vec<ThreadReport>,
+    /// Where the flight recorder persisted this failure's trace, when
+    /// recording was on ([`crate::RunConfig::trace`]). Excluded from
+    /// [`Self::report_digest`]: a path reflects the environment, not the
+    /// schedule.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl FailureReport {
@@ -267,6 +298,9 @@ impl FailureReport {
             }
         }
         let _ = write!(s, "  report digest: {:#018x}", self.report_digest());
+        if let Some(p) = &self.trace_path {
+            let _ = write!(s, "\n  trace: {}", p.display());
+        }
         s
     }
 }
@@ -293,6 +327,14 @@ impl RunError {
         }
     }
 
+    /// Mutable access to the report (the flight recorder stamps
+    /// [`FailureReport::trace_path`] after persisting).
+    pub fn report_mut(&mut self) -> &mut FailureReport {
+        match self {
+            RunError::WorkerPanicked(r) | RunError::Deadlock(r) | RunError::Wedged(r) => r,
+        }
+    }
+
     /// Digest of the deterministic projection of the report.
     #[must_use]
     pub fn report_digest(&self) -> u64 {
@@ -310,16 +352,34 @@ impl RunError {
     }
 }
 
+/// Multi-line: what failed, the rerun-stable digest, and (when the
+/// flight recorder was on) where the trace landed and how to replay it —
+/// so a bare `?`-propagated error from an example or bin is actionable.
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let r = self.report();
         match self {
             RunError::WorkerPanicked(_) => {
-                write!(f, "worker t{} panicked: {}", r.tid, r.message)
+                writeln!(f, "worker t{} panicked: {}", r.tid, r.message)?;
             }
-            RunError::Deadlock(_) => write!(f, "deadlock: {}", r.message),
-            RunError::Wedged(_) => write!(f, "run wedged: {}", r.message),
+            RunError::Deadlock(_) => writeln!(f, "deadlock: {}", r.message)?,
+            RunError::Wedged(_) => writeln!(f, "run wedged: {}", r.message)?,
         }
+        write!(
+            f,
+            "  backend: {}\n  report digest: {:#018x}",
+            r.backend,
+            self.report_digest()
+        )?;
+        if let Some(p) = &r.trace_path {
+            write!(
+                f,
+                "\n  trace: {}\n  replay: cargo run -p rfdet-bench --bin replay -- replay {}",
+                p.display(),
+                p.display()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -345,6 +405,7 @@ mod tests {
             wait_graph: Vec::new(),
             cycle: Vec::new(),
             peers: Vec::new(),
+            trace_path: None,
         }
     }
 
@@ -449,5 +510,42 @@ mod tests {
         assert!(s.contains("t1"));
         assert!(s.contains("boom"));
         assert!(s.contains("report digest"));
+    }
+
+    #[test]
+    fn digest_ignores_the_trace_path() {
+        let a = report(FailureKind::Panic);
+        let mut b = a.clone();
+        b.trace_path = Some(PathBuf::from("/tmp/x.trace"));
+        assert_eq!(a.report_digest(), b.report_digest());
+        assert!(b.render().contains("/tmp/x.trace"));
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [
+            FailureKind::Panic,
+            FailureKind::Deadlock,
+            FailureKind::Wedged,
+        ] {
+            assert_eq!(FailureKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(FailureKind::from_code(rfdet_trace::KIND_NONE), None);
+        assert_eq!(FailureKind::from_code(42), None);
+    }
+
+    #[test]
+    fn display_is_multi_line_and_actionable() {
+        let mut e = RunError::from_report(report(FailureKind::Panic));
+        let s = e.to_string();
+        assert!(s.contains("panicked"));
+        assert!(s.contains("report digest: 0x"));
+        assert!(!s.contains("replay:"), "no replay hint without a trace");
+
+        e.report_mut().trace_path = Some(PathBuf::from("target/rfdet-traces/ab.trace"));
+        let s = e.to_string();
+        assert!(s.lines().count() >= 4, "multi-line: {s:?}");
+        assert!(s.contains("trace: target/rfdet-traces/ab.trace"));
+        assert!(s.contains("replay"));
     }
 }

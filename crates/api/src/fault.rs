@@ -11,6 +11,7 @@
 //! seed for chaos sweeps — random across seeds, reproducible per seed.
 
 use crate::{DetRng, Tid};
+use rfdet_trace::{TraceFault, FAULT_FAIL_ALLOC, FAULT_JITTER, FAULT_PANIC};
 
 /// What to inject at a trigger point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,18 +103,34 @@ impl FaultPlan {
         self
     }
 
+    /// A plan built from explicit specs. The shrinker uses this to probe
+    /// subsets of a recorded plan.
+    #[must_use]
+    pub fn from_specs(specs: Vec<FaultSpec>) -> Self {
+        Self { specs }
+    }
+
     /// A chaos-sweep plan: `count` faults drawn deterministically from
     /// `seed`, targeting tids below `threads` and sync ops below
     /// `max_op`. Roughly half the faults are panics, half are jitter
     /// bursts — rerunning with the same seed reproduces the plan (and
     /// therefore the run) exactly.
+    ///
+    /// Degenerate inputs are clamped rather than honored: zero threads,
+    /// zero ops or a zero count would yield a plan that injects nothing,
+    /// and a chaos sweep that silently injects nothing vacuously passes
+    /// every downstream assertion. A random plan always carries at least
+    /// one fault, targeting at least thread 0 at op 0.
     #[must_use]
     pub fn random(seed: u64, threads: u32, max_op: u64, count: usize) -> Self {
+        let threads = u64::from(threads.max(1));
+        let max_op = max_op.max(1);
+        let count = count.max(1);
         let mut rng = DetRng::new(seed);
         let mut plan = Self::new();
         for _ in 0..count {
-            let tid = rng.next_below(u64::from(threads.max(1))) as Tid;
-            let op = rng.next_below(max_op.max(1));
+            let tid = rng.next_below(threads) as Tid;
+            let op = rng.next_below(max_op);
             if rng.next_below(2) == 0 {
                 plan = plan.panic_at(tid, op);
             } else {
@@ -158,6 +175,57 @@ impl FaultPlan {
         self.specs.iter().any(|s| {
             s.tid == tid && matches!(s.action, FaultAction::FailAlloc { nth: n } if n == nth)
         })
+    }
+
+    /// This plan in the codec-stable numeric form recorded into a
+    /// [`rfdet_trace::RunTrace`].
+    #[must_use]
+    pub fn to_trace_faults(&self) -> Vec<TraceFault> {
+        self.specs
+            .iter()
+            .map(|s| match s.action {
+                FaultAction::PanicAtSyncOp { op } => TraceFault {
+                    tid: s.tid,
+                    code: FAULT_PANIC,
+                    a: op,
+                    b: 0,
+                },
+                FaultAction::FailAlloc { nth } => TraceFault {
+                    tid: s.tid,
+                    code: FAULT_FAIL_ALLOC,
+                    a: nth,
+                    b: 0,
+                },
+                FaultAction::JitterTicks { op, ticks } => TraceFault {
+                    tid: s.tid,
+                    code: FAULT_JITTER,
+                    a: op,
+                    b: ticks,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a plan from recorded faults. Unknown fault codes (from a
+    /// newer trace version) are dropped rather than misinterpreted.
+    #[must_use]
+    pub fn from_trace_faults(faults: &[TraceFault]) -> Self {
+        let specs = faults
+            .iter()
+            .filter_map(|f| {
+                let action = match f.code {
+                    FAULT_PANIC => FaultAction::PanicAtSyncOp { op: f.a },
+                    FAULT_FAIL_ALLOC => FaultAction::FailAlloc { nth: f.a },
+                    FAULT_JITTER => FaultAction::JitterTicks {
+                        op: f.a,
+                        ticks: f.b,
+                    },
+                    _ => return None,
+                };
+                Some(FaultSpec { tid: f.tid, action })
+            })
+            .collect();
+        Self { specs }
     }
 
     /// The canonical panic message for an injected sync-op fault (stable
@@ -221,6 +289,53 @@ mod tests {
         for s in a.specs() {
             assert!(u64::from(s.tid) < 4);
         }
+    }
+
+    #[test]
+    fn random_clamps_degenerate_inputs() {
+        // Zero threads / ops / count used to yield plans that silently
+        // injected nothing; now they clamp to the smallest real sweep.
+        let p = FaultPlan::random(7, 0, 0, 0);
+        assert!(!p.is_empty(), "degenerate chaos plan must still inject");
+        assert_eq!(p.specs().len(), 1);
+        for s in p.specs() {
+            assert_eq!(s.tid, 0, "zero threads clamps to thread 0");
+            match s.action {
+                FaultAction::PanicAtSyncOp { op } => assert_eq!(op, 0),
+                FaultAction::JitterTicks { op, .. } => assert_eq!(op, 0),
+                FaultAction::FailAlloc { .. } => panic!("random never fails allocs"),
+            }
+        }
+        // Clamping is per-argument: a real count with zero ops still
+        // produces `count` faults, all at op 0.
+        assert_eq!(FaultPlan::random(8, 4, 0, 5).specs().len(), 5);
+    }
+
+    #[test]
+    fn trace_faults_round_trip() {
+        let p = FaultPlan::new()
+            .panic_at(1, 3)
+            .fail_alloc(2, 0)
+            .jitter_at(0, 9, 41);
+        let faults = p.to_trace_faults();
+        assert_eq!(faults.len(), 3);
+        assert_eq!(FaultPlan::from_trace_faults(&faults), p);
+        // Unknown codes are dropped, not misread.
+        let mut with_unknown = faults.clone();
+        with_unknown.push(TraceFault {
+            tid: 0,
+            code: 99,
+            a: 0,
+            b: 0,
+        });
+        assert_eq!(FaultPlan::from_trace_faults(&with_unknown), p);
+    }
+
+    #[test]
+    fn from_specs_preserves_order() {
+        let p = FaultPlan::new().panic_at(1, 3).jitter_at(2, 0, 7);
+        let rebuilt = FaultPlan::from_specs(p.specs().to_vec());
+        assert_eq!(rebuilt, p);
     }
 
     #[test]

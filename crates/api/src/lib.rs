@@ -27,18 +27,22 @@ mod ctx;
 mod error;
 mod fault;
 mod pod;
+mod record;
 mod rng;
 mod stats;
 
-pub use backend::{DmtBackend, RunOutput};
+pub use backend::{DmtBackend, Replay, RunOutput, TracedRun};
 pub use config::{MonitorMode, RfdetOpts, RunConfig};
 pub use ctx::{AtomicOp, BarrierId, CondId, DmtCtx, DmtCtxExt, MutexId, ThreadFn, ThreadHandle};
 pub use error::{FailureKind, FailureReport, RunError, ThreadReport, WaitEdge, WaitTarget};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, SyncOpFault};
 pub use pod::Pod;
+pub use record::{finish_trace, trace_sink};
 pub use rng::DetRng;
 pub use stats::Stats;
 
+pub use rfdet_trace as trace;
+pub use rfdet_trace::RunTrace;
 pub use rfdet_vclock::Tid;
 
 /// A byte address in the logical shared memory space.

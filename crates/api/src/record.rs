@@ -1,0 +1,134 @@
+//! Flight-recorder assembly, shared by every backend.
+//!
+//! A backend's `run_traced` does three recorder-specific things, all
+//! through this module: create the sink when [`RunConfig::trace`] is on
+//! ([`trace_sink`]), hand each thread context a `TraceBuf` draining into
+//! it, and call [`finish_trace`] once the run has a result — which
+//! assembles the [`RunTrace`], persists it when the run failed, and
+//! stamps the persisted path into the `FailureReport`.
+
+use crate::{RunConfig, RunError, RunOutput};
+use rfdet_trace::{persist, FailureSummary, RunTrace, TraceSink, KIND_NONE};
+use std::sync::Arc;
+
+/// The run's event sink — `Some` exactly when the config asks for a
+/// recording. Backends thread the `Arc` into every context they create.
+#[must_use]
+pub fn trace_sink(cfg: &RunConfig) -> Option<Arc<TraceSink>> {
+    cfg.trace.as_ref().map(|_| Arc::new(TraceSink::default()))
+}
+
+/// Assembles the run's [`RunTrace`] from the drained sink, persists it
+/// when the run failed (atomic rename; best effort — a full disk must
+/// not turn a reproducible failure into an I/O panic), and stamps the
+/// persisted path into the error's report. Returns `None` when the run
+/// was not recording.
+pub fn finish_trace(
+    backend: &str,
+    cfg: &RunConfig,
+    sink: Option<&Arc<TraceSink>>,
+    result: &mut Result<RunOutput, RunError>,
+) -> Option<Box<RunTrace>> {
+    let sink = sink?;
+    let failure = match result {
+        Ok(out) => FailureSummary {
+            kind: KIND_NONE,
+            tid: 0,
+            report_digest: out.output_digest(),
+        },
+        Err(e) => FailureSummary {
+            kind: e.report().kind.code(),
+            tid: e.report().tid,
+            report_digest: e.report_digest(),
+        },
+    };
+    let trace = RunTrace {
+        backend: backend.to_owned(),
+        workload: cfg.trace.clone().unwrap_or_default(),
+        seed: cfg.jitter_seed,
+        config: cfg.trace_config(),
+        faults: cfg.fault_plan.to_trace_faults(),
+        events: sink.drain_sorted(),
+        failure,
+    };
+    if let Err(e) = result {
+        if let Ok(path) = persist::save(&trace) {
+            e.report_mut().trace_path = Some(path);
+        }
+    }
+    Some(Box::new(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureKind, FailureReport, FaultPlan};
+    use rfdet_trace::KIND_PANIC;
+
+    fn failing_result() -> Result<RunOutput, RunError> {
+        Err(RunError::from_report(FailureReport {
+            backend: "test".to_owned(),
+            kind: FailureKind::Panic,
+            tid: 1,
+            message: "boom".to_owned(),
+            culprit: None,
+            wait_graph: Vec::new(),
+            cycle: Vec::new(),
+            peers: Vec::new(),
+            trace_path: None,
+        }))
+    }
+
+    #[test]
+    fn disabled_recorder_yields_no_trace() {
+        let cfg = RunConfig::small();
+        assert!(trace_sink(&cfg).is_none());
+        let mut result = failing_result();
+        assert!(finish_trace("test", &cfg, None, &mut result).is_none());
+        assert!(result.unwrap_err().report().trace_path.is_none());
+    }
+
+    #[test]
+    fn failing_run_persists_and_stamps_the_path() {
+        let dir = std::env::temp_dir().join(format!("rfdet-record-test-{}", std::process::id()));
+        // Serialized by test name uniqueness; the env var is process-wide
+        // so this is the only test in the crate that may set it.
+        std::env::set_var("RFDET_TRACE_DIR", &dir);
+        let mut cfg = RunConfig::small();
+        cfg.trace = Some("wl".to_owned());
+        cfg.jitter_seed = Some(5);
+        cfg.fault_plan = FaultPlan::new().panic_at(1, 0);
+        let sink = trace_sink(&cfg).expect("recording on");
+        let mut result = failing_result();
+        let trace = finish_trace("test", &cfg, Some(&sink), &mut result).expect("trace");
+        std::env::remove_var("RFDET_TRACE_DIR");
+
+        assert_eq!(trace.workload, "wl");
+        assert_eq!(trace.seed, Some(5));
+        assert_eq!(trace.faults.len(), 1);
+        assert_eq!(trace.failure.kind, KIND_PANIC);
+        let err = result.unwrap_err();
+        assert_eq!(trace.failure.report_digest, err.report_digest());
+        let path = err.report().trace_path.clone().expect("path stamped");
+        assert_eq!(persist::load(&path).expect("loads back"), *trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_run_is_traced_but_not_persisted() {
+        let mut cfg = RunConfig::small();
+        cfg.trace = Some("wl".to_owned());
+        let sink = trace_sink(&cfg).expect("recording on");
+        let mut result: Result<RunOutput, RunError> = Ok(RunOutput {
+            output: b"ok".to_vec(),
+            stats: crate::Stats::default(),
+        });
+        let trace = finish_trace("test", &cfg, Some(&sink), &mut result).expect("trace");
+        assert_eq!(trace.failure.kind, KIND_NONE);
+        assert!(!trace.failure.is_failure());
+        assert_eq!(
+            trace.failure.report_digest,
+            result.as_ref().map(RunOutput::output_digest).unwrap_or(0),
+        );
+    }
+}

@@ -1,9 +1,12 @@
-//! Emits `BENCH_3.json`: machine-readable numbers for the memory-
+//! Emits `BENCH_4.json`: machine-readable numbers for the memory-
 //! pipeline fast path — chunked vs scalar diff kernel, gap coalescing,
 //! the propagate-heavy 4-thread workload, the pool/diff stats counters
 //! from one instrumented run — plus the supervisor-overhead A/B
 //! (`cfg.supervise` on vs off on the 4-thread contended-mutex
-//! workload; DESIGN.md §4.7 budgets this at <2%).
+//! workload; DESIGN.md §4.7 budgets this at <2%) and the
+//! flight-recorder A/B (`cfg.trace` on vs off on the same workload;
+//! DESIGN.md §4.8 budgets recording at <5%, and the disabled path at
+//! one branch per sync op, ~0%).
 //!
 //! Usage: `bench_json [--out PATH] [--quick]`. `--quick` shrinks the
 //! measurement target so CI can smoke-test the emission path in
@@ -65,7 +68,7 @@ fn propagate_heavy_root(ctx: &mut dyn DmtCtx) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut quick = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -163,6 +166,24 @@ fn main() {
         results.push((id.to_owned(), ns, iters));
     }
 
+    // Flight-recorder A/B on the contended workload: recorder on
+    // (`cfg.trace` set — every sync op buffers a TraceEvent) vs off
+    // (the default; one `Option` branch per sync op).
+    for traced in [true, false] {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.fault_cost_spins = 0;
+        cfg.trace = traced.then(|| "bench.propagate_heavy".to_owned());
+        let id = if traced {
+            "rfdet/4t_propagate_heavy_traced"
+        } else {
+            "rfdet/4t_propagate_heavy_untraced"
+        };
+        let (ns, iters) = measure(target, || {
+            black_box(RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root)));
+        });
+        results.push((id.to_owned(), ns, iters));
+    }
+
     // One instrumented run for the new fast-path counters.
     let mut cfg = RunConfig::small();
     cfg.rfdet.fault_cost_spins = 0;
@@ -215,6 +236,19 @@ fn main() {
         sup_ns / unsup_ns - 1.0
     );
     let _ = writeln!(json, "    \"budget_frac\": 0.02");
+    json.push_str("  },\n");
+    let traced_ns = lookup("rfdet/4t_propagate_heavy_traced");
+    let untraced_ns = lookup("rfdet/4t_propagate_heavy_untraced");
+    json.push_str("  \"trace_overhead\": {\n");
+    let _ = writeln!(json, "    \"bench\": \"rfdet/4t_propagate_heavy\",");
+    let _ = writeln!(json, "    \"traced_ns\": {traced_ns:.1},");
+    let _ = writeln!(json, "    \"untraced_ns\": {untraced_ns:.1},");
+    let _ = writeln!(
+        json,
+        "    \"overhead_frac\": {:.4},",
+        traced_ns / untraced_ns - 1.0
+    );
+    let _ = writeln!(json, "    \"budget_frac\": 0.05");
     json.push_str("  },\n");
     json.push_str("  \"counters\": {\n");
     let _ = writeln!(

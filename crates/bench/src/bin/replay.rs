@@ -1,0 +1,261 @@
+//! Flight-recorder CLI: record failing runs, replay persisted traces,
+//! and shrink their fault plans to minimal repros.
+//!
+//! ```text
+//! replay record <workload>[@threads] [--backend NAME] [--seed S]
+//!               [--panic TID:OP]... [--jitter TID:OP:TICKS]...
+//!               [--fail-alloc TID:NTH]...
+//! replay replay <trace-file>
+//! replay shrink <trace-file>
+//! ```
+//!
+//! `record` runs a workload with the recorder on; if the run fails the
+//! trace is persisted (honouring `RFDET_TRACE_DIR`, default
+//! `target/rfdet-traces/`) and the path printed as `TRACE <path>`.
+//! `replay` re-executes a persisted trace pinned to its recorded inputs
+//! and exits non-zero unless the terminal digest (and, where recorded,
+//! the culprit's schedule) reproduces. `shrink` delta-debugs the
+//! recorded fault plan and writes the minimized trace beside the
+//! original with a `.min` tag.
+//!
+//! Workloads resolve through `rfdet_workloads::by_name`; the `chaos.*`
+//! scenarios exist specifically to fail on demand.
+
+use rfdet_api::{trace::persist, DmtBackend, FaultPlan, RunConfig, RunTrace, ThreadFn};
+use rfdet_workloads::{by_name, Params, Size, Workload};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         replay record <workload>[@threads] [--backend NAME] [--seed S]\n    \
+           [--panic TID:OP]... [--jitter TID:OP:TICKS]... [--fail-alloc TID:NTH]...\n  \
+         replay replay <trace-file>\n  \
+         replay shrink <trace-file>"
+    );
+    exit(2);
+}
+
+/// Backend registry keyed by the names backends report (and traces
+/// store).
+fn backend_by_name(name: &str) -> Option<Box<dyn DmtBackend>> {
+    match name {
+        "pthreads" => Some(Box::new(rfdet_native::NativeBackend)),
+        "RFDet" | "RFDet-ci" => Some(Box::new(rfdet_core::RfdetBackend::ci())),
+        "RFDet-pf" => Some(Box::new(rfdet_core::RfdetBackend::pf())),
+        "DThreads" => Some(Box::new(rfdet_dthreads::DthreadsBackend)),
+        "CoreDet-q" => Some(Box::new(rfdet_quantum::QuantumBackend)),
+        _ => None,
+    }
+}
+
+/// Resolves a `name[@threads]` workload string (the form `record` puts
+/// in the trace) to its registry entry and parameters.
+fn resolve_workload(spec: &str) -> Option<(Workload, Params)> {
+    let (name, threads) = match spec.split_once('@') {
+        Some((n, t)) => (n, t.parse().ok()?),
+        None => (spec, 2),
+    };
+    Some((by_name(name)?, Params::new(threads, Size::Test)))
+}
+
+fn make_root(w: &Workload, p: Params) -> ThreadFn {
+    (w.factory)(p)
+}
+
+fn parse_pair(s: &str) -> Option<(u32, u64)> {
+    let (a, b) = s.split_once(':')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+fn parse_triple(s: &str) -> Option<(u32, u64, u64)> {
+    let mut it = s.splitn(3, ':');
+    let a = it.next()?.parse().ok()?;
+    let b = it.next()?.parse().ok()?;
+    let c = it.next()?.parse().ok()?;
+    Some((a, b, c))
+}
+
+fn load_or_die(path: &str) -> RunTrace {
+    match persist::load(Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot load trace {path}: {e:?}");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_record(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else { usage() };
+    let Some((workload, params)) = resolve_workload(spec) else {
+        eprintln!("error: unknown workload {spec:?}");
+        return 2;
+    };
+    let mut backend_name = "RFDet-ci".to_owned();
+    let mut plan = FaultPlan::new();
+    let mut seed = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend_name = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--panic" => {
+                let (tid, op) = args
+                    .get(i + 1)
+                    .and_then(|s| parse_pair(s))
+                    .unwrap_or_else(|| usage());
+                plan = plan.panic_at(tid, op);
+                i += 2;
+            }
+            "--jitter" => {
+                let (tid, op, ticks) = args
+                    .get(i + 1)
+                    .and_then(|s| parse_triple(s))
+                    .unwrap_or_else(|| usage());
+                plan = plan.jitter_at(tid, op, ticks);
+                i += 2;
+            }
+            "--fail-alloc" => {
+                let (tid, nth) = args
+                    .get(i + 1)
+                    .and_then(|s| parse_pair(s))
+                    .unwrap_or_else(|| usage());
+                plan = plan.fail_alloc(tid, nth);
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(backend) = backend_by_name(&backend_name) else {
+        eprintln!("error: unknown backend {backend_name:?}");
+        return 2;
+    };
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.deadlock_after_ms = Some(5_000);
+    cfg.fault_plan = plan;
+    cfg.jitter_seed = seed;
+    cfg.trace = Some(format!("{}@{}", workload.name, params.threads));
+    let run = backend.run_traced(&cfg, make_root(&workload, params));
+    match &run.result {
+        Ok(out) => {
+            println!(
+                "clean run: output digest {:#018x} ({} bytes)",
+                out.output_digest(),
+                out.output.len()
+            );
+            0
+        }
+        Err(e) => {
+            println!("{e}");
+            if let Some(path) = &e.report().trace_path {
+                println!("TRACE {}", path.display());
+            } else {
+                eprintln!("warning: run failed but no trace was persisted");
+            }
+            1
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let Some(path) = args.first() else { usage() };
+    let trace = load_or_die(path);
+    println!("{}", trace.summary());
+    let Some(backend) = backend_by_name(&trace.backend) else {
+        eprintln!("error: trace names unknown backend {:?}", trace.backend);
+        return 2;
+    };
+    let Some((workload, params)) = resolve_workload(&trace.workload) else {
+        eprintln!("error: trace names unknown workload {:?}", trace.workload);
+        return 2;
+    };
+    let replay = backend.replay(&trace, make_root(&workload, params));
+    let digest = match &replay.result {
+        Ok(out) => out.output_digest(),
+        Err(e) => e.report_digest(),
+    };
+    println!(
+        "replay digest {:#018x} vs recorded {:#018x}: {}",
+        digest,
+        trace.failure.report_digest,
+        if replay.digest_match {
+            "MATCH"
+        } else {
+            "DIVERGED"
+        }
+    );
+    match replay.schedule_match {
+        Some(true) => println!("culprit schedule: MATCH"),
+        Some(false) => println!("culprit schedule: DIVERGED"),
+        None => println!("culprit schedule: not comparable (no events recorded)"),
+    }
+    if replay.reproduced() {
+        println!("REPLAY OK");
+        0
+    } else {
+        println!("REPLAY FAILED");
+        1
+    }
+}
+
+fn cmd_shrink(args: &[String]) -> i32 {
+    let Some(path) = args.first() else { usage() };
+    let trace = load_or_die(path);
+    println!("{}", trace.summary());
+    let Some(backend) = backend_by_name(&trace.backend) else {
+        eprintln!("error: trace names unknown backend {:?}", trace.backend);
+        return 2;
+    };
+    let Some((workload, params)) = resolve_workload(&trace.workload) else {
+        eprintln!("error: trace names unknown workload {:?}", trace.workload);
+        return 2;
+    };
+    let mut mk = || make_root(&workload, params);
+    match backend.shrink_plan(&trace, &mut mk) {
+        Some(min) => {
+            let dir = Path::new(path)
+                .parent()
+                .unwrap_or_else(|| Path::new("."))
+                .to_path_buf();
+            match persist::save_in(&dir, &min, ".min") {
+                Ok(out) => {
+                    println!(
+                        "shrunk fault plan {} -> {} entries",
+                        trace.faults.len(),
+                        min.faults.len()
+                    );
+                    println!("MINTRACE {}", out.display());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: cannot save minimized trace: {e}");
+                    2
+                }
+            }
+        }
+        None => {
+            println!("plan is already minimal (or the trace did not fail); nothing written");
+            0
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("shrink") => cmd_shrink(&args[1..]),
+        _ => usage(),
+    };
+    exit(code);
+}

@@ -2,7 +2,7 @@
 
 use crate::ctx::RfdetCtx;
 use crate::shared::RuntimeShared;
-use rfdet_api::{DmtBackend, MonitorMode, RunConfig, RunError, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, MonitorMode, RunConfig, RunOutput, ThreadFn, TracedRun};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -50,7 +50,7 @@ impl DmtBackend for RfdetBackend {
         true
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+    fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         let mut cfg = cfg.clone();
         if let Some(m) = self.monitor_override {
             cfg.rfdet.monitor = m;
@@ -81,20 +81,30 @@ impl DmtBackend for RfdetBackend {
                 let _ = h.join();
             }
         }
-        if let Some(err) = shared.take_run_error(&self.name()) {
-            return Err(err);
-        }
-        Ok(RunOutput {
-            output: shared.meta.collect_output(),
-            stats: shared.meta.stats.snapshot(),
-        })
+        // Flush the main context's trace buffer before assembling the
+        // trace (worker buffers flushed when their contexts dropped).
+        drop(main);
+        let mut result = match shared.take_run_error(&self.name()) {
+            Some(err) => Err(err),
+            None => Ok(RunOutput {
+                output: shared.meta.collect_output(),
+                stats: shared.meta.stats.snapshot(),
+            }),
+        };
+        let trace = rfdet_api::finish_trace(
+            &self.name(),
+            &shared.cfg,
+            shared.trace_sink.as_ref(),
+            &mut result,
+        );
+        TracedRun { result, trace }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfdet_api::{DmtCtx as _, DmtCtxExt, MutexId};
+    use rfdet_api::{DmtCtx as _, DmtCtxExt, MutexId, RunError};
 
     fn small() -> RunConfig {
         let mut cfg = RunConfig::small();

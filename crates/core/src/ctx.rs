@@ -78,6 +78,10 @@ pub struct RfdetCtx {
     pub(crate) last_op: Option<(&'static str, Option<u64>)>,
     /// Allocations performed (the `FaultPlan::fail_alloc` coordinate).
     pub(crate) allocs: u64,
+    /// Flight-recorder buffer, `Some` iff the run is recording. Flushes
+    /// to the shared sink on drop — which covers panic unwinds, since
+    /// the context outlives the `catch_unwind` around the thread body.
+    pub(crate) trace: Option<rfdet_api::trace::TraceBuf>,
     exited: bool,
 }
 
@@ -140,8 +144,14 @@ impl RfdetCtx {
             sync_ops: 0,
             last_op: None,
             allocs: 0,
+            trace: None,
             exited: false,
         };
+        ctx.trace = ctx
+            .shared
+            .trace_sink
+            .as_ref()
+            .map(|s| rfdet_api::trace::TraceBuf::new(Arc::clone(s)));
         // `begin_slice` applies pf protection; safe to call here because
         // the slice state is empty.
         ctx.begin_slice();

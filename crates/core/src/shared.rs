@@ -3,6 +3,7 @@
 use crate::handoff::Mailbox;
 use crate::supervise::Supervisor;
 use parking_lot::{Mutex, RwLock};
+use rfdet_api::trace::{op, TraceEvent, TraceSink};
 use rfdet_api::{RunConfig, Tid};
 use rfdet_kendo::KendoState;
 use rfdet_mem::StripAllocator;
@@ -73,16 +74,35 @@ pub(crate) struct RuntimeShared {
     pub os_handles: Mutex<HashMap<Tid, std::thread::JoinHandle<()>>>,
     /// Failure recording and teardown coordination (see `supervise`).
     pub supervisor: Supervisor,
+    /// Flight-recorder event sink, `Some` iff `cfg.trace` is on. Thread
+    /// contexts buffer into it; the Kendo wake tap pushes directly.
+    pub trace_sink: Option<Arc<TraceSink>>,
 }
 
 impl RuntimeShared {
     pub fn new(cfg: RunConfig) -> Self {
         cfg.validate();
         let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
+        // The wall-clock bound is only the *fallback*: structural
+        // deadlock detection (supervise.rs) normally fires first.
+        let kendo = KendoState::new().with_deadlock_timeout(cfg.deadlock_after());
+        let trace_sink = rfdet_api::trace_sink(&cfg);
+        if let Some(sink) = &trace_sink {
+            // Wakes run inside the waker's turn, so they are schedule
+            // events in their own right: record (woken tid, new clock).
+            let sink = Arc::clone(sink);
+            kendo.set_wake_tap(Box::new(move |tid, clock| {
+                sink.push(TraceEvent {
+                    tid,
+                    op: u64::MAX,
+                    kind: op::WAKE,
+                    arg: None,
+                    clock,
+                });
+            }));
+        }
         Self {
-            // The wall-clock bound is only the *fallback*: structural
-            // deadlock detection (supervise.rs) normally fires first.
-            kendo: KendoState::new().with_deadlock_timeout(cfg.deadlock_after()),
+            kendo,
             meta: MetaSpace::with_options(
                 cfg.meta_capacity_bytes as usize,
                 cfg.gc_threshold,
@@ -94,6 +114,7 @@ impl RuntimeShared {
             mailboxes: RwLock::new(Vec::new()),
             os_handles: Mutex::new(HashMap::new()),
             supervisor: Supervisor::default(),
+            trace_sink,
             cfg,
         }
     }

@@ -229,6 +229,7 @@ impl RuntimeShared {
                 .filter(|&(t, _)| t != f.tid)
                 .map(|(_, r)| r)
                 .collect(),
+            trace_path: None,
         }))
     }
 }
@@ -248,6 +249,20 @@ impl RfdetCtx {
         let op = self.sync_ops;
         self.sync_ops += 1;
         self.last_op = Some((kind, arg));
+        if let Some(buf) = &mut self.trace {
+            // The clock read here is deterministic: a thread's clock
+            // changes only through its own ticks and deterministic wake
+            // handoffs, so its value at a program point is schedule-pure.
+            // Recorded *before* plan jitter ticks, so recorded and
+            // replayed streams key to the same pre-fault clocks.
+            buf.push(rfdet_api::trace::TraceEvent {
+                tid: self.tid,
+                op,
+                kind: rfdet_api::trace::op::code(kind),
+                arg,
+                clock: self.kendo.clock(),
+            });
+        }
         let plan = &self.shared.cfg.fault_plan;
         if !plan.is_empty() {
             let f = plan.on_sync_op(self.tid, op);
@@ -267,6 +282,15 @@ impl RfdetCtx {
         }
         let nth = self.allocs;
         self.allocs += 1;
+        if let Some(buf) = &mut self.trace {
+            buf.push(rfdet_api::trace::TraceEvent {
+                tid: self.tid,
+                op: nth,
+                kind: rfdet_api::trace::op::ALLOC,
+                arg: None,
+                clock: self.kendo.clock(),
+            });
+        }
         if !self.shared.cfg.fault_plan.is_empty()
             && self.shared.cfg.fault_plan.on_alloc(self.tid, nth)
         {

@@ -2,19 +2,14 @@
 
 use crate::ctx::DtCtx;
 use crate::engine::{Engine, EngineMode};
-use rfdet_api::{DmtBackend, RunConfig, RunError, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn, TracedRun};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Drives one complete run of the lockstep engine in `mode`. Shared by
 /// the DThreads and quantum backends (`backend` names the caller in
 /// failure reports).
-pub fn run_lockstep(
-    cfg: &RunConfig,
-    mode: EngineMode,
-    backend: &str,
-    root: ThreadFn,
-) -> Result<RunOutput, RunError> {
+pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, backend: &str, root: ThreadFn) -> TracedRun {
     let engine = Arc::new(Engine::new(cfg, mode));
     let (tid, image) = engine.register_main();
     let mut main = DtCtx::new(Arc::clone(&engine), tid, image);
@@ -43,20 +38,27 @@ pub fn run_lockstep(
             let _ = h.join();
         }
     }
-    if let Some(err) = engine.take_run_error(backend) {
-        return Err(err);
-    }
-    // Report the global store's materialized size as the run's shared
-    // footprint (workloads lay data out directly, so allocator byte
-    // counts alone would under-report).
-    engine.meta.stats.shared_bytes.fetch_add(
-        engine.global_store_bytes(),
-        std::sync::atomic::Ordering::Relaxed,
-    );
-    Ok(RunOutput {
-        output: engine.meta.collect_output(),
-        stats: engine.meta.stats.snapshot(),
-    })
+    // Flush the main context's trace buffer before assembly (worker
+    // buffers flushed when their contexts dropped).
+    drop(main);
+    let mut result = match engine.take_run_error(backend) {
+        Some(err) => Err(err),
+        None => {
+            // Report the global store's materialized size as the run's
+            // shared footprint (workloads lay data out directly, so
+            // allocator byte counts alone would under-report).
+            engine.meta.stats.shared_bytes.fetch_add(
+                engine.global_store_bytes(),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            Ok(RunOutput {
+                output: engine.meta.collect_output(),
+                stats: engine.meta.stats.snapshot(),
+            })
+        }
+    };
+    let trace = rfdet_api::finish_trace(backend, cfg, engine.trace_sink.as_ref(), &mut result);
+    TracedRun { result, trace }
 }
 
 /// The DThreads-model backend: strong determinism via isolated threads,
@@ -74,7 +76,7 @@ impl DmtBackend for DthreadsBackend {
         true
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+    fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         run_lockstep(cfg, EngineMode::SyncOnly, &self.name(), root)
     }
 }

@@ -30,6 +30,8 @@ pub(crate) struct DtCtx {
     sync_ops: u64,
     last_op: Option<(&'static str, Option<u64>)>,
     allocs: u64,
+    /// Flight-recorder buffer; flushed to the engine sink on drop.
+    trace: Option<rfdet_api::trace::TraceBuf>,
 }
 
 impl DtCtx {
@@ -39,6 +41,10 @@ impl DtCtx {
             EngineMode::SyncOnly => u64::MAX,
             EngineMode::Quantum(q) => q,
         };
+        let trace = engine
+            .trace_sink
+            .as_ref()
+            .map(|s| rfdet_api::trace::TraceBuf::new(Arc::clone(s)));
         Self {
             engine,
             tid,
@@ -51,6 +57,7 @@ impl DtCtx {
             sync_ops: 0,
             last_op: None,
             allocs: 0,
+            trace,
         }
     }
 
@@ -68,6 +75,17 @@ impl DtCtx {
         let op = self.sync_ops;
         self.sync_ops += 1;
         self.last_op = Some((kind, arg));
+        if let Some(trace) = self.trace.as_mut() {
+            // The lockstep engine has no logical clock; per-thread op
+            // indices alone order each thread's stream.
+            trace.push(rfdet_api::trace::TraceEvent {
+                tid: self.tid,
+                op,
+                kind: rfdet_api::trace::op::code(kind),
+                arg,
+                clock: 0,
+            });
+        }
         if !self.engine.fault_plan.is_empty() {
             let f = self.engine.fault_plan.on_sync_op(self.tid, op);
             if f.jitter_ticks > 0 {
@@ -86,6 +104,15 @@ impl DtCtx {
         }
         let nth = self.allocs;
         self.allocs += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(rfdet_api::trace::TraceEvent {
+                tid: self.tid,
+                op: nth,
+                kind: rfdet_api::trace::op::ALLOC,
+                arg: None,
+                clock: 0,
+            });
+        }
         if !self.engine.fault_plan.is_empty() && self.engine.fault_plan.on_alloc(self.tid, nth) {
             panic!("{}", FaultPlan::alloc_panic_message(self.tid, nth));
         }

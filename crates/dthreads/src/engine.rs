@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::panic_any;
 use std::sync::atomic::AtomicBool;
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Panic token used to tear down peers once the engine is poisoned. A
@@ -142,6 +143,8 @@ pub(crate) struct Engine {
     /// Best-effort states of threads that unwound after the root cause
     /// (excluded from the report digest).
     peers: Mutex<BTreeMap<Tid, ThreadReport>>,
+    /// Flight-recorder sink (`RunConfig::trace`); `None` when disabled.
+    pub trace_sink: Option<Arc<rfdet_api::trace::TraceSink>>,
 }
 
 /// Everything a freshly spawned thread needs.
@@ -179,6 +182,7 @@ impl Engine {
             poisoned: AtomicBool::new(false),
             failure: Mutex::new(None),
             peers: Mutex::new(BTreeMap::new()),
+            trace_sink: rfdet_api::trace_sink(cfg),
         }
     }
 
@@ -209,6 +213,7 @@ impl Engine {
                     wait_graph,
                     cycle,
                     peers: Vec::new(),
+                    trace_path: None,
                 });
             } else if let Some(c) = culprit {
                 self.peers.lock().entry(tid).or_insert(c);

@@ -36,9 +36,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod jitter;
 mod state;
 
 pub use jitter::Jitter;
-pub use state::{KendoHandle, KendoState, Status};
+pub use state::{KendoHandle, KendoState, Status, WakeTap};

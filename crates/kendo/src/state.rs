@@ -109,8 +109,13 @@ impl KendoHandle {
     }
 }
 
+/// Observer of deterministic wakeups, set by the runtime's flight
+/// recorder: called with `(woken tid, its new clock)` from inside the
+/// waker's turn — a deterministic point of the schedule, which is what
+/// makes wake events recordable at all.
+pub type WakeTap = Box<dyn Fn(Tid, u64) + Send + Sync>;
+
 /// The global arbitration state shared by all threads of one run.
-#[derive(Debug, Default)]
 pub struct KendoState {
     slots: RwLock<Vec<Arc<Slot>>>,
     /// How long a parked thread waits between deadlock scans.
@@ -127,6 +132,27 @@ pub struct KendoState {
     /// whose clock the scan already saw (and rejected, had it been
     /// smaller).
     wake_epoch: AtomicU64,
+    /// Flight-recorder wake observer. Cold: read under an uncontended
+    /// `RwLock` only on the wake path (already a slow path), `None` when
+    /// recording is off.
+    wake_tap: RwLock<Option<WakeTap>>,
+}
+
+impl std::fmt::Debug for KendoState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KendoState")
+            .field("threads", &self.num_threads())
+            .field("deadlock_after", &self.deadlock_after)
+            .field("aborted", &self.aborted())
+            .field("state", &self.debug_state())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for KendoState {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl KendoState {
@@ -138,7 +164,14 @@ impl KendoState {
             deadlock_after: Some(Duration::from_secs(30)),
             abort: AtomicBool::new(false),
             wake_epoch: AtomicU64::new(0),
+            wake_tap: RwLock::new(None),
         }
+    }
+
+    /// Installs the wake observer (see [`WakeTap`]). The runtime sets
+    /// this once at run start, before any thread can wake another.
+    pub fn set_wake_tap(&self, tap: WakeTap) {
+        *self.wake_tap.write() = Some(tap);
     }
 
     /// Aborts the run: all threads waiting in [`KendoState::wait_for_turn`]
@@ -365,6 +398,9 @@ impl KendoState {
             slot.park_cv.notify_all();
         }
         self.wake_epoch.fetch_add(1, SeqCst);
+        if let Some(tap) = self.wake_tap.read().as_ref() {
+            tap(target, new_clock);
+        }
     }
 
     /// Parks the calling thread until some waker flips it back to
@@ -600,6 +636,20 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn wake_tap_observes_wakes_inside_the_waker_turn() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let _b = k.register(50);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        k.set_wake_tap(Box::new(move |tid, clock| seen2.lock().push((tid, clock))));
+        k.block(&a);
+        k.wake(0, 60);
+        assert_eq!(*seen.lock(), vec![(0, 60)]);
+        assert_eq!(a.clock(), 60, "tap observation does not perturb the wake");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The [`NativeBackend`] entry point.
 
 use crate::ctx::{NativeCtx, NativeShared};
-use rfdet_api::{DmtBackend, RunConfig, RunError, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, RunConfig, RunOutput, ThreadFn, TracedRun};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -19,7 +19,7 @@ impl DmtBackend for NativeBackend {
         false
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+    fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         let shared = Arc::new(NativeShared::new(cfg));
         let mut main = NativeCtx::new(Arc::clone(&shared));
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -44,12 +44,18 @@ impl DmtBackend for NativeBackend {
                 let _ = h.join();
             }
         }
-        if let Some(err) = shared.sup.take_run_error(&self.name()) {
-            return Err(err);
-        }
-        Ok(RunOutput {
-            output: shared.meta.collect_output(),
-            stats: shared.meta.stats.snapshot(),
-        })
+        // Flush the main context's trace buffer before assembly (worker
+        // buffers flushed when their contexts dropped).
+        drop(main);
+        let mut result = match shared.sup.take_run_error(&self.name()) {
+            Some(err) => Err(err),
+            None => Ok(RunOutput {
+                output: shared.meta.collect_output(),
+                stats: shared.meta.stats.snapshot(),
+            }),
+        };
+        let trace =
+            rfdet_api::finish_trace(&self.name(), cfg, shared.trace_sink.as_ref(), &mut result);
+        TracedRun { result, trace }
     }
 }

@@ -31,6 +31,10 @@ pub(crate) struct NativeShared {
     pub atomic_stripes: Vec<Mutex<()>>,
     /// Failure recording and poison-based teardown (see `supervise`).
     pub sup: Supervision,
+    /// Flight-recorder sink, `Some` iff `cfg.trace` is on. Events carry
+    /// no logical clocks here (the backend has none); per-thread op
+    /// indices order each stream.
+    pub trace_sink: Option<Arc<rfdet_api::trace::TraceSink>>,
 }
 
 impl NativeShared {
@@ -47,6 +51,7 @@ impl NativeShared {
             handles: Mutex::new(HashMap::new()),
             atomic_stripes: (0..64).map(|_| Mutex::new(())).collect(),
             sup: Supervision::new(cfg),
+            trace_sink: rfdet_api::trace_sink(cfg),
         }
     }
 }
@@ -62,12 +67,19 @@ pub(crate) struct NativeCtx {
     sync_ops: u64,
     last_op: Option<(&'static str, Option<u64>)>,
     allocs: u64,
+    /// Flight-recorder buffer; flushes to the sink on drop (covers panic
+    /// unwinds — the context outlives the thread body's `catch_unwind`).
+    trace: Option<rfdet_api::trace::TraceBuf>,
 }
 
 impl NativeCtx {
     pub fn new(shared: Arc<NativeShared>) -> Self {
         let tid = shared.meta.register_thread().tid;
         let heap = shared.strips.heap_for(tid);
+        let trace = shared
+            .trace_sink
+            .as_ref()
+            .map(|s| rfdet_api::trace::TraceBuf::new(Arc::clone(s)));
         Self {
             shared,
             tid,
@@ -76,6 +88,7 @@ impl NativeCtx {
             sync_ops: 0,
             last_op: None,
             allocs: 0,
+            trace,
         }
     }
 
@@ -92,6 +105,15 @@ impl NativeCtx {
         let op = self.sync_ops;
         self.sync_ops += 1;
         self.last_op = Some((kind, arg));
+        if let Some(buf) = &mut self.trace {
+            buf.push(rfdet_api::trace::TraceEvent {
+                tid: self.tid,
+                op,
+                kind: rfdet_api::trace::op::code(kind),
+                arg,
+                clock: 0,
+            });
+        }
         if !self.shared.sup.fault_plan.is_empty() {
             let f = self.shared.sup.fault_plan.on_sync_op(self.tid, op);
             for _ in 0..f.jitter_ticks {
@@ -110,6 +132,15 @@ impl NativeCtx {
         }
         let nth = self.allocs;
         self.allocs += 1;
+        if let Some(buf) = &mut self.trace {
+            buf.push(rfdet_api::trace::TraceEvent {
+                tid: self.tid,
+                op: nth,
+                kind: rfdet_api::trace::op::ALLOC,
+                arg: None,
+                clock: 0,
+            });
+        }
         if !self.shared.sup.fault_plan.is_empty()
             && self.shared.sup.fault_plan.on_alloc(self.tid, nth)
         {

@@ -91,6 +91,7 @@ impl Supervision {
                     wait_graph: Vec::new(),
                     cycle: Vec::new(),
                     peers: Vec::new(),
+                    trace_path: None,
                 });
             } else if let Some(c) = culprit {
                 self.peers.lock().entry(tid).or_insert(c);

@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rfdet_api::{DmtBackend, RunConfig, RunError, RunOutput, ThreadFn};
+use rfdet_api::{DmtBackend, RunConfig, ThreadFn, TracedRun};
 use rfdet_dthreads::{run_lockstep, EngineMode};
 
 /// The quantum-based strongly deterministic backend ("CoreDet-q" in the
@@ -28,7 +28,7 @@ impl DmtBackend for QuantumBackend {
         true
     }
 
-    fn run(&self, cfg: &RunConfig, root: ThreadFn) -> Result<RunOutput, RunError> {
+    fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         run_lockstep(
             cfg,
             EngineMode::Quantum(cfg.quantum_ticks),

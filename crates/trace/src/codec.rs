@@ -1,0 +1,427 @@
+//! Serde-free binary codec for [`RunTrace`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "RFDT" | version u32 | payload | checksum u64
+//! ```
+//!
+//! The checksum is FNV-1a over every preceding byte, so a torn or
+//! bit-flipped file fails decoding even if the length happens to line
+//! up. Strings and lists are length-prefixed; `Option<u64>` is a flag
+//! byte plus the value. Version bumps are decode-rejected rather than
+//! migrated: a trace is a debugging artifact of one build lineage, not a
+//! long-term archive format.
+
+use crate::{FailureSummary, RunTrace, TraceConfig, TraceEvent, TraceFault};
+use std::fmt;
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"RFDT";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Why a byte buffer failed to decode as a [`RunTrace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with the `RFDT` magic.
+    BadMagic,
+    /// The format version is not [`VERSION`].
+    UnsupportedVersion(u32),
+    /// The buffer ended mid-field (torn file).
+    Truncated,
+    /// The trailing checksum does not match the content.
+    BadChecksum,
+    /// Bytes remain after the checksum (corrupt or concatenated file).
+    TrailingBytes,
+    /// A length prefix is implausibly large for the buffer.
+    BadLength,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a RFDT trace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "truncated trace file"),
+            TraceError::BadChecksum => write!(f, "trace checksum mismatch (corrupt file)"),
+            TraceError::TrailingBytes => write!(f, "trailing bytes after trace checksum"),
+            TraceError::BadLength => write!(f, "implausible length prefix in trace file"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn boolean(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::BadLength)?;
+        if end > self.buf.len() {
+            return Err(TraceError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn boolean(&mut self) -> Result<bool, TraceError> {
+        Ok(self.u8()? != 0)
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, TraceError> {
+        Ok(if self.u8()? != 0 {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+    fn str(&mut self) -> Result<String, TraceError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::BadLength)
+    }
+    /// Guards list length prefixes against absurd values before any
+    /// allocation: each element needs at least `min_elem` bytes.
+    fn list_len(&mut self, min_elem: usize) -> Result<usize, TraceError> {
+        let len = self.u64()? as usize;
+        if len.saturating_mul(min_elem) > self.buf.len() {
+            return Err(TraceError::BadLength);
+        }
+        Ok(len)
+    }
+}
+
+fn write_config(w: &mut Writer, c: &TraceConfig) {
+    w.u64(c.space_bytes);
+    w.u64(c.page_size);
+    w.u64(c.meta_capacity_bytes);
+    w.u64(c.gc_threshold_bits);
+    w.u64(c.meta_max_slices);
+    w.u64(c.sync_shards);
+    w.u8(c.monitor);
+    w.boolean(c.slice_merging);
+    w.boolean(c.prelock);
+    w.boolean(c.lazy_writes);
+    w.u32(c.fault_cost_spins);
+    w.u64(c.diff_gap_coalesce);
+    w.u64(c.snap_pool_pages);
+    w.u64(c.quantum_ticks);
+    w.u64(c.jitter_max_us);
+    w.boolean(c.supervise);
+    w.opt_u64(c.deadlock_after_ms);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<TraceConfig, TraceError> {
+    Ok(TraceConfig {
+        space_bytes: r.u64()?,
+        page_size: r.u64()?,
+        meta_capacity_bytes: r.u64()?,
+        gc_threshold_bits: r.u64()?,
+        meta_max_slices: r.u64()?,
+        sync_shards: r.u64()?,
+        monitor: r.u8()?,
+        slice_merging: r.boolean()?,
+        prelock: r.boolean()?,
+        lazy_writes: r.boolean()?,
+        fault_cost_spins: r.u32()?,
+        diff_gap_coalesce: r.u64()?,
+        snap_pool_pages: r.u64()?,
+        quantum_ticks: r.u64()?,
+        jitter_max_us: r.u64()?,
+        supervise: r.boolean()?,
+        deadlock_after_ms: r.opt_u64()?,
+    })
+}
+
+impl RunTrace {
+    /// Serializes the trace (see the module docs for the layout).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&MAGIC);
+        w.u32(VERSION);
+        w.str(&self.backend);
+        w.str(&self.workload);
+        w.opt_u64(self.seed);
+        write_config(&mut w, &self.config);
+        w.u64(self.faults.len() as u64);
+        for f in &self.faults {
+            w.u32(f.tid);
+            w.u8(f.code);
+            w.u64(f.a);
+            w.u64(f.b);
+        }
+        w.u64(self.events.len() as u64);
+        for e in &self.events {
+            w.u32(e.tid);
+            w.u64(e.op);
+            w.u8(e.kind);
+            w.opt_u64(e.arg);
+            w.u64(e.clock);
+        }
+        w.u8(self.failure.kind);
+        w.u32(self.failure.tid);
+        w.u64(self.failure.report_digest);
+        let checksum = fnv(&w.buf);
+        w.u64(checksum);
+        w.buf
+    }
+
+    /// Decodes a buffer produced by [`RunTrace::encode`].
+    ///
+    /// # Errors
+    /// Returns a [`TraceError`] for any malformed input: wrong magic or
+    /// version, truncation, checksum mismatch, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(if bytes.starts_with(&MAGIC) || MAGIC.starts_with(bytes) {
+                TraceError::Truncated
+            } else {
+                TraceError::BadMagic
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&bytes[bytes.len() - 8..]);
+        if fnv(body) != u64::from_le_bytes(tail) {
+            return Err(TraceError::BadChecksum);
+        }
+        let mut r = Reader { buf: body, pos: 4 };
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let backend = r.str()?;
+        let workload = r.str()?;
+        let seed = r.opt_u64()?;
+        let config = read_config(&mut r)?;
+        let n_faults = r.list_len(21)?;
+        let mut faults = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            faults.push(TraceFault {
+                tid: r.u32()?,
+                code: r.u8()?,
+                a: r.u64()?,
+                b: r.u64()?,
+            });
+        }
+        let n_events = r.list_len(22)?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(TraceEvent {
+                tid: r.u32()?,
+                op: r.u64()?,
+                kind: r.u8()?,
+                arg: r.opt_u64()?,
+                clock: r.u64()?,
+            });
+        }
+        let failure = FailureSummary {
+            kind: r.u8()?,
+            tid: r.u32()?,
+            report_digest: r.u64()?,
+        };
+        if r.pos != body.len() {
+            return Err(TraceError::TrailingBytes);
+        }
+        Ok(RunTrace {
+            backend,
+            workload,
+            seed,
+            config,
+            faults,
+            events,
+            failure,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_config;
+    use crate::{op, FAULT_JITTER, FAULT_PANIC, KIND_PANIC};
+
+    fn sample() -> RunTrace {
+        RunTrace {
+            backend: "RFDet-ci".into(),
+            workload: "lock_panic".into(),
+            seed: Some(42),
+            config: test_config(),
+            faults: vec![
+                TraceFault {
+                    tid: 1,
+                    code: FAULT_PANIC,
+                    a: 4,
+                    b: 0,
+                },
+                TraceFault {
+                    tid: 2,
+                    code: FAULT_JITTER,
+                    a: 1,
+                    b: 50,
+                },
+            ],
+            events: vec![
+                TraceEvent {
+                    tid: 0,
+                    op: 0,
+                    kind: op::SPAWN,
+                    arg: None,
+                    clock: 5,
+                },
+                TraceEvent {
+                    tid: 1,
+                    op: 0,
+                    kind: op::LOCK,
+                    arg: Some(3),
+                    clock: 12,
+                },
+                TraceEvent {
+                    tid: 1,
+                    op: u64::MAX,
+                    kind: op::WAKE,
+                    arg: None,
+                    clock: 30,
+                },
+            ],
+            failure: FailureSummary {
+                kind: KIND_PANIC,
+                tid: 1,
+                report_digest: 0xdead_beef_cafe_f00d,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let t = sample();
+        let bytes = t.encode();
+        assert_eq!(RunTrace::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert_eq!(RunTrace::decode(&bytes), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let t = sample();
+        let mut bytes = t.encode();
+        bytes[4] = 99;
+        // Fix up the checksum so the version check is what fires.
+        let body_len = bytes.len() - 8;
+        let sum = super::fnv(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            RunTrace::decode(&bytes),
+            Err(TraceError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_every_truncation_point() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            assert!(
+                RunTrace::decode(&bytes[..len]).is_err(),
+                "decode accepted a {len}-byte prefix of a {}-byte trace",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_single_bit_flips() {
+        let bytes = sample().encode();
+        for i in [5, 20, bytes.len() / 2, bytes.len() - 9] {
+            let mut b = bytes.clone();
+            b[i] ^= 0x40;
+            assert!(
+                RunTrace::decode(&b).is_err(),
+                "decode accepted a bit flip at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().encode();
+        bytes.extend_from_slice(b"junk");
+        // Trailing bytes shift the checksum window, so this surfaces as
+        // a checksum failure — still an error, which is what matters.
+        assert!(RunTrace::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_lists_round_trip() {
+        let mut t = sample();
+        t.faults.clear();
+        t.events.clear();
+        t.seed = None;
+        assert_eq!(RunTrace::decode(&t.encode()).unwrap(), t);
+    }
+}

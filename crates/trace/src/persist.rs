@@ -1,0 +1,184 @@
+//! Crash persistence with a torn-write guarantee.
+//!
+//! Traces are written to a temporary file in the destination directory
+//! and then `rename`d into place. On POSIX a same-directory rename is
+//! atomic, so readers only ever observe either no file or a complete
+//! one — a process that dies mid-write leaves at most an orphaned
+//! `.tmp-` file, never a torn `.trace`. The codec's trailing checksum
+//! backstops the remaining ways a file can be damaged after the fact.
+
+use crate::{RunTrace, TraceError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Default trace directory, overridable with `RFDET_TRACE_DIR`.
+#[must_use]
+pub fn trace_dir() -> PathBuf {
+    std::env::var_os("RFDET_TRACE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/rfdet-traces"))
+}
+
+/// The canonical file name of a trace: its digest in hex, plus an
+/// optional tag (the shrinker saves minimized traces as `<digest>.min`).
+#[must_use]
+pub fn file_name(trace: &RunTrace, tag: &str) -> String {
+    format!("{:016x}{tag}.trace", trace.failure.report_digest)
+}
+
+/// Saves `trace` into [`trace_dir`] under its canonical name.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write, rename).
+pub fn save(trace: &RunTrace) -> std::io::Result<PathBuf> {
+    save_in(&trace_dir(), trace, "")
+}
+
+/// Saves `trace` into `dir` as `<digest><tag>.trace`, atomically: the
+/// bytes land in a unique temporary file first and are renamed into
+/// place, so a crash never leaves a torn `.trace`.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write, rename).
+pub fn save_in(dir: &Path, trace: &RunTrace, tag: &str) -> std::io::Result<PathBuf> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir)?;
+    let name = file_name(trace, tag);
+    let path = dir.join(&name);
+    let tmp = dir.join(format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Relaxed)
+    ));
+    std::fs::write(&tmp, trace.encode())?;
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Why a trace file failed to load.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes did not decode as a trace.
+    Codec(TraceError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "cannot read trace file: {e}"),
+            LoadError::Codec(e) => write!(f, "cannot decode trace file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads and decodes a trace file.
+///
+/// # Errors
+/// Returns [`LoadError::Io`] when the file cannot be read and
+/// [`LoadError::Codec`] when its contents are not a valid trace.
+pub fn load(path: &Path) -> Result<RunTrace, LoadError> {
+    let bytes = std::fs::read(path).map_err(LoadError::Io)?;
+    RunTrace::decode(&bytes).map_err(LoadError::Codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_config;
+    use crate::{FailureSummary, KIND_DEADLOCK};
+
+    fn sample(digest: u64) -> RunTrace {
+        RunTrace {
+            backend: "RFDet-ci".into(),
+            workload: "abba".into(),
+            seed: None,
+            config: test_config(),
+            faults: Vec::new(),
+            events: Vec::new(),
+            failure: FailureSummary {
+                kind: KIND_DEADLOCK,
+                tid: 1,
+                report_digest: digest,
+            },
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rfdet-trace-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let t = sample(0xabcd);
+        let path = save_in(&dir, &t, "").unwrap();
+        assert_eq!(path.file_name().unwrap(), "000000000000abcd.trace");
+        assert_eq!(load(&path).unwrap(), t);
+        // No stray temporaries survive a successful save.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains("tmp")
+            })
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resave_overwrites_atomically() {
+        let dir = tmpdir("resave");
+        let t = sample(0x77);
+        let a = save_in(&dir, &t, "").unwrap();
+        let b = save_in(&dir, &t, "").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(load(&a).unwrap(), t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn min_tag_lands_beside_the_original() {
+        let dir = tmpdir("mintag");
+        let t = sample(0x99);
+        let orig = save_in(&dir, &t, "").unwrap();
+        let min = save_in(&dir, &t, ".min").unwrap();
+        assert_eq!(orig.parent(), min.parent());
+        assert_eq!(min.file_name().unwrap(), "0000000000000099.min.trace");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_file_fails_to_load() {
+        let dir = tmpdir("torn");
+        let t = sample(0x1234);
+        let path = save_in(&dir, &t, "").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load(&path), Err(LoadError::Codec(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            load(Path::new("/nonexistent/zzz.trace")),
+            Err(LoadError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! Delta debugging (`ddmin`) over fault lists.
+//!
+//! The repro-minimization problem: a recorded `FaultPlan` may contain
+//! dozens of specs (chaos sweeps inject jitter everywhere) of which only
+//! one or two actually cause the failure. `ddmin` finds a small —
+//! 1-minimal — sublist for which the caller's oracle still returns
+//! `true`, using Zeller's complement-partition strategy, then a final
+//! drop-one pass. Item order is preserved throughout, so the minimized
+//! list is a subsequence of the input: every surviving spec appeared in
+//! the original plan verbatim.
+
+/// Minimizes `items` to a 1-minimal subsequence for which `oracle` still
+/// returns `true` (1-minimal: removing any single remaining item makes
+/// the oracle fail). The oracle must hold on the full input; callers
+/// should verify that before paying for the search. Runs the oracle
+/// O(n²) times in the worst case, each call typically a full re-run of
+/// the workload.
+pub fn ddmin<T: Clone>(items: &[T], oracle: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
+    // The failure may not need the fault plan at all (e.g. an
+    // application deadlock recorded alongside injected jitter).
+    if items.is_empty() || oracle(&[]) {
+        return Vec::new();
+    }
+    let mut current: Vec<T> = items.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except current[start..end].
+            let mut complement: Vec<T> = Vec::with_capacity(current.len() - (end - start));
+            complement.extend_from_slice(&current[..start]);
+            complement.extend_from_slice(&current[end..]);
+            if !complement.is_empty() && oracle(&complement) {
+                current = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    // Final drop-one pass establishes 1-minimality even for oracles that
+    // depend on item combinations the partition schedule skipped.
+    loop {
+        let mut dropped = false;
+        for i in 0..current.len() {
+            if current.len() <= 1 {
+                break;
+            }
+            let mut cand = current.clone();
+            cand.remove(i);
+            if oracle(&cand) {
+                current = cand;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_single_culprit() {
+        let items: Vec<u32> = (0..20).collect();
+        let mut calls = 0;
+        let min = ddmin(&items, &mut |s| {
+            calls += 1;
+            s.contains(&13)
+        });
+        assert_eq!(min, vec![13]);
+        assert!(calls < 200, "ddmin ran the oracle {calls} times");
+    }
+
+    #[test]
+    fn finds_a_pair_of_interacting_culprits() {
+        let items: Vec<u32> = (0..16).collect();
+        let min = ddmin(&items, &mut |s| s.contains(&3) && s.contains(&11));
+        assert_eq!(min, vec![3, 11], "order preserved, both kept");
+    }
+
+    #[test]
+    fn returns_empty_when_nothing_is_needed() {
+        let items = vec![1, 2, 3];
+        assert!(ddmin(&items, &mut |_| true).is_empty());
+        assert!(ddmin::<u32>(&[], &mut |_| false).is_empty());
+    }
+
+    #[test]
+    fn keeps_everything_when_all_items_matter() {
+        let items = vec![1, 2, 3, 4];
+        let min = ddmin(&items, &mut |s| s.len() == 4);
+        assert_eq!(min, items);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let items: Vec<u32> = (0..12).collect();
+        // Oracle: needs at least 3 even numbers.
+        let mut oracle = |s: &[u32]| s.iter().filter(|x| *x % 2 == 0).count() >= 3;
+        let min = ddmin(&items, &mut oracle);
+        assert!(oracle(&min));
+        for i in 0..min.len() {
+            let mut cand = min.clone();
+            cand.remove(i);
+            assert!(!oracle(&cand), "removing {} kept the oracle true", min[i]);
+        }
+    }
+}

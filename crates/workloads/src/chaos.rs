@@ -1,0 +1,144 @@
+//! Deliberately failure-prone scenarios for the flight recorder.
+//!
+//! These are not benchmarks: each one is a small, deterministic program
+//! whose purpose is to *fail on demand* so traces, replays, and the
+//! shrinker have something real to chew on. `lock_panic` and
+//! `alloc_storm` run clean until a [`rfdet_api::FaultPlan`] injects the
+//! failure; `abba_deadlock` needs no plan — a barrier guarantees the
+//! lock cycle forms on every backend and every schedule.
+//!
+//! They are registered under a `chaos.` name prefix (e.g.
+//! `chaos.lock_panic`) so the replay CLI can resolve a persisted
+//! trace's workload name back to a root function.
+
+use crate::{Params, Suite, Workload};
+use rfdet_api::{BarrierId, DmtCtx, DmtCtxExt, MutexId, ThreadFn};
+
+/// Contended locked counter: every thread takes the same mutex for a
+/// fixed iteration count, so per-thread sync-op indices are stable and
+/// a `FaultPlan` panic lands on the same program point every run.
+pub fn lock_panic(p: Params) -> ThreadFn {
+    let threads = p.threads.max(1);
+    Box::new(move |ctx: &mut dyn DmtCtx| {
+        let m = MutexId(1);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    for _ in 0..32 {
+                        ctx.lock(m);
+                        let v: u64 = ctx.read(128);
+                        ctx.write(128, v + 1);
+                        ctx.unlock(m);
+                    }
+                }))
+            })
+            .collect();
+        for h in handles {
+            ctx.join(h);
+        }
+        let v: u64 = ctx.read(128);
+        ctx.emit_str(&format!("count={v}"));
+    })
+}
+
+/// Classic AB-BA deadlock: a barrier guarantees both threads hold their
+/// first lock before requesting the second, so the wait-for cycle forms
+/// structurally — no fault plan or timing luck required. Deterministic
+/// backends report `Deadlock`; the native baseline (no logical clock)
+/// surfaces it as `Wedged` via the wall-clock fallback.
+pub fn abba_deadlock(_p: Params) -> ThreadFn {
+    Box::new(|ctx: &mut dyn DmtCtx| {
+        let a = MutexId(10);
+        let b = MutexId(11);
+        let bar = BarrierId(9);
+        let t1 = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            ctx.lock(a);
+            ctx.barrier(bar, 2);
+            ctx.lock(b);
+            ctx.unlock(b);
+            ctx.unlock(a);
+        }));
+        let t2 = ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+            ctx.lock(b);
+            ctx.barrier(bar, 2);
+            ctx.lock(a);
+            ctx.unlock(a);
+            ctx.unlock(b);
+        }));
+        ctx.join(t1);
+        ctx.join(t2);
+        ctx.emit_str("unreachable");
+    })
+}
+
+/// Allocation churn: every thread allocates, touches, and frees a run
+/// of heap blocks, giving `FaultPlan::fail_alloc` a dense target space.
+pub fn alloc_storm(p: Params) -> ThreadFn {
+    let threads = p.threads.max(1);
+    Box::new(move |ctx: &mut dyn DmtCtx| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    for k in 0..16u64 {
+                        let addr = ctx.alloc(64, 8);
+                        ctx.write(addr, k);
+                        ctx.dealloc(addr);
+                    }
+                }))
+            })
+            .collect();
+        for h in handles {
+            ctx.join(h);
+        }
+        ctx.emit_str("allocs done");
+    })
+}
+
+/// The chaos scenario registry (names carry the `chaos.` prefix).
+#[must_use]
+pub fn scenarios() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "chaos.lock_panic",
+            suite: Suite::Stress,
+            factory: lock_panic,
+        },
+        Workload {
+            name: "chaos.abba_deadlock",
+            suite: Suite::Stress,
+            factory: abba_deadlock,
+        },
+        Workload {
+            name: "chaos.alloc_storm",
+            suite: Suite::Stress,
+            factory: alloc_storm,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Size;
+    use rfdet_api::DmtBackend;
+    use rfdet_dthreads::DthreadsBackend;
+
+    #[test]
+    fn lock_panic_and_alloc_storm_run_clean_without_a_plan() {
+        let p = Params::new(2, Size::Test);
+        let out = DthreadsBackend.run_expect(&rfdet_api::RunConfig::small(), lock_panic(p));
+        assert_eq!(out.output, b"count=64");
+        let out = DthreadsBackend.run_expect(&rfdet_api::RunConfig::small(), alloc_storm(p));
+        assert_eq!(out.output, b"allocs done");
+    }
+
+    #[test]
+    fn abba_deadlocks_deterministically() {
+        let mut cfg = rfdet_api::RunConfig::small();
+        cfg.deadlock_after_ms = Some(2_000);
+        let err = DthreadsBackend
+            .run(&cfg, abba_deadlock(Params::new(2, Size::Test)))
+            .expect_err("AB-BA must deadlock");
+        assert!(matches!(err, rfdet_api::RunError::Deadlock(_)));
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod parsec;
 pub mod phoenix;
 pub mod racey;
@@ -180,7 +181,9 @@ pub fn benchmarks() -> Vec<Workload> {
     ]
 }
 
-/// Looks a workload up by name (`racey` included).
+/// Looks a workload up by name (`racey` and the `chaos.*` failure
+/// scenarios included) — the resolver the replay CLI uses to turn a
+/// persisted trace's workload name back into a root function.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
     if name == "racey" {
@@ -189,6 +192,9 @@ pub fn by_name(name: &str) -> Option<Workload> {
             suite: Suite::Stress,
             factory: racey::root,
         });
+    }
+    if name.starts_with("chaos.") {
+        return chaos::scenarios().into_iter().find(|w| w.name == name);
     }
     benchmarks().into_iter().find(|w| w.name == name)
 }
@@ -229,6 +235,10 @@ mod tests {
         for w in benchmarks() {
             assert_eq!(by_name(w.name).unwrap().name, w.name);
         }
+        for w in chaos::scenarios() {
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+        }
         assert!(by_name("nonesuch").is_none());
+        assert!(by_name("chaos.nonesuch").is_none());
     }
 }

@@ -16,6 +16,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`api`] | `rfdet-api` | the `DmtCtx` programming surface, configs, stats |
+//! | [`trace`] | `rfdet-trace` | flight recorder: schedule traces, replay, shrinking |
 //! | [`vclock`] | `rfdet-vclock` | vector clocks / happens-before |
 //! | [`mem`] | `rfdet-mem` | COW private spaces, page diffing, allocator |
 //! | [`meta`] | `rfdet-meta` | slice store, GC, sync-var table |
@@ -41,9 +42,10 @@ pub use rfdet_vclock as vclock;
 pub use rfdet_workloads as workloads;
 
 pub use rfdet_api::{
-    Addr, AtomicOp, BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, FailureKind, FailureReport,
-    FaultAction, FaultPlan, FaultSpec, MonitorMode, MutexId, Pod, RfdetOpts, RunConfig, RunError,
-    RunOutput, Stats, ThreadFn, ThreadHandle, ThreadReport, Tid, WaitEdge, WaitTarget,
+    trace, Addr, AtomicOp, BarrierId, CondId, DmtBackend, DmtCtx, DmtCtxExt, FailureKind,
+    FailureReport, FaultAction, FaultPlan, FaultSpec, MonitorMode, MutexId, Pod, Replay, RfdetOpts,
+    RunConfig, RunError, RunOutput, RunTrace, Stats, ThreadFn, ThreadHandle, ThreadReport, Tid,
+    TracedRun, WaitEdge, WaitTarget,
 };
 pub use rfdet_core::RfdetBackend;
 pub use rfdet_dthreads::DthreadsBackend;
