@@ -10,6 +10,10 @@ pub struct RunOutput {
     pub output: Vec<u8>,
     /// Aggregated profiling counters.
     pub stats: Stats,
+    /// Metrics rollup, present only when [`RunConfig::metrics`] was on.
+    /// Deliberately excluded from [`Self::output_digest`]: timing varies
+    /// run to run, program results must not.
+    pub metrics: Option<Box<rfdet_obs::MetricsSnapshot>>,
 }
 
 impl RunOutput {
@@ -188,15 +192,15 @@ mod tests {
     fn digest_is_stable_and_content_sensitive() {
         let a = RunOutput {
             output: b"hello".to_vec(),
-            stats: Stats::default(),
+            ..RunOutput::default()
         };
         let b = RunOutput {
             output: b"hello".to_vec(),
-            stats: Stats::default(),
+            ..RunOutput::default()
         };
         let c = RunOutput {
             output: b"hellp".to_vec(),
-            stats: Stats::default(),
+            ..RunOutput::default()
         };
         assert_eq!(a.output_digest(), b.output_digest());
         assert_ne!(a.output_digest(), c.output_digest());

@@ -125,6 +125,23 @@ pub struct RunConfig {
     /// (the default) keeps the recorder off at the cost of one branch
     /// per sync op.
     pub trace: Option<String>,
+    /// Deterministic-safe metrics (`rfdet_api::obs`): when `true`, the
+    /// run times its hot phases — `wait_for_turn` stall, sync-op
+    /// end-to-end, slice length, diff, snapshot, propagation — into
+    /// log-bucketed histograms and attaches a
+    /// [`rfdet_obs::MetricsSnapshot`] to the [`crate::RunOutput`].
+    /// Timing is observed strictly off the deterministic decision path:
+    /// no scheduling or propagation branch reads a clock, so results are
+    /// bit-identical with metrics on and off (the conformance and
+    /// proptest suites pin this). `false` (the default) keeps the cost
+    /// at one branch per instrumented site, like `trace`.
+    pub metrics: bool,
+    /// Period, in milliseconds, of a parked thread's idle re-check: how
+    /// long a blocked thread sleeps between looking for its wakeup (or
+    /// a supervised-abort flag) when no one has signalled it. Purely a
+    /// liveness/latency trade-off — wakeups themselves are delivered
+    /// deterministically — so it never enters the trace projection.
+    pub idle_poll_ms: u64,
 }
 
 impl Default for RunConfig {
@@ -144,6 +161,8 @@ impl Default for RunConfig {
             supervise: true,
             deadlock_after_ms: Some(30_000),
             trace: None,
+            metrics: false,
+            idle_poll_ms: 20,
         }
     }
 }
@@ -169,6 +188,13 @@ impl RunConfig {
     #[must_use]
     pub fn deadlock_after(&self) -> Option<Duration> {
         self.deadlock_after_ms.map(Duration::from_millis)
+    }
+
+    /// The idle re-check period as a [`Duration`] (clamped to ≥ 1 ms so
+    /// a zero knob cannot turn parked threads into spinners).
+    #[must_use]
+    pub fn idle_poll(&self) -> Duration {
+        Duration::from_millis(self.idle_poll_ms.max(1))
     }
 
     /// The determinism-relevant projection of this configuration in the
@@ -233,6 +259,11 @@ impl RunConfig {
             supervise: c.supervise,
             deadlock_after_ms: c.deadlock_after_ms,
             trace: Some(trace.workload.clone()),
+            // Not part of the determinism-relevant projection: metrics
+            // never influence results, and the idle-poll period only
+            // affects wakeup latency. Replays use the defaults.
+            metrics: false,
+            idle_poll_ms: RunConfig::default().idle_poll_ms,
         }
     }
 
@@ -321,6 +352,44 @@ mod tests {
         assert_eq!(back.fault_plan, cfg.fault_plan);
         assert_eq!(back.trace.as_deref(), Some("w"));
         back.validate();
+    }
+
+    #[test]
+    fn metrics_and_idle_poll_default_off_and_20ms() {
+        let cfg = RunConfig::default();
+        assert!(!cfg.metrics);
+        assert_eq!(cfg.idle_poll(), Duration::from_millis(20));
+        let mut zero = RunConfig::small();
+        zero.idle_poll_ms = 0;
+        assert_eq!(
+            zero.idle_poll(),
+            Duration::from_millis(1),
+            "zero clamps: parked threads must not spin"
+        );
+    }
+
+    #[test]
+    fn observability_knobs_stay_out_of_the_trace_projection() {
+        let mut cfg = RunConfig::small();
+        cfg.metrics = true;
+        cfg.idle_poll_ms = 3;
+        cfg.trace = Some("w".to_owned());
+        let trace = rfdet_trace::RunTrace {
+            backend: "b".into(),
+            workload: "w".into(),
+            seed: None,
+            config: cfg.trace_config(),
+            faults: Vec::new(),
+            events: Vec::new(),
+            failure: rfdet_trace::FailureSummary {
+                kind: rfdet_trace::KIND_NONE,
+                tid: 0,
+                report_digest: 0,
+            },
+        };
+        let back = RunConfig::from_trace(&trace);
+        assert!(!back.metrics, "replays run with metrics off by default");
+        assert_eq!(back.idle_poll_ms, RunConfig::default().idle_poll_ms);
     }
 
     #[test]

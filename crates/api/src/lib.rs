@@ -26,6 +26,7 @@ mod config;
 mod ctx;
 mod error;
 mod fault;
+mod metrics;
 mod pod;
 mod record;
 mod rng;
@@ -36,11 +37,13 @@ pub use config::{MonitorMode, RfdetOpts, RunConfig};
 pub use ctx::{AtomicOp, BarrierId, CondId, DmtCtx, DmtCtxExt, MutexId, ThreadFn, ThreadHandle};
 pub use error::{FailureKind, FailureReport, RunError, ThreadReport, WaitEdge, WaitTarget};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, SyncOpFault};
+pub use metrics::{finish_metrics, obs_sink};
 pub use pod::Pod;
 pub use record::{finish_trace, trace_sink};
 pub use rng::DetRng;
 pub use stats::Stats;
 
+pub use rfdet_obs as obs;
 pub use rfdet_trace as trace;
 pub use rfdet_trace::RunTrace;
 pub use rfdet_vclock::Tid;

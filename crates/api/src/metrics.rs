@@ -1,0 +1,105 @@
+//! Metrics assembly, shared by every backend — the `rfdet_api::obs`
+//! twin of the flight-recorder glue in [`crate::record`].
+//!
+//! A backend's `run_traced` does three metrics-specific things, all
+//! through this module: create the sink when [`RunConfig::metrics`] is
+//! on ([`obs_sink`]), hand each thread context an
+//! [`rfdet_obs::ObsRecorder`] draining into it, and call
+//! [`finish_metrics`] once the run has a result — which rolls the sink
+//! up into a [`rfdet_obs::MetricsSnapshot`] and attaches it to the
+//! [`RunOutput`].
+//!
+//! The load-bearing invariant lives at the call sites: backends read
+//! `Instant::now()` *only* when the sink exists, and the readings flow
+//! only into these buffers — never into a scheduling, propagation, or
+//! conflict-resolution branch. Failure digests and output digests are
+//! therefore identical with metrics on and off, which
+//! `tests/conformance.rs` and the metrics proptests pin.
+
+use crate::{RunConfig, RunError, RunOutput};
+use rfdet_obs::ObsSink;
+use std::sync::Arc;
+
+/// The run's metrics sink — `Some` exactly when the config asks for
+/// metrics. Backends thread the `Arc` into every context they create.
+#[must_use]
+pub fn obs_sink(cfg: &RunConfig) -> Option<Arc<ObsSink>> {
+    cfg.metrics.then(|| Arc::new(ObsSink::default()))
+}
+
+/// Rolls the sink up into a snapshot and attaches it to a successful
+/// run's [`RunOutput`]. Failing runs keep their report untouched — the
+/// report digest is rerun-stable and timing is not. No-op when the run
+/// was not collecting metrics.
+pub fn finish_metrics(
+    backend: &str,
+    sink: Option<&Arc<ObsSink>>,
+    result: &mut Result<RunOutput, RunError>,
+) {
+    let Some(sink) = sink else { return };
+    if let Ok(out) = result {
+        out.metrics = Some(Box::new(sink.snapshot(backend)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureKind, FailureReport};
+    use rfdet_obs::Phase;
+
+    #[test]
+    fn disabled_metrics_yield_no_sink_and_no_snapshot() {
+        let cfg = RunConfig::small();
+        assert!(obs_sink(&cfg).is_none());
+        let mut result: Result<RunOutput, RunError> = Ok(RunOutput::default());
+        finish_metrics("test", None, &mut result);
+        assert!(result.unwrap().metrics.is_none());
+    }
+
+    #[test]
+    fn successful_run_gets_the_rollup() {
+        let mut cfg = RunConfig::small();
+        cfg.metrics = true;
+        let sink = obs_sink(&cfg).expect("metrics on");
+        sink.record(Phase::SyncOp, 1_500);
+        let mut result: Result<RunOutput, RunError> = Ok(RunOutput {
+            output: b"ok".to_vec(),
+            ..RunOutput::default()
+        });
+        finish_metrics("RFDet-ci", Some(&sink), &mut result);
+        let mut out = result.unwrap();
+        let snap = out.metrics.take().expect("snapshot attached");
+        assert_eq!(snap.backend, "RFDet-ci");
+        assert_eq!(snap.phase(Phase::SyncOp).unwrap().count, 1);
+        // The digest never covers metrics.
+        assert_eq!(
+            out.output_digest(),
+            RunOutput {
+                output: b"ok".to_vec(),
+                ..RunOutput::default()
+            }
+            .output_digest()
+        );
+    }
+
+    #[test]
+    fn failing_run_keeps_its_report_untouched() {
+        let sink = Arc::new(ObsSink::default());
+        sink.record(Phase::SyncOp, 10);
+        let mut result: Result<RunOutput, RunError> = Err(RunError::from_report(FailureReport {
+            backend: "test".to_owned(),
+            kind: FailureKind::Panic,
+            tid: 1,
+            message: "boom".to_owned(),
+            culprit: None,
+            wait_graph: Vec::new(),
+            cycle: Vec::new(),
+            peers: Vec::new(),
+            trace_path: None,
+        }));
+        let before = result.as_ref().unwrap_err().report_digest();
+        finish_metrics("test", Some(&sink), &mut result);
+        assert_eq!(result.unwrap_err().report_digest(), before);
+    }
+}

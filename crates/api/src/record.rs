@@ -121,7 +121,7 @@ mod tests {
         let sink = trace_sink(&cfg).expect("recording on");
         let mut result: Result<RunOutput, RunError> = Ok(RunOutput {
             output: b"ok".to_vec(),
-            stats: crate::Stats::default(),
+            ..RunOutput::default()
         });
         let trace = finish_trace("test", &cfg, Some(&sink), &mut result).expect("trace");
         assert_eq!(trace.failure.kind, KIND_NONE);

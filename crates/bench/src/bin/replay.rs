@@ -7,6 +7,7 @@
 //!               [--fail-alloc TID:NTH]...
 //! replay replay <trace-file>
 //! replay shrink <trace-file>
+//! replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]
 //! ```
 //!
 //! `record` runs a workload with the recorder on; if the run fails the
@@ -17,6 +18,10 @@
 //! the culprit's schedule) reproduces. `shrink` delta-debugs the
 //! recorded fault plan and writes the minimized trace beside the
 //! original with a `.min` tag.
+//!
+//! `metrics` runs a workload once with the deterministic-safe metrics
+//! layer enabled and prints the phase rollup — `json` (default) for
+//! tooling, `prom` for a Prometheus text-format scrape body.
 //!
 //! Workloads resolve through `rfdet_workloads::by_name`; the `chaos.*`
 //! scenarios exist specifically to fail on demand.
@@ -32,7 +37,8 @@ fn usage() -> ! {
          replay record <workload>[@threads] [--backend NAME] [--seed S]\n    \
            [--panic TID:OP]... [--jitter TID:OP:TICKS]... [--fail-alloc TID:NTH]...\n  \
          replay replay <trace-file>\n  \
-         replay shrink <trace-file>"
+         replay shrink <trace-file>\n  \
+         replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]"
     );
     exit(2);
 }
@@ -249,12 +255,67 @@ fn cmd_shrink(args: &[String]) -> i32 {
     }
 }
 
+fn cmd_metrics(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else { usage() };
+    let Some((workload, params)) = resolve_workload(spec) else {
+        eprintln!("error: unknown workload {spec:?}");
+        return 2;
+    };
+    let mut backend_name = "RFDet-ci".to_owned();
+    let mut format = "json".to_owned();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend_name = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--format" => {
+                format = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if format != "json" && format != "prom" {
+        eprintln!("error: unknown format {format:?} (expected json or prom)");
+        return 2;
+    }
+    let Some(backend) = backend_by_name(&backend_name) else {
+        eprintln!("error: unknown backend {backend_name:?}");
+        return 2;
+    };
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.deadlock_after_ms = Some(5_000);
+    cfg.metrics = true;
+    match backend.run(&cfg, make_root(&workload, params)) {
+        Ok(out) => {
+            let Some(snap) = out.metrics else {
+                eprintln!("error: metrics requested but no snapshot attached");
+                return 2;
+            };
+            if format == "prom" {
+                print!("{}", snap.to_prometheus());
+            } else {
+                println!("{}", snap.to_json());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         _ => usage(),
     };
     exit(code);

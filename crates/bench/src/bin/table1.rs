@@ -4,8 +4,11 @@
 //!
 //! Columns mirror the paper: lock/unlock, wait/signal, fork/join, mem
 //! (loads+stores), loads, stores, store-w/copy, then footprint for
-//! pthreads / RFDet / DThreads and the RFDet GC count.
+//! pthreads / RFDet / DThreads and the RFDet GC count — plus the
+//! metrics layer's phase attribution for the RFDet run (each
+//! deterministic phase's share of attributable runtime overhead).
 
+use rfdet_api::obs::Phase;
 use rfdet_api::DmtBackend;
 use rfdet_bench::{bench_config, render_table, BenchOpts};
 use rfdet_core::RfdetBackend;
@@ -25,9 +28,11 @@ fn main() {
         opts.threads, opts.size
     );
     let mut rows = Vec::new();
+    let mut rf_cfg = cfg.clone();
+    rf_cfg.metrics = true; // phase-attribution columns ride on the RFDet run
     for w in opts.selected(benchmarks()) {
         let params = Params::new(opts.threads, opts.size);
-        let rf = RfdetBackend::ci().run_expect(&cfg, (w.factory)(params));
+        let rf = RfdetBackend::ci().run_expect(&rf_cfg, (w.factory)(params));
         let dt = DthreadsBackend.run_expect(&cfg, (w.factory)(params));
         let nat = NativeBackend.run_expect(&cfg, (w.factory)(params));
         let s = rf.stats;
@@ -41,6 +46,16 @@ fn main() {
         let pthreads_fp = dt.stats.shared_bytes;
         let rfdet_fp = s.private_pages * page + s.peak_meta_bytes;
         let dthreads_fp = dt.stats.private_pages * page + dt.stats.shared_bytes;
+        let frac = |p: Phase| -> String {
+            rf.metrics
+                .as_ref()
+                .and_then(|m| {
+                    m.attribution()
+                        .into_iter()
+                        .find(|(name, _, _)| name == p.metric_name())
+                })
+                .map_or_else(|| "-".to_owned(), |(_, _, f)| format!("{:.0}", f * 100.0))
+        };
         rows.push(vec![
             w.name.to_owned(),
             format!("{}/{}", s.locks, s.unlocks),
@@ -58,6 +73,10 @@ fn main() {
             mb(rfdet_fp),
             mb(dthreads_fp),
             s.gc_count.to_string(),
+            frac(Phase::WaitTurn),
+            frac(Phase::Diff),
+            frac(Phase::Snapshot),
+            frac(Phase::Propagation),
         ]);
     }
     println!(
@@ -80,6 +99,10 @@ fn main() {
                 "RFDet(MB)",
                 "DThreads(MB)",
                 "GC",
+                "wait%",
+                "diff%",
+                "snap%",
+                "prop%",
             ],
             &rows
         )
@@ -91,6 +114,9 @@ fn main() {
          first-write instrumentation snapshotted; pool hit% is how often a snapshot\n\
          buffer came from the recycling pool instead of a fresh allocation;\n\
          the paper's expectations to check: stores ≪ loads, store-w/copy ≪ stores,\n\
-         RFDet footprint > DThreads footprint > pthreads footprint."
+         RFDet footprint > DThreads footprint > pthreads footprint;\n\
+         wait%/diff%/snap%/prop% attribute the RFDet run's deterministic-machinery\n\
+         time (turn stalls, end-slice diffs, page snapshots, propagation) as shares\n\
+         of total attributable overhead, from the metrics layer."
     );
 }

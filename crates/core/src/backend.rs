@@ -89,6 +89,7 @@ impl DmtBackend for RfdetBackend {
             None => Ok(RunOutput {
                 output: shared.meta.collect_output(),
                 stats: shared.meta.stats.snapshot(),
+                metrics: None,
             }),
         };
         let trace = rfdet_api::finish_trace(
@@ -97,6 +98,7 @@ impl DmtBackend for RfdetBackend {
             shared.trace_sink.as_ref(),
             &mut result,
         );
+        rfdet_api::finish_metrics(&self.name(), shared.obs.as_ref(), &mut result);
         TracedRun { result, trace }
     }
 }

@@ -82,6 +82,15 @@ pub struct RfdetCtx {
     /// to the shared sink on drop — which covers panic unwinds, since
     /// the context outlives the `catch_unwind` around the thread body.
     pub(crate) trace: Option<rfdet_api::trace::TraceBuf>,
+    /// Metrics recorder, `Some` iff the run is collecting metrics. Like
+    /// `trace`, it flushes to the shared sink on drop. Timing read when
+    /// this is `Some` flows only into these buffers, never into a
+    /// scheduling decision.
+    pub(crate) obs: Option<rfdet_api::obs::ObsRecorder>,
+    /// Wall-clock start of the in-progress slice; `Some` iff metrics on.
+    pub(crate) slice_t0: Option<std::time::Instant>,
+    /// `loads + stores` at slice start (metrics-only baseline).
+    pub(crate) slice_ops_base: u64,
     exited: bool,
 }
 
@@ -145,6 +154,9 @@ impl RfdetCtx {
             last_op: None,
             allocs: 0,
             trace: None,
+            obs: None,
+            slice_t0: None,
+            slice_ops_base: 0,
             exited: false,
         };
         ctx.trace = ctx
@@ -152,6 +164,11 @@ impl RfdetCtx {
             .trace_sink
             .as_ref()
             .map(|s| rfdet_api::trace::TraceBuf::new(Arc::clone(s)));
+        ctx.obs = ctx
+            .shared
+            .obs
+            .as_ref()
+            .map(|s| rfdet_api::obs::ObsRecorder::new(Arc::clone(s)));
         // `begin_slice` applies pf protection; safe to call here because
         // the slice state is empty.
         ctx.begin_slice();
@@ -269,6 +286,7 @@ impl RfdetCtx {
     /// from the pool when one is available — the steady-state path costs
     /// one page memcpy and zero allocations.
     fn take_snapshot(&mut self, page: usize) -> Box<[u8]> {
+        let t0 = self.obs_start();
         let mut buf = match self.snap_pool.pop() {
             Some(b) => {
                 self.stats.snapshot_pool_hits += 1;
@@ -281,6 +299,7 @@ impl RfdetCtx {
         };
         self.space.snapshot_page_into(page, &mut buf);
         self.stats.snapshot_bytes_copied += buf.len() as u64;
+        self.obs_since(rfdet_api::obs::Phase::Snapshot, t0);
         buf
     }
 
@@ -342,6 +361,52 @@ impl RfdetCtx {
         self.space.write(addr, data);
     }
 
+    /// `Instant::now()` iff the run is collecting metrics — the only
+    /// gate under which this backend reads the clock. Pair with
+    /// [`Self::obs_since`].
+    #[inline]
+    pub(crate) fn obs_start(&self) -> Option<std::time::Instant> {
+        self.obs.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Records the elapsed nanoseconds since `t0` into `phase`.
+    #[inline]
+    pub(crate) fn obs_since(
+        &mut self,
+        phase: rfdet_api::obs::Phase,
+        t0: Option<std::time::Instant>,
+    ) {
+        if let (Some(obs), Some(t0)) = (self.obs.as_mut(), t0) {
+            obs.record(phase, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Records a raw count into `phase` (metrics on only).
+    #[inline]
+    pub(crate) fn obs_count(&mut self, phase: rfdet_api::obs::Phase, n: u64) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.record(phase, n);
+        }
+    }
+
+    /// [`KendoState::wait_for_turn`] with the stall attributed to
+    /// [`Phase::WaitTurn`](rfdet_api::obs::Phase::WaitTurn).
+    pub(crate) fn wait_for_turn_timed(&mut self) {
+        let t0 = self.obs_start();
+        self.shared.kendo.wait_for_turn(&self.kendo);
+        self.obs_since(rfdet_api::obs::Phase::WaitTurn, t0);
+    }
+
+    /// Runs one sync operation under the end-to-end
+    /// [`Phase::SyncOp`](rfdet_api::obs::Phase::SyncOp) envelope.
+    #[inline]
+    fn sync_timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.obs_start();
+        let r = f(self);
+        self.obs_since(rfdet_api::obs::Phase::SyncOp, t0);
+        r
+    }
+
     pub(crate) fn jitter_pause(&mut self) {
         if let Some(j) = &mut self.jitter {
             j.pause();
@@ -380,35 +445,35 @@ impl DmtCtx for RfdetCtx {
     }
 
     fn lock(&mut self, m: MutexId) {
-        crate::sync::lock_impl(self, m);
+        self.sync_timed(|ctx| crate::sync::lock_impl(ctx, m));
     }
 
     fn unlock(&mut self, m: MutexId) {
-        crate::sync::unlock_impl(self, m);
+        self.sync_timed(|ctx| crate::sync::unlock_impl(ctx, m));
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
-        crate::sync::wait_impl(self, c, m);
+        self.sync_timed(|ctx| crate::sync::wait_impl(ctx, c, m));
     }
 
     fn cond_signal(&mut self, c: CondId) {
-        crate::sync::signal_impl(self, c, false);
+        self.sync_timed(|ctx| crate::sync::signal_impl(ctx, c, false));
     }
 
     fn cond_broadcast(&mut self, c: CondId) {
-        crate::sync::signal_impl(self, c, true);
+        self.sync_timed(|ctx| crate::sync::signal_impl(ctx, c, true));
     }
 
     fn barrier(&mut self, b: BarrierId, parties: usize) {
-        crate::sync::barrier_impl(self, b, parties);
+        self.sync_timed(|ctx| crate::sync::barrier_impl(ctx, b, parties));
     }
 
     fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
-        crate::sync::spawn_impl(self, f)
+        self.sync_timed(|ctx| crate::sync::spawn_impl(ctx, f))
     }
 
     fn join(&mut self, h: ThreadHandle) {
-        crate::sync::join_impl(self, h);
+        self.sync_timed(|ctx| crate::sync::join_impl(ctx, h));
     }
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
@@ -428,14 +493,14 @@ impl DmtCtx for RfdetCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
-        crate::sync::atomic_impl(self, addr, Some(op), None)
+        self.sync_timed(|ctx| crate::sync::atomic_impl(ctx, addr, Some(op), None))
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
-        crate::sync::atomic_impl(self, addr, None, None)
+        self.sync_timed(|ctx| crate::sync::atomic_impl(ctx, addr, None, None))
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
-        crate::sync::atomic_impl(self, addr, None, Some(value));
+        self.sync_timed(|ctx| crate::sync::atomic_impl(ctx, addr, None, Some(value)));
     }
 }

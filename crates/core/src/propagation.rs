@@ -2,6 +2,7 @@
 
 use crate::ctx::RfdetCtx;
 use crate::handoff::{BarrierHandoff, Mailbox};
+use rfdet_api::obs::Phase;
 use rfdet_api::Tid;
 use rfdet_mem::PageFlags;
 use rfdet_meta::SliceRef;
@@ -16,6 +17,7 @@ impl RfdetCtx {
     /// already seen), apply its modifications in list order, and append it
     /// to our own list (transitive propagation).
     pub(crate) fn propagate_from(&mut self, from: Tid, upper: &VClock, lower: &VClock) {
+        let t0 = self.obs_start();
         let cursor = self.cursors.get(&from).copied().unwrap_or(0);
         // `upper` is a release time of `from`, so the list is
         // prefix-closed under it: start at the cursor, stop at the first
@@ -29,6 +31,7 @@ impl RfdetCtx {
             self.apply_slice(s);
         }
         self.meta_thread.append_slices(&batch);
+        self.obs_since(Phase::Propagation, t0);
     }
 
     /// Barrier-merge propagation: everything that happened before the
@@ -36,6 +39,7 @@ impl RfdetCtx {
     /// (§4.1: "the thread with the smallest ID merges its modifications
     /// first"), deduplicated across lists.
     pub(crate) fn propagate_barrier(&mut self, b: &BarrierHandoff, lower: &VClock) {
+        let t0 = self.obs_start();
         let mut seen: HashSet<(Tid, u64)> = HashSet::new();
         let mut participants = b.participants.clone();
         participants.sort_unstable();
@@ -55,6 +59,7 @@ impl RfdetCtx {
             }
             self.meta_thread.append_slices(&batch);
         }
+        self.obs_since(Phase::Propagation, t0);
     }
 
     /// Applies one slice's modifications to local memory — directly, or

@@ -77,6 +77,10 @@ pub(crate) struct RuntimeShared {
     /// Flight-recorder event sink, `Some` iff `cfg.trace` is on. Thread
     /// contexts buffer into it; the Kendo wake tap pushes directly.
     pub trace_sink: Option<Arc<TraceSink>>,
+    /// Metrics sink, `Some` iff `cfg.metrics` is on. Thread contexts
+    /// record into per-thread `ObsRecorder`s draining into it; timing is
+    /// observed strictly off the deterministic decision path.
+    pub obs: Option<Arc<rfdet_api::obs::ObsSink>>,
 }
 
 impl RuntimeShared {
@@ -85,7 +89,9 @@ impl RuntimeShared {
         let heap_base = rfdet_mem::heap_base(cfg.space_bytes);
         // The wall-clock bound is only the *fallback*: structural
         // deadlock detection (supervise.rs) normally fires first.
-        let kendo = KendoState::new().with_deadlock_timeout(cfg.deadlock_after());
+        let kendo = KendoState::new()
+            .with_deadlock_timeout(cfg.deadlock_after())
+            .with_idle_poll(cfg.idle_poll());
         let trace_sink = rfdet_api::trace_sink(&cfg);
         if let Some(sink) = &trace_sink {
             // Wakes run inside the waker's turn, so they are schedule
@@ -115,6 +121,7 @@ impl RuntimeShared {
             os_handles: Mutex::new(HashMap::new()),
             supervisor: Supervisor::default(),
             trace_sink,
+            obs: rfdet_api::obs_sink(&cfg),
             cfg,
         }
     }

@@ -8,6 +8,7 @@
 //! time, and the record is published to the metadata space.
 
 use crate::ctx::RfdetCtx;
+use rfdet_api::obs::Phase;
 use rfdet_api::MonitorMode;
 use rfdet_mem::{diff, PageFlags};
 use rfdet_meta::SliceRec;
@@ -18,6 +19,15 @@ impl RfdetCtx {
     /// buffers are recycled into the bounded pool after diffing, so the
     /// next slice's first writes snapshot allocation-free.
     pub(crate) fn end_slice(&mut self) {
+        // One clock read serves as both the slice-wall end and the diff
+        // start (clock reads dominate observation cost on sync-dense
+        // runs, so adjacent phase boundaries share them).
+        let diff_t0 = self.obs_start();
+        if let (Some(t0), Some(now)) = (self.slice_t0.take(), diff_t0) {
+            let ops = (self.stats.loads + self.stats.stores).saturating_sub(self.slice_ops_base);
+            self.obs_count(Phase::SliceOps, ops);
+            self.obs_count(Phase::SliceWall, now.duration_since(t0).as_nanos() as u64);
+        }
         let mut mods = Vec::new();
         let gap = self.shared.cfg.rfdet.diff_gap_coalesce;
         let pool_cap = self.shared.cfg.rfdet.snap_pool_pages;
@@ -43,6 +53,7 @@ impl RfdetCtx {
             }
         }
         self.stats.slices += 1;
+        self.obs_since(Phase::Diff, diff_t0);
         if !mods.is_empty() {
             let rec = SliceRec::new(self.tid, self.slice_seq, self.slice_start.clone(), mods);
             let (_slice, gc_needed) = self.shared.meta.publish_slice_for(&self.meta_thread, rec);
@@ -66,6 +77,8 @@ impl RfdetCtx {
     /// shared memory with no write permission at the beginning of each
     /// slice").
     pub(crate) fn begin_slice(&mut self) {
+        self.slice_t0 = self.obs_start();
+        self.slice_ops_base = self.stats.loads + self.stats.stores;
         self.slice_start = self.vc.clone();
         debug_assert!(self.snapshots.is_empty(), "begin_slice with open snapshots");
         if self.shared.cfg.rfdet.monitor == MonitorMode::Pf {

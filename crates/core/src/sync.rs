@@ -70,19 +70,20 @@ fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
     // callback runs the cheap all-blocked scan (supervise.rs), so a
     // stable deadlock is found by the threads inside it — no watchdog
     // thread, no wall clock.
-    match premerge_source.filter(|_| ctx.shared.cfg.rfdet.prelock) {
+    let idles = match premerge_source.filter(|_| ctx.shared.cfg.rfdet.prelock) {
         Some(src) => {
             // First round immediately, then periodically while parked.
             ctx.premerge_round(src);
             shared.kendo.park_until_active_with(&kendo_handle, || {
                 ctx.premerge_round(src);
                 shared.check_deadlock();
-            });
+            })
         }
         None => shared
             .kendo
             .park_until_active_with(&kendo_handle, || shared.check_deadlock()),
-    }
+    };
+    ctx.obs_count(rfdet_api::obs::Phase::IdleWakeups, idles);
     let mail = ctx.mailbox.lock().drain();
     debug_assert!(!mail.is_empty(), "woken without a handoff");
     ctx.apply_mailbox(mail);
@@ -108,7 +109,7 @@ enum LockPath {
 pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
     ctx.fault_point("lock", Some(u64::from(m.0)));
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.locks += 1;
     let key = SyncKey::Mutex(m.0);
     let enqueued = {
@@ -190,7 +191,7 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
 pub(crate) fn unlock_impl(ctx: &mut RfdetCtx, m: MutexId) {
     ctx.fault_point("unlock", Some(u64::from(m.0)));
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.unlocks += 1;
     let lower = op_boundary(ctx, Some(SyncKey::Mutex(m.0)));
     ctx.meta_thread.set_turn_vc(&ctx.vc);
@@ -234,7 +235,7 @@ fn handoff_release(ctx: &mut RfdetCtx, target: Tid, time: VClock) {
 pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
     ctx.fault_point("cond_wait", Some(u64::from(c.0)));
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.waits += 1;
     // cond_wait releases the mutex…
     let lower = op_boundary(ctx, Some(SyncKey::Mutex(m.0)));
@@ -287,7 +288,7 @@ pub(crate) fn signal_impl(ctx: &mut RfdetCtx, c: CondId, broadcast: bool) {
         Some(u64::from(c.0)),
     );
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.signals += 1;
     let lower = op_boundary(ctx, Some(SyncKey::Cond(c.0)));
     ctx.meta_thread.set_turn_vc(&ctx.vc);
@@ -365,7 +366,7 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
     assert!(parties > 0, "barrier with zero parties");
     ctx.fault_point("barrier", Some(u64::from(b.0)));
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.barriers += 1;
     let lower = op_boundary(ctx, Some(SyncKey::Barrier(b.0)));
     ctx.meta_thread.set_turn_vc(&ctx.vc);
@@ -429,7 +430,7 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
 pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
     ctx.fault_point("spawn", None);
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.forks += 1;
     // Lazy pending must be materialized before the child inherits the
     // space, or the child would read stale bytes.
@@ -492,7 +493,7 @@ pub(crate) fn join_impl(ctx: &mut RfdetCtx, h: ThreadHandle) {
     assert_ne!(target, ctx.tid, "thread joining itself");
     ctx.fault_point("join", Some(u64::from(target)));
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.joins += 1;
     let already_finished = {
         let mut joins = lock_counted(
@@ -547,7 +548,7 @@ pub(crate) fn atomic_impl(
     assert_eq!(addr % 8, 0, "atomic cells must be 8-byte aligned");
     ctx.fault_point("atomic", Some(addr));
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     ctx.stats.atomics += 1;
     let key = SyncKey::Atomic(addr);
     let var = ctx.sync_var(key);
@@ -593,7 +594,7 @@ pub(crate) fn atomic_impl(
 pub(crate) fn exit_impl(ctx: &mut RfdetCtx) {
     ctx.fault_point("exit", None);
     ctx.jitter_pause();
-    ctx.shared.kendo.wait_for_turn(&ctx.kendo);
+    ctx.wait_for_turn_timed();
     let lower = op_boundary(ctx, Some(SyncKey::Thread(ctx.tid)));
     ctx.meta_thread.set_turn_vc(&ctx.vc);
     ctx.meta_thread.set_published_vc(&ctx.vc);

@@ -54,10 +54,12 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, backend: &str, root: Thre
             Ok(RunOutput {
                 output: engine.meta.collect_output(),
                 stats: engine.meta.stats.snapshot(),
+                metrics: None,
             })
         }
     };
     let trace = rfdet_api::finish_trace(backend, cfg, engine.trace_sink.as_ref(), &mut result);
+    rfdet_api::finish_metrics(backend, engine.obs.as_ref(), &mut result);
     TracedRun { result, trace }
 }
 

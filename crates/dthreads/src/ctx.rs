@@ -32,6 +32,9 @@ pub(crate) struct DtCtx {
     allocs: u64,
     /// Flight-recorder buffer; flushed to the engine sink on drop.
     trace: Option<rfdet_api::trace::TraceBuf>,
+    /// Metrics recorder; flushed to the engine sink on drop. Timing is
+    /// read only when this is `Some` and never feeds a decision.
+    obs: Option<rfdet_api::obs::ObsRecorder>,
 }
 
 impl DtCtx {
@@ -45,6 +48,10 @@ impl DtCtx {
             .trace_sink
             .as_ref()
             .map(|s| rfdet_api::trace::TraceBuf::new(Arc::clone(s)));
+        let obs = engine
+            .obs
+            .as_ref()
+            .map(|s| rfdet_api::obs::ObsRecorder::new(Arc::clone(s)));
         Self {
             engine,
             tid,
@@ -58,7 +65,33 @@ impl DtCtx {
             last_op: None,
             allocs: 0,
             trace,
+            obs,
         }
+    }
+
+    /// `Instant::now()` iff the run is collecting metrics — the only
+    /// gate under which this backend reads the clock.
+    #[inline]
+    fn obs_start(&self) -> Option<std::time::Instant> {
+        self.obs.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Records the elapsed nanoseconds since `t0` into `phase`.
+    #[inline]
+    fn obs_since(&mut self, phase: rfdet_api::obs::Phase, t0: Option<std::time::Instant>) {
+        if let (Some(obs), Some(t0)) = (self.obs.as_mut(), t0) {
+            obs.record(phase, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Runs one sync operation under the end-to-end
+    /// [`Phase::SyncOp`](rfdet_api::obs::Phase::SyncOp) envelope.
+    #[inline]
+    fn sync_timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.obs_start();
+        let r = f(self);
+        self.obs_since(rfdet_api::obs::Phase::SyncOp, t0);
+        r
     }
 
     /// Entry hook of every synchronization operation: counts the op,
@@ -134,6 +167,7 @@ impl DtCtx {
 
     /// Ends the parallel interval: diff all snapshotted pages.
     fn take_diff(&mut self) -> Vec<ModRun> {
+        let t0 = self.obs_start();
         let mut mods = Vec::new();
         for (page, snap) in std::mem::take(&mut self.snapshots) {
             if let Some(current) = self.space.page(page) {
@@ -145,6 +179,7 @@ impl DtCtx {
                 );
             }
         }
+        self.obs_since(rfdet_api::obs::Phase::Diff, t0);
         mods
     }
 
@@ -152,7 +187,10 @@ impl DtCtx {
     /// global image.
     fn sync_point(&mut self, op: PendingOp) -> Option<u64> {
         let diff = self.take_diff();
+        // The fence stall: from arrival to the serial phase releasing us.
+        let t0 = self.obs_start();
         let (image, seed, value) = self.engine.arrive(self.tid, op, diff);
+        self.obs_since(rfdet_api::obs::Phase::FenceWait, t0);
         if let Some(img) = image {
             self.space = img;
         }
@@ -248,56 +286,72 @@ impl DmtCtx for DtCtx {
     }
 
     fn lock(&mut self, m: MutexId) {
-        self.fault_point("lock", Some(u64::from(m.0)));
-        self.stats.locks += 1;
-        let _ = self.sync_point(PendingOp::Lock(m.0));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("lock", Some(u64::from(m.0)));
+            ctx.stats.locks += 1;
+            let _ = ctx.sync_point(PendingOp::Lock(m.0));
+        });
     }
 
     fn unlock(&mut self, m: MutexId) {
-        self.fault_point("unlock", Some(u64::from(m.0)));
-        self.stats.unlocks += 1;
-        let _ = self.sync_point(PendingOp::Unlock(m.0));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("unlock", Some(u64::from(m.0)));
+            ctx.stats.unlocks += 1;
+            let _ = ctx.sync_point(PendingOp::Unlock(m.0));
+        });
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
-        self.fault_point("cond_wait", Some(u64::from(c.0)));
-        self.stats.waits += 1;
-        let _ = self.sync_point(PendingOp::Wait(c.0, m.0));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("cond_wait", Some(u64::from(c.0)));
+            ctx.stats.waits += 1;
+            let _ = ctx.sync_point(PendingOp::Wait(c.0, m.0));
+        });
     }
 
     fn cond_signal(&mut self, c: CondId) {
-        self.fault_point("cond_signal", Some(u64::from(c.0)));
-        self.stats.signals += 1;
-        let _ = self.sync_point(PendingOp::Signal(c.0, false));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("cond_signal", Some(u64::from(c.0)));
+            ctx.stats.signals += 1;
+            let _ = ctx.sync_point(PendingOp::Signal(c.0, false));
+        });
     }
 
     fn cond_broadcast(&mut self, c: CondId) {
-        self.fault_point("cond_broadcast", Some(u64::from(c.0)));
-        self.stats.signals += 1;
-        let _ = self.sync_point(PendingOp::Signal(c.0, true));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("cond_broadcast", Some(u64::from(c.0)));
+            ctx.stats.signals += 1;
+            let _ = ctx.sync_point(PendingOp::Signal(c.0, true));
+        });
     }
 
     fn barrier(&mut self, b: BarrierId, parties: usize) {
-        self.fault_point("barrier", Some(u64::from(b.0)));
-        self.stats.barriers += 1;
-        let _ = self.sync_point(PendingOp::Barrier(b.0, parties));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("barrier", Some(u64::from(b.0)));
+            ctx.stats.barriers += 1;
+            let _ = ctx.sync_point(PendingOp::Barrier(b.0, parties));
+        });
     }
 
     fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
-        self.fault_point("spawn", None);
-        self.stats.forks += 1;
-        let _ = self.sync_point(PendingOp::Spawn(f));
-        ThreadHandle(
-            self.last_spawned_tid
-                .take()
-                .expect("spawn must produce a child"),
-        )
+        self.sync_timed(|ctx| {
+            ctx.fault_point("spawn", None);
+            ctx.stats.forks += 1;
+            let _ = ctx.sync_point(PendingOp::Spawn(f));
+            ThreadHandle(
+                ctx.last_spawned_tid
+                    .take()
+                    .expect("spawn must produce a child"),
+            )
+        })
     }
 
     fn join(&mut self, h: ThreadHandle) {
-        self.fault_point("join", Some(u64::from(h.0)));
-        self.stats.joins += 1;
-        let _ = self.sync_point(PendingOp::Join(h.0));
+        self.sync_timed(|ctx| {
+            ctx.fault_point("join", Some(u64::from(h.0)));
+            ctx.stats.joins += 1;
+            let _ = ctx.sync_point(PendingOp::Join(h.0));
+        });
     }
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
@@ -315,34 +369,40 @@ impl DmtCtx for DtCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
-        self.fault_point("atomic", Some(addr));
-        self.stats.atomics += 1;
-        self.sync_point(PendingOp::Atomic {
-            addr,
-            op: Some(op),
-            store: None,
+        self.sync_timed(|ctx| {
+            ctx.fault_point("atomic", Some(addr));
+            ctx.stats.atomics += 1;
+            ctx.sync_point(PendingOp::Atomic {
+                addr,
+                op: Some(op),
+                store: None,
+            })
+            .expect("atomic op returns a value")
         })
-        .expect("atomic op returns a value")
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
-        self.fault_point("atomic", Some(addr));
-        self.stats.atomics += 1;
-        self.sync_point(PendingOp::Atomic {
-            addr,
-            op: None,
-            store: None,
+        self.sync_timed(|ctx| {
+            ctx.fault_point("atomic", Some(addr));
+            ctx.stats.atomics += 1;
+            ctx.sync_point(PendingOp::Atomic {
+                addr,
+                op: None,
+                store: None,
+            })
+            .expect("atomic op returns a value")
         })
-        .expect("atomic op returns a value")
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
-        self.fault_point("atomic", Some(addr));
-        self.stats.atomics += 1;
-        self.sync_point(PendingOp::Atomic {
-            addr,
-            op: None,
-            store: Some(value),
+        self.sync_timed(|ctx| {
+            ctx.fault_point("atomic", Some(addr));
+            ctx.stats.atomics += 1;
+            ctx.sync_point(PendingOp::Atomic {
+                addr,
+                op: None,
+                store: Some(value),
+            });
         });
     }
 }

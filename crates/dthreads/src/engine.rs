@@ -145,6 +145,9 @@ pub(crate) struct Engine {
     peers: Mutex<BTreeMap<Tid, ThreadReport>>,
     /// Flight-recorder sink (`RunConfig::trace`); `None` when disabled.
     pub trace_sink: Option<Arc<rfdet_api::trace::TraceSink>>,
+    /// Metrics sink (`RunConfig::metrics`); `None` when disabled. Timing
+    /// is read only when this is `Some` and never feeds a decision.
+    pub obs: Option<Arc<rfdet_api::obs::ObsSink>>,
 }
 
 /// Everything a freshly spawned thread needs.
@@ -183,6 +186,7 @@ impl Engine {
             failure: Mutex::new(None),
             peers: Mutex::new(BTreeMap::new()),
             trace_sink: rfdet_api::trace_sink(cfg),
+            obs: rfdet_api::obs_sink(cfg),
         }
     }
 
@@ -426,6 +430,7 @@ impl Engine {
 
     /// One serial phase: token order = ascending tid.
     fn run_serial_phase(&self, st: &mut EngineState) {
+        let t0 = self.obs.as_ref().map(|_| std::time::Instant::now());
         let order: Vec<Tid> = st.arrived.keys().copied().collect();
         let mut done: Vec<Tid> = Vec::new();
         let mut exited: Vec<Tid> = Vec::new();
@@ -581,6 +586,7 @@ impl Engine {
         // fence guarantees nobody else can run — a stable deadlock.
         if done.is_empty() && exited.is_empty() && parked == 0 && spawned == 0 {
             self.record_deadlock(st);
+            self.record_serial_apply(t0);
             return;
         }
 
@@ -595,6 +601,20 @@ impl Engine {
         }
         st.phase += 1;
         self.meta.stats.global_fences.fetch_add(1, Relaxed);
+        self.record_serial_apply(t0);
+    }
+
+    /// Attributes one serial phase's duration to
+    /// [`Phase::SerialApply`](rfdet_api::obs::Phase::SerialApply) —
+    /// straight into the sink, since the phase runs under the engine
+    /// monitor rather than in any one thread's recorder.
+    fn record_serial_apply(&self, t0: Option<std::time::Instant>) {
+        if let (Some(sink), Some(t0)) = (&self.obs, t0) {
+            sink.record(
+                rfdet_api::obs::Phase::SerialApply,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// Materialized size of the global store, for footprint reporting

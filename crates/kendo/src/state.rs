@@ -120,6 +120,10 @@ pub struct KendoState {
     slots: RwLock<Vec<Arc<Slot>>>,
     /// How long a parked thread waits between deadlock scans.
     deadlock_after: Option<Duration>,
+    /// Period of a parked thread's idle re-check (condvar wait timeout
+    /// and idle-callback cadence). Purely a liveness/latency knob: the
+    /// wakeups themselves are deterministic.
+    idle_poll: Duration,
     /// Set when some thread panicked: every waiter unwinds instead of
     /// spinning forever on a protocol that will never advance.
     abort: AtomicBool,
@@ -162,6 +166,7 @@ impl KendoState {
         Self {
             slots: RwLock::new(Vec::new()),
             deadlock_after: Some(Duration::from_secs(30)),
+            idle_poll: Duration::from_millis(20),
             abort: AtomicBool::new(false),
             wake_epoch: AtomicU64::new(0),
             wake_tap: RwLock::new(None),
@@ -203,6 +208,14 @@ impl KendoState {
     #[must_use]
     pub fn with_deadlock_timeout(mut self, t: Option<Duration>) -> Self {
         self.deadlock_after = t;
+        self
+    }
+
+    /// Overrides the parked-thread idle re-check period (clamped to
+    /// ≥ 1 ms so a degenerate knob cannot turn parks into spins).
+    #[must_use]
+    pub fn with_idle_poll(mut self, period: Duration) -> Self {
+        self.idle_poll = period.max(Duration::from_millis(1));
         self
     }
 
@@ -423,7 +436,13 @@ impl KendoState {
     /// pre-merging off the critical path (§4.5) and to keep a blocked
     /// thread's published clock advancing so it does not pin garbage
     /// collection.
-    pub fn park_until_active_with(&self, me: &KendoHandle, mut on_idle: impl FnMut()) {
+    ///
+    /// Returns the number of *idle wakeups*: sleep timeouts (one per
+    /// [`KendoState::with_idle_poll`] period) that expired while the
+    /// thread was still parked. The metrics layer histograms this so
+    /// spurious-wakeup regressions are visible; the count must never
+    /// feed back into scheduling.
+    pub fn park_until_active_with(&self, me: &KendoHandle, mut on_idle: impl FnMut()) -> u64 {
         let start = Instant::now();
         // Stage 1: poll. Typical lock/condvar handoffs land here; a
         // yielding thread keeps a tiny vruntime so the scheduler runs it
@@ -443,23 +462,23 @@ impl KendoState {
         }
         // Stage 2: sleep on the slot condvar, doing idle work between
         // timeouts.
+        let mut idle_wakeups: u64 = 0;
         let mut guard = me.slot.park_lock.lock();
-        let mut next_idle = Instant::now() + Duration::from_millis(20);
+        let mut next_idle = Instant::now() + self.idle_poll;
         while Status::from_u8(me.slot.status.load(SeqCst)) != Status::Active {
             self.check_abort();
-            me.slot
-                .park_cv
-                .wait_for(&mut guard, Duration::from_millis(20));
+            me.slot.park_cv.wait_for(&mut guard, self.idle_poll);
             if Status::from_u8(me.slot.status.load(SeqCst)) == Status::Active {
                 break;
             }
+            idle_wakeups += 1;
             if Instant::now() >= next_idle {
                 // Run the callback without the park lock so wakers are
                 // never blocked on it.
                 drop(guard);
                 on_idle();
                 guard = me.slot.park_lock.lock();
-                next_idle = Instant::now() + Duration::from_millis(20);
+                next_idle = Instant::now() + self.idle_poll;
             }
             if let Some(limit) = self.deadlock_after {
                 if start.elapsed() > limit
@@ -479,6 +498,7 @@ impl KendoState {
                 }
             }
         }
+        idle_wakeups
     }
 
     /// Snapshot of all slots for diagnostics.
@@ -593,6 +613,32 @@ mod tests {
         k.park_until_active(&a);
         assert_eq!(a.clock(), 42);
         waker.join().unwrap();
+    }
+
+    #[test]
+    fn idle_poll_knob_counts_idle_wakeups() {
+        let k = Arc::new(KendoState::new().with_idle_poll(Duration::from_millis(5)));
+        let a = k.register(0);
+        let _b = k.register(10);
+        k.block(&a);
+        let k2 = Arc::clone(&k);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            k2.wake(0, 42);
+        });
+        let idles = k.park_until_active_with(&a, || {});
+        waker.join().unwrap();
+        assert_eq!(a.clock(), 42);
+        assert!(
+            idles >= 1,
+            "a 200 ms park polling every 5 ms must observe idle wakeups, got {idles}"
+        );
+    }
+
+    #[test]
+    fn degenerate_idle_poll_clamps_to_one_ms() {
+        let k = KendoState::new().with_idle_poll(Duration::ZERO);
+        assert_eq!(k.idle_poll, Duration::from_millis(1));
     }
 
     #[test]

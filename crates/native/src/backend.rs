@@ -52,10 +52,12 @@ impl DmtBackend for NativeBackend {
             None => Ok(RunOutput {
                 output: shared.meta.collect_output(),
                 stats: shared.meta.stats.snapshot(),
+                metrics: None,
             }),
         };
         let trace =
             rfdet_api::finish_trace(&self.name(), cfg, shared.trace_sink.as_ref(), &mut result);
+        rfdet_api::finish_metrics(&self.name(), shared.obs.as_ref(), &mut result);
         TracedRun { result, trace }
     }
 }

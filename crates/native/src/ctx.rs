@@ -35,6 +35,11 @@ pub(crate) struct NativeShared {
     /// no logical clocks here (the backend has none); per-thread op
     /// indices order each stream.
     pub trace_sink: Option<Arc<rfdet_api::trace::TraceSink>>,
+    /// Metrics sink, `Some` iff `cfg.metrics` is on. Native has no
+    /// deterministic decision path to protect, but it reports the same
+    /// phase histograms so A/B comparisons against the deterministic
+    /// backends line up.
+    pub obs: Option<Arc<rfdet_api::obs::ObsSink>>,
 }
 
 impl NativeShared {
@@ -52,6 +57,7 @@ impl NativeShared {
             atomic_stripes: (0..64).map(|_| Mutex::new(())).collect(),
             sup: Supervision::new(cfg),
             trace_sink: rfdet_api::trace_sink(cfg),
+            obs: rfdet_api::obs_sink(cfg),
         }
     }
 }
@@ -70,6 +76,8 @@ pub(crate) struct NativeCtx {
     /// Flight-recorder buffer; flushes to the sink on drop (covers panic
     /// unwinds — the context outlives the thread body's `catch_unwind`).
     trace: Option<rfdet_api::trace::TraceBuf>,
+    /// Metrics recorder; flushes to the sink on drop.
+    obs: Option<rfdet_api::obs::ObsRecorder>,
 }
 
 impl NativeCtx {
@@ -80,6 +88,10 @@ impl NativeCtx {
             .trace_sink
             .as_ref()
             .map(|s| rfdet_api::trace::TraceBuf::new(Arc::clone(s)));
+        let obs = shared
+            .obs
+            .as_ref()
+            .map(|s| rfdet_api::obs::ObsRecorder::new(Arc::clone(s)));
         Self {
             shared,
             tid,
@@ -89,7 +101,24 @@ impl NativeCtx {
             last_op: None,
             allocs: 0,
             trace,
+            obs,
         }
+    }
+
+    /// Runs one sync operation under the end-to-end
+    /// [`Phase::SyncOp`](rfdet_api::obs::Phase::SyncOp) envelope. The
+    /// clock is read only when metrics are on.
+    #[inline]
+    fn sync_timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.obs.as_ref().map(|_| std::time::Instant::now());
+        let r = f(self);
+        if let (Some(obs), Some(t0)) = (self.obs.as_mut(), t0) {
+            obs.record(
+                rfdet_api::obs::Phase::SyncOp,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        r
     }
 
     /// Entry hook of every synchronization operation: counts the op,
@@ -203,47 +232,60 @@ impl DmtCtx for NativeCtx {
     }
 
     fn lock(&mut self, m: MutexId) {
-        self.fault_point("lock", Some(u64::from(m.0)));
-        self.stats.locks += 1;
-        self.shared.locks.get(m.0).lock(&self.shared.sup, self.tid);
+        self.sync_timed(|ctx| {
+            ctx.fault_point("lock", Some(u64::from(m.0)));
+            ctx.stats.locks += 1;
+            ctx.shared.locks.get(m.0).lock(&ctx.shared.sup, ctx.tid);
+        });
     }
 
     fn unlock(&mut self, m: MutexId) {
-        self.fault_point("unlock", Some(u64::from(m.0)));
-        self.stats.unlocks += 1;
-        self.shared.locks.get(m.0).unlock();
+        self.sync_timed(|ctx| {
+            ctx.fault_point("unlock", Some(u64::from(m.0)));
+            ctx.stats.unlocks += 1;
+            ctx.shared.locks.get(m.0).unlock();
+        });
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
-        self.fault_point("cond_wait", Some(u64::from(c.0)));
-        self.stats.waits += 1;
-        let cond = self.shared.conds.get(c.0);
-        let mutex = self.shared.locks.get(m.0);
-        cond.wait(&mutex, &self.shared.sup, self.tid);
+        self.sync_timed(|ctx| {
+            ctx.fault_point("cond_wait", Some(u64::from(c.0)));
+            ctx.stats.waits += 1;
+            let cond = ctx.shared.conds.get(c.0);
+            let mutex = ctx.shared.locks.get(m.0);
+            cond.wait(&mutex, &ctx.shared.sup, ctx.tid);
+        });
     }
 
     fn cond_signal(&mut self, c: CondId) {
-        self.fault_point("cond_signal", Some(u64::from(c.0)));
-        self.stats.signals += 1;
-        self.shared.conds.get(c.0).signal();
+        self.sync_timed(|ctx| {
+            ctx.fault_point("cond_signal", Some(u64::from(c.0)));
+            ctx.stats.signals += 1;
+            ctx.shared.conds.get(c.0).signal();
+        });
     }
 
     fn cond_broadcast(&mut self, c: CondId) {
-        self.fault_point("cond_broadcast", Some(u64::from(c.0)));
-        self.stats.signals += 1;
-        self.shared.conds.get(c.0).broadcast();
+        self.sync_timed(|ctx| {
+            ctx.fault_point("cond_broadcast", Some(u64::from(c.0)));
+            ctx.stats.signals += 1;
+            ctx.shared.conds.get(c.0).broadcast();
+        });
     }
 
     fn barrier(&mut self, b: BarrierId, parties: usize) {
-        self.fault_point("barrier", Some(u64::from(b.0)));
-        self.stats.barriers += 1;
-        self.shared
-            .barriers
-            .get(b.0)
-            .wait(parties, &self.shared.sup, self.tid);
+        self.sync_timed(|ctx| {
+            ctx.fault_point("barrier", Some(u64::from(b.0)));
+            ctx.stats.barriers += 1;
+            ctx.shared
+                .barriers
+                .get(b.0)
+                .wait(parties, &ctx.shared.sup, ctx.tid);
+        });
     }
 
     fn spawn(&mut self, f: ThreadFn) -> ThreadHandle {
+        let t0 = self.obs.as_ref().map(|_| std::time::Instant::now());
         self.fault_point("spawn", None);
         self.stats.forks += 1;
         let shared = Arc::clone(&self.shared);
@@ -265,23 +307,31 @@ impl DmtCtx for NativeCtx {
             })
             .expect("failed to spawn OS thread");
         self.shared.handles.lock().insert(tid, handle);
+        if let (Some(obs), Some(t0)) = (self.obs.as_mut(), t0) {
+            obs.record(
+                rfdet_api::obs::Phase::SyncOp,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         ThreadHandle(tid)
     }
 
     fn join(&mut self, h: ThreadHandle) {
-        self.fault_point("join", Some(u64::from(h.0)));
-        self.stats.joins += 1;
-        let handle = self
-            .shared
-            .handles
-            .lock()
-            .remove(&h.0)
-            .unwrap_or_else(|| panic!("join of unknown or already-joined thread {}", h.0));
-        // The child caught its own panic (recording it as the root
-        // cause), so the join itself cannot fail — but if the run is now
-        // poisoned the joiner must unwind too.
-        let _ = handle.join();
-        self.shared.sup.check_poison();
+        self.sync_timed(|ctx| {
+            ctx.fault_point("join", Some(u64::from(h.0)));
+            ctx.stats.joins += 1;
+            let handle = ctx
+                .shared
+                .handles
+                .lock()
+                .remove(&h.0)
+                .unwrap_or_else(|| panic!("join of unknown or already-joined thread {}", h.0));
+            // The child caught its own panic (recording it as the root
+            // cause), so the join itself cannot fail — but if the run is
+            // now poisoned the joiner must unwind too.
+            let _ = handle.join();
+            ctx.shared.sup.check_poison();
+        });
     }
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
@@ -299,49 +349,55 @@ impl DmtCtx for NativeCtx {
     }
 
     fn atomic_rmw(&mut self, addr: Addr, op: rfdet_api::AtomicOp) -> u64 {
-        self.fault_point("atomic", Some(addr));
-        self.shared.sup.check_poison();
-        self.stats.atomics += 1;
-        self.check_range(addr, 8);
-        let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
-        let _guard = stripe.lock();
-        let base = addr as usize;
-        let mut buf = [0u8; 8];
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.shared.mem[base + i].load(Relaxed);
-        }
-        let old = u64::from_le_bytes(buf);
-        for (i, b) in op.apply(old).to_le_bytes().iter().enumerate() {
-            self.shared.mem[base + i].store(*b, Relaxed);
-        }
-        old
+        self.sync_timed(|ctx| {
+            ctx.fault_point("atomic", Some(addr));
+            ctx.shared.sup.check_poison();
+            ctx.stats.atomics += 1;
+            ctx.check_range(addr, 8);
+            let stripe = &ctx.shared.atomic_stripes[(addr >> 3) as usize % 64];
+            let _guard = stripe.lock();
+            let base = addr as usize;
+            let mut buf = [0u8; 8];
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = ctx.shared.mem[base + i].load(Relaxed);
+            }
+            let old = u64::from_le_bytes(buf);
+            for (i, b) in op.apply(old).to_le_bytes().iter().enumerate() {
+                ctx.shared.mem[base + i].store(*b, Relaxed);
+            }
+            old
+        })
     }
 
     fn atomic_load(&mut self, addr: Addr) -> u64 {
-        self.fault_point("atomic", Some(addr));
-        self.shared.sup.check_poison();
-        self.stats.atomics += 1;
-        self.check_range(addr, 8);
-        let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
-        let _guard = stripe.lock();
-        let base = addr as usize;
-        let mut buf = [0u8; 8];
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.shared.mem[base + i].load(Relaxed);
-        }
-        u64::from_le_bytes(buf)
+        self.sync_timed(|ctx| {
+            ctx.fault_point("atomic", Some(addr));
+            ctx.shared.sup.check_poison();
+            ctx.stats.atomics += 1;
+            ctx.check_range(addr, 8);
+            let stripe = &ctx.shared.atomic_stripes[(addr >> 3) as usize % 64];
+            let _guard = stripe.lock();
+            let base = addr as usize;
+            let mut buf = [0u8; 8];
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = ctx.shared.mem[base + i].load(Relaxed);
+            }
+            u64::from_le_bytes(buf)
+        })
     }
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
-        self.fault_point("atomic", Some(addr));
-        self.shared.sup.check_poison();
-        self.stats.atomics += 1;
-        self.check_range(addr, 8);
-        let stripe = &self.shared.atomic_stripes[(addr >> 3) as usize % 64];
-        let _guard = stripe.lock();
-        let base = addr as usize;
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.shared.mem[base + i].store(*b, Relaxed);
-        }
+        self.sync_timed(|ctx| {
+            ctx.fault_point("atomic", Some(addr));
+            ctx.shared.sup.check_poison();
+            ctx.stats.atomics += 1;
+            ctx.check_range(addr, 8);
+            let stripe = &ctx.shared.atomic_stripes[(addr >> 3) as usize % 64];
+            let _guard = stripe.lock();
+            let base = addr as usize;
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                ctx.shared.mem[base + i].store(*b, Relaxed);
+            }
+        });
     }
 }

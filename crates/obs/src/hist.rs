@@ -1,0 +1,268 @@
+//! Log-bucketed histograms with a power-of-~1.25 bucket ladder.
+//!
+//! Bucket upper bounds grow by `max(1, bound / 4)` — exact ×1.25
+//! geometric growth once bounds clear 4, unit-width buckets below —
+//! giving ≤ 25 % relative quantization error over the full `u64` range
+//! in ~200 buckets. The ladder is computed at compile time, so
+//! [`Histogram::record`] is a binary search plus an increment: no
+//! allocation, no floating point, no syscalls on the hot path.
+
+/// Number of buckets in the ladder (compile-time constant of the growth
+/// rule; ~200 for the full `u64` range).
+pub const NUM_BUCKETS: usize = count_buckets();
+
+const fn count_buckets() -> usize {
+    let mut ub: u64 = 0;
+    let mut n: usize = 0;
+    while ub < u64::MAX / 2 {
+        n += 1;
+        let step = if ub / 4 == 0 { 1 } else { ub / 4 };
+        ub += step;
+    }
+    // The loop's final bound, plus the catch-all at `u64::MAX`.
+    n + 2
+}
+
+const fn bucket_bounds() -> [u64; NUM_BUCKETS] {
+    let mut bounds = [0u64; NUM_BUCKETS];
+    let mut ub: u64 = 0;
+    let mut i = 0;
+    while ub < u64::MAX / 2 {
+        bounds[i] = ub;
+        let step = if ub / 4 == 0 { 1 } else { ub / 4 };
+        ub += step;
+        i += 1;
+    }
+    bounds[i] = ub;
+    bounds[i + 1] = u64::MAX;
+    bounds
+}
+
+/// Inclusive upper bounds of the bucket ladder; `BOUNDS[i]` is the
+/// largest value bucket `i` accepts.
+pub(crate) const BOUNDS: [u64; NUM_BUCKETS] = bucket_bounds();
+
+/// A fixed-size log-bucketed histogram over `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a sample: the first bucket whose upper bound
+    /// admits it.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        BOUNDS.partition_point(|&ub| ub < value)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one (commutative, associative —
+    /// per-thread rollup order cannot affect the result).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Approximate quantile: the upper bound of the bucket holding the
+    /// `q`-th sample (`q` clamped to `[0, 1]`). 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return BOUNDS[i].min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (BOUNDS[i], c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_strictly_increasing_and_covers_u64() {
+        assert_eq!(BOUNDS[0], 0);
+        assert_eq!(*BOUNDS.last().unwrap(), u64::MAX);
+        for w in BOUNDS.windows(2) {
+            assert!(w[0] < w[1], "bounds must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn ladder_growth_is_at_most_25_percent() {
+        // The final catch-all bucket at `u64::MAX` is exempt by design.
+        for w in BOUNDS[..NUM_BUCKETS - 1].windows(2) {
+            let step = w[1] - w[0];
+            assert!(
+                step == 1 || step <= w[0] / 4 + 1,
+                "step {} from {} exceeds 25%",
+                step,
+                w[0]
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds() {
+        for v in [0u64, 1, 2, 5, 100, 1_000_000, u64::MAX / 3, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= BOUNDS[i]);
+            if i > 0 {
+                assert!(v > BOUNDS[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // ≤ 25 % relative bucket width.
+        assert!((400..=640).contains(&p50), "p50 = {p50}");
+        assert!((900..=1250).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 7, 400] {
+            a.record(v);
+        }
+        for v in [3u64, 9_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.min(), 1);
+        assert_eq!(ab.max(), 9_000);
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip_counts() {
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(100);
+        }
+        h.record(0);
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        assert_eq!(buckets[0], (0, 1), "zero lands in the zero bucket");
+    }
+}

@@ -2,7 +2,7 @@
 //! portfolio, split across workers; one lock-guarded reduction per wave
 //! accounts for the couple dozen locks Table 1 reports.
 
-use crate::util::{chunk, ids};
+use crate::util::{add_fixed, chunk, ids, read_fixed};
 use crate::{Params, Size};
 use rfdet_api::{Addr, DmtCtx, DmtCtxExt, ThreadFn};
 
@@ -72,9 +72,10 @@ pub fn root(p: Params) -> ThreadFn {
                             sum += price(s, k, r, v, t_);
                             ctx.tick(40);
                         }
+                        // Fixed-point cell: schedule-invariant sum
+                        // under any reduction order (util::to_fixed).
                         ctx.lock(ids::data_mutex(0));
-                        let g: f64 = ctx.read(SUM_CELL);
-                        ctx.write(SUM_CELL, g + sum);
+                        add_fixed(ctx, SUM_CELL, sum);
                         ctx.unlock(ids::data_mutex(0));
                     }))
                 })
@@ -83,7 +84,7 @@ pub fn root(p: Params) -> ThreadFn {
                 ctx.join(h);
             }
         }
-        let total: f64 = ctx.read(SUM_CELL);
+        let total = read_fixed(ctx, SUM_CELL);
         ctx.emit_str(&format!("blackscholes n={n} sum={total:.6}\n"));
     })
 }

@@ -1,9 +1,12 @@
 //! `pca` — column means and covariance of a data matrix. The mean
 //! reduction accumulates into shared per-column cells under per-column
 //! locks — the only Phoenix kernel with meaningful lock traffic
-//! (Table 1: 816 locks, 32 forks).
+//! (Table 1: 816 locks, 32 forks). The cells are fixed-point so the
+//! sum is identical under every lock-acquisition order (see
+//! `util::to_fixed`); a plain `f64 +=` here made pthreads output flap
+//! run-to-run once multiple waves contended per column.
 
-use crate::util::{checksum_f64s, chunk, ids};
+use crate::util::{add_fixed, checksum_f64s, chunk, ids, read_fixed};
 use crate::{Params, Size};
 use rfdet_api::{Addr, DmtCtx, DmtCtxExt, ThreadFn};
 
@@ -45,11 +48,12 @@ pub fn root(p: Params) -> ThreadFn {
                                 ctx.tick(2);
                             }
                         }
+                        // Fixed-point cells: lock order must not leak
+                        // into the sum (util::to_fixed).
                         for (c, s) in local.iter().enumerate() {
                             let lock = ids::data_mutex(c as u32);
                             ctx.lock(lock);
-                            let cur: f64 = ctx.read(MEAN_BASE + (c as u64) * 8);
-                            ctx.write(MEAN_BASE + (c as u64) * 8, cur + s);
+                            add_fixed(ctx, MEAN_BASE + (c as u64) * 8, *s);
                             ctx.unlock(lock);
                         }
                     }))
@@ -60,7 +64,7 @@ pub fn root(p: Params) -> ThreadFn {
             }
         }
         for c in 0..cols {
-            let s: f64 = ctx.read(MEAN_BASE + c * 8);
+            let s = read_fixed(ctx, MEAN_BASE + c * 8);
             ctx.write(MEAN_BASE + c * 8, s / rows as f64);
         }
         // Phase 2: covariance, owner-computes per (c1, c2) pair.

@@ -4,7 +4,7 @@
 //! lock-guarded global-residual reduction. This gives the profile Table 1
 //! reports: ~a thousand locks, hundreds of waits, moderate footprint.
 
-use crate::util::{checksum_f64s, chunk, ids, LockBarrier};
+use crate::util::{add_fixed, checksum_f64s, chunk, ids, read_fixed, LockBarrier};
 use crate::{Params, Size};
 use rfdet_api::{Addr, DmtCtx, DmtCtxExt, ThreadFn};
 
@@ -74,10 +74,12 @@ pub fn root(p: Params) -> ThreadFn {
                                     ctx.tick(4);
                                 }
                             }
-                            // Lock-guarded reduction of the residual.
+                            // Lock-guarded reduction of the residual
+                            // into a fixed-point cell, so the total is
+                            // the same under every reduction order
+                            // (util::to_fixed).
                             ctx.lock(ids::data_mutex(RESIDUAL_LOCK));
-                            let g: f64 = ctx.read(RESIDUAL);
-                            ctx.write(RESIDUAL, g + local_residual);
+                            add_fixed(ctx, RESIDUAL, local_residual);
                             ctx.unlock(ids::data_mutex(RESIDUAL_LOCK));
                             barrier.wait(ctx);
                         }
@@ -89,7 +91,7 @@ pub fn root(p: Params) -> ThreadFn {
             ctx.join(h);
         }
         let sig = checksum_f64s(ctx, GRID_BASE, n * n);
-        let res: f64 = ctx.read(RESIDUAL);
+        let res = read_fixed(ctx, RESIDUAL);
         ctx.emit_str(&format!("ocean n={n} residual={res:.6} sig={sig:016x}\n"));
     })
 }

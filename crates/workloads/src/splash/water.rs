@@ -5,8 +5,13 @@
 //! per-molecule lock for every force accumulation (the lock-heaviest
 //! SPLASH-2 row in Table 1: ~6.3 k locks), while `water-sp` batches
 //! accumulations per spatial block and locks once per block (~1.1 k).
+//!
+//! Force cells are fixed-point accumulators (`util::to_fixed`): several
+//! threads add deltas to the same molecule's force, and integer addition
+//! keeps the totals identical under every lock-acquisition order —
+//! plain `f64 +=` would let the pthreads schedule perturb trajectories.
 
-use crate::util::{checksum_f64s, chunk, ids, LockBarrier};
+use crate::util::{add_fixed, checksum_f64s, chunk, ids, read_fixed, LockBarrier};
 use crate::{Params, Size};
 use rfdet_api::{Addr, DmtCtx, DmtCtxExt, ThreadFn};
 
@@ -68,10 +73,10 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                 ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
                     let my = chunk(m, threads, t);
                     for _ in 0..steps {
-                        // Zero own force slots.
+                        // Zero own force slots (fixed-point cells).
                         for i in my.clone() {
                             for d in 0..3 {
-                                ctx.write::<f64>(v3(FORCE_BASE, i, d), 0.0);
+                                ctx.write::<i64>(v3(FORCE_BASE, i, d), 0);
                             }
                         }
                         barrier.wait(ctx);
@@ -89,20 +94,16 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                                         ctx.tick(8);
                                         ctx.lock(ids::data_mutex(j as u32));
                                         for (d, fd) in f.iter().enumerate() {
-                                            let cur: f64 = ctx.read(v3(FORCE_BASE, j, d as u64));
-                                            ctx.write(
+                                            add_fixed(
+                                                ctx,
                                                 v3(FORCE_BASE, j, d as u64),
-                                                cur - fd * scale,
+                                                -fd * scale,
                                             );
                                         }
                                         ctx.unlock(ids::data_mutex(j as u32));
                                         ctx.lock(ids::data_mutex(i as u32));
                                         for (d, fd) in f.iter().enumerate() {
-                                            let cur: f64 = ctx.read(v3(FORCE_BASE, i, d as u64));
-                                            ctx.write(
-                                                v3(FORCE_BASE, i, d as u64),
-                                                cur + fd * scale,
-                                            );
+                                            add_fixed(ctx, v3(FORCE_BASE, i, d as u64), fd * scale);
                                         }
                                         ctx.unlock(ids::data_mutex(i as u32));
                                     }
@@ -139,8 +140,7 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                                             for d in 0..3u64 {
                                                 let delta = local[(j * 3 + d) as usize];
                                                 if delta != 0.0 {
-                                                    let cur: f64 = ctx.read(v3(FORCE_BASE, j, d));
-                                                    ctx.write(v3(FORCE_BASE, j, d), cur + delta);
+                                                    add_fixed(ctx, v3(FORCE_BASE, j, d), delta);
                                                 }
                                             }
                                         }
@@ -153,7 +153,7 @@ fn body(p: Params, gran: Granularity, label: &'static str) -> ThreadFn {
                         // Integrate own molecules.
                         for i in my.clone() {
                             for d in 0..3 {
-                                let f: f64 = ctx.read(v3(FORCE_BASE, i, d));
+                                let f = read_fixed(ctx, v3(FORCE_BASE, i, d));
                                 let v: f64 = ctx.read(v3(VEL_BASE, i, d));
                                 let x: f64 = ctx.read(v3(POS_BASE, i, d));
                                 let v2 = v + 0.001 * f;

@@ -79,6 +79,49 @@ pub fn checksum_f64s(ctx: &mut dyn DmtCtx, base: Addr, count: u64) -> u64 {
     h
 }
 
+/// Q31.32 fixed-point scale for order-invariant shared reductions.
+///
+/// Lock-guarded `f64` accumulation into a shared cell is race-free but
+/// *schedule-sensitive*: float addition is not associative, so the
+/// lock-acquisition order (nondeterministic on pthreads) leaks into the
+/// low bits of the sum. Integer addition is associative and commutative,
+/// so quantizing each thread's contribution once and summing in `i64`
+/// makes the result identical under every interleaving — which is what
+/// lets the conformance matrix demand byte-identical output from a
+/// nondeterministic backend.
+const FIXED_ONE: f64 = (1u64 << 32) as f64;
+
+/// Quantizes a contribution for a fixed-point shared accumulator.
+#[must_use]
+pub fn to_fixed(v: f64) -> i64 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (v * FIXED_ONE).round() as i64 // saturating cast: deterministic
+    }
+}
+
+/// Reads back a fixed-point accumulator as `f64`.
+#[must_use]
+pub fn from_fixed(v: i64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    {
+        v as f64 / FIXED_ONE
+    }
+}
+
+/// Adds `v` to the fixed-point accumulator at `addr` (caller holds the
+/// guarding lock). Wrapping add: overflow would be wrong the same way
+/// under every schedule, never differently per run.
+pub fn add_fixed(ctx: &mut dyn DmtCtx, addr: Addr, v: f64) {
+    let cur: i64 = ctx.read(addr);
+    ctx.write(addr, cur.wrapping_add(to_fixed(v)));
+}
+
+/// Reads the fixed-point accumulator at `addr` as `f64`.
+pub fn read_fixed(ctx: &mut dyn DmtCtx, addr: Addr) -> f64 {
+    from_fixed(ctx.read::<i64>(addr))
+}
+
 /// Splits `0..total` into `parts` contiguous chunks; returns chunk `i`.
 #[must_use]
 pub fn chunk(total: u64, parts: u64, i: u64) -> std::ops::Range<u64> {
@@ -208,6 +251,34 @@ impl SharedQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fixed_point_sum_is_order_invariant() {
+        // The exact failure mode: three f64 contributions whose float
+        // sum depends on association order...
+        let parts = [1.0f64 + 1e-16, 1e-16, -1.0];
+        let fwd = (parts[0] + parts[1]) + parts[2];
+        let rev = (parts[2] + parts[1]) + parts[0];
+        assert_ne!(fwd.to_bits(), rev.to_bits(), "picked a sensitive case");
+        // ...but whose fixed-point sum does not.
+        let mut a = 0i64;
+        let mut b = 0i64;
+        for p in parts {
+            a = a.wrapping_add(to_fixed(p));
+        }
+        for p in parts.iter().rev() {
+            b = b.wrapping_add(to_fixed(*p));
+        }
+        assert_eq!(a, b);
+        assert!((from_fixed(a) - 2e-16).abs() < 1.0 / (1u64 << 31) as f64);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_precision() {
+        for v in [0.0, 1.0, -3.75, 123_456.789, -0.000_1] {
+            assert!((from_fixed(to_fixed(v)) - v).abs() < 1e-9);
+        }
+    }
 
     #[test]
     fn chunk_covers_everything_exactly_once() {

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_4.json — machine-readable micro-bench numbers for
+# Regenerates BENCH_5.json — machine-readable micro-bench numbers for
 # the memory-pipeline fast path (chunked diff kernel, zero-copy
 # propagation, snapshot pooling) plus the supervisor-overhead A/B
-# (cfg.supervise on vs off; budget <2%, see DESIGN.md §4.7) and the
+# (cfg.supervise on vs off; budget <2%, see DESIGN.md §4.7), the
 # flight-recorder A/B (cfg.trace on vs off; budget <5% recording,
-# ~0 disabled, see DESIGN.md §4.8).
+# ~0 disabled, see DESIGN.md §4.8), and the metrics-layer A/B
+# (cfg.metrics on vs off; budget <2% collecting, one branch per timed
+# site disabled, see DESIGN.md §4.9).
 #
 # Usage: scripts/bench_json.sh [--quick] [--out PATH]
 #   --quick  shrink measurement time for CI smoke runs
-#   --out    output path (default: BENCH_4.json at the repo root)
+#   --out    output path (default: BENCH_5.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p rfdet-bench --bin bench_json -- "$@"

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text-format exposition (as emitted by
+# `replay metrics --format prom` / `MetricsSnapshot::to_prometheus`)
+# read from the file argument or stdin. Checks, per histogram family:
+#
+#   * every line is `# HELP`, `# TYPE ... histogram`, or a sample line
+#     `name{labels} value` with a numeric value;
+#   * samples appear only after their family's `# TYPE` line;
+#   * `_bucket` samples carry an `le` label, cumulative counts are
+#     monotone, and the family ends with an `le="+Inf"` bucket;
+#   * `_sum` and `_count` are present, and `_count` equals the `+Inf`
+#     bucket.
+#
+# Usage: scripts/check_prom.sh [file]   (no file: read stdin)
+set -euo pipefail
+
+awk '
+function fail(msg) { printf "check_prom: line %d: %s\n  %s\n", NR, msg, $0; bad = 1; exit 1 }
+# Family = metric stem without the histogram-series suffix.
+function family(name) {
+    sub(/_(bucket|sum|count)$/, "", name)
+    return name
+}
+/^# HELP / { next }
+/^# TYPE / {
+    if ($4 != "histogram") fail("unexpected TYPE " $4)
+    typed[$3] = 1
+    next
+}
+/^#/ { fail("unrecognized comment line") }
+/^$/ { next }
+{
+    # Sample line: name{labels} value  (labels optional).
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) fail("bad metric name")
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    labels = ""
+    if (rest ~ /^\{/) {
+        if (match(rest, /^\{[^}]*\}/) == 0) fail("unterminated label set")
+        labels = substr(rest, 1, RLENGTH)
+        rest = substr(rest, RLENGTH + 1)
+    }
+    if (rest !~ /^ -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/) fail("non-numeric sample value")
+    value = substr(rest, 2) + 0
+    fam = family(name)
+    if (!(fam in typed)) fail("sample before # TYPE for family " fam)
+    samples++
+    if (name ~ /_bucket$/) {
+        if (labels !~ /le="/) fail("_bucket sample without an le label")
+        if (fam in last_bucket && value < last_bucket[fam]) fail("cumulative bucket counts not monotone")
+        last_bucket[fam] = value
+        if (labels ~ /le="\+Inf"/) inf_bucket[fam] = value
+    } else if (name ~ /_sum$/) {
+        has_sum[fam] = 1
+    } else if (name ~ /_count$/) {
+        if (!(fam in inf_bucket)) fail("_count before the le=\"+Inf\" bucket")
+        if (value != inf_bucket[fam]) fail("_count disagrees with the +Inf bucket")
+        has_count[fam] = 1
+    } else {
+        fail("non-histogram series " name)
+    }
+}
+END {
+    if (bad) exit 1
+    families = 0
+    for (fam in typed) {
+        families++
+        if (!(fam in inf_bucket)) { printf "check_prom: family %s has no le=\"+Inf\" bucket\n", fam; exit 1 }
+        if (!(fam in has_sum))    { printf "check_prom: family %s has no _sum\n", fam; exit 1 }
+        if (!(fam in has_count))  { printf "check_prom: family %s has no _count\n", fam; exit 1 }
+    }
+    if (samples == 0) { print "check_prom: no samples"; exit 1 }
+    printf "check_prom: OK (%d families, %d samples)\n", families, samples
+}
+' "${1:-/dev/stdin}"
