@@ -83,6 +83,14 @@ pub trait DmtBackend: Send + Sync {
     /// (strong determinism: identical results even with data races).
     fn is_deterministic(&self) -> bool;
 
+    /// Whether the backend honors [`crate::RfdetOpts::lazy_writes`]
+    /// (§4.5 deferred modification propagation). Backends that ignore
+    /// the flag report `false`, so matrix tests and property checks can
+    /// enroll the lazy arm exactly where it changes the execution.
+    fn supports_lazy_writes(&self) -> bool {
+        false
+    }
+
     /// Runs `root` as the main thread, blocks until the whole thread
     /// tree has finished or the run fails, and — when
     /// [`RunConfig::trace`] is on — returns the flight-recorder trace

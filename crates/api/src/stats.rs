@@ -75,6 +75,12 @@ pub struct Stats {
     /// Deferred bytes later dropped because a newer value superseded them
     /// before the page was touched (the lazy-writes saving, §4.5).
     pub lazy_elided_bytes: u64,
+    /// `NO_ACCESS` protection transitions performed by lazy-write deposits.
+    /// Each pending page is protected exactly once until its fault clears
+    /// it — interleaved-page run lists and repeat deposits pay nothing —
+    /// so this counts what `mprotect` calls a real implementation would
+    /// issue.
+    pub lazy_protect_calls: u64,
 
     // ---- memory-pipeline fast path (diff kernel + snapshot pool) ----
     /// Bytes compared by the end-of-slice diff kernel (every snapshotted
@@ -182,6 +188,7 @@ impl AddAssign for Stats {
             prelock_premerged,
             lazy_deferred_bytes,
             lazy_elided_bytes,
+            lazy_protect_calls,
             diff_bytes_scanned,
             snapshot_bytes_copied,
             snapshot_pool_hits,

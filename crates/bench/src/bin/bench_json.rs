@@ -1,7 +1,9 @@
-//! Emits `BENCH_5.json`: machine-readable numbers for the memory-
+//! Emits `BENCH_6.json`: machine-readable numbers for the memory-
 //! pipeline fast path — chunked vs scalar diff kernel, gap coalescing,
-//! the propagate-heavy 4-thread workload, the pool/diff stats counters
-//! from one instrumented run — plus the supervisor-overhead A/B
+//! the propagate-heavy workload swept over {2, 4, 8, 16} threads as a
+//! paired eager-vs-lazy thread-scaling curve (the paper's Figure-6 axis;
+//! also written to `results/thread_scaling.txt`), the pool/diff/lazy
+//! stats counters from instrumented runs — plus the supervisor-overhead A/B
 //! (`cfg.supervise` on vs off on the 4-thread contended-mutex
 //! workload; DESIGN.md §4.7 budgets this at <2%), the
 //! flight-recorder A/B (`cfg.trace` on vs off on the same workload;
@@ -14,7 +16,7 @@
 //! measurement target so CI can smoke-test the emission path in
 //! seconds; numbers from quick mode are for plumbing, not comparison.
 
-use rfdet_api::{DmtBackend, DmtCtx, DmtCtxExt, MutexId, RunConfig};
+use rfdet_api::{DmtBackend, RunConfig, ThreadFn};
 use rfdet_core::RfdetBackend;
 use rfdet_mem::diff;
 use std::fmt::Write as _;
@@ -57,8 +59,12 @@ fn measure<F: FnMut()>(target: Duration, mut f: F) -> (f64, u64) {
 /// background compile — land entirely on one side and masquerade as
 /// overhead; interleaving exposes both sides to the same drift, and the
 /// minimum is the standard noise-robust cost estimator on a shared host.
+/// Twelve rounds (vs six for plain `measure`) because the quantity read
+/// off these cells is a *ratio* of two minima — its variance compounds
+/// both sides' — and the single-CPU host swings individual rounds by
+/// 10-40 %.
 fn measure_ab<A: FnMut(), B: FnMut()>(target: Duration, mut a: A, mut b: B) -> (f64, f64, u64) {
-    const ROUNDS: u64 = 6;
+    const ROUNDS: u64 = 12;
     a();
     b(); // warm both paths
     let probe = Instant::now();
@@ -84,27 +90,19 @@ fn measure_ab<A: FnMut(), B: FnMut()>(target: Duration, mut a: A, mut b: B) -> (
     (best_a, best_b, ROUNDS * per_round)
 }
 
-fn propagate_heavy_root(ctx: &mut dyn DmtCtx) {
-    let hs: Vec<_> = (0..4u64)
-        .map(|i| {
-            ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
-                for k in 0..100u64 {
-                    ctx.lock(MutexId(0));
-                    for p in 0..4u64 {
-                        ctx.write(8192 + p * 4096 + 8 * i, k + 1);
-                    }
-                    ctx.unlock(MutexId(0));
-                }
-            }))
-        })
-        .collect();
-    for h in hs {
-        ctx.join(h);
-    }
+/// The registered propagate-heavy workload at bench scale, parameterized
+/// by thread count — ids derived from it are `rfdet/{t}t_propagate_heavy*`
+/// so scaling cells never collide with the historical 4-thread ones.
+fn propagate_heavy(threads: usize) -> ThreadFn {
+    let w = rfdet_workloads::by_name("propagate_heavy").expect("registered");
+    (w.factory)(rfdet_workloads::Params::new(
+        threads,
+        rfdet_workloads::Size::Bench,
+    ))
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut quick = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -168,20 +166,29 @@ fn main() {
     });
     results.push(("diff/page_fragmented_coalesce32".to_owned(), ns, iters));
 
-    // Propagate-heavy 4-thread workload, eager and lazy writes.
-    for lazy in [false, true] {
-        let mut cfg = RunConfig::small();
-        cfg.rfdet.fault_cost_spins = 0;
-        cfg.rfdet.lazy_writes = lazy;
-        let id = if lazy {
-            "rfdet/4t_propagate_heavy_lazy"
-        } else {
-            "rfdet/4t_propagate_heavy_eager"
-        };
-        let (ns, iters) = measure(target, || {
-            black_box(RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root)));
-        });
-        results.push((id.to_owned(), ns, iters));
+    // Propagate-heavy eager-vs-lazy, paired per thread count — the
+    // thread-scaling curve. `measure_ab` interleaves the two sides, so
+    // each cell is a fair A/B; the 4-thread cell doubles as the
+    // `lazy_vs_eager` acceptance pairing.
+    let thread_counts = [2usize, 4, 8, 16];
+    let mut scaling: Vec<(usize, f64, f64)> = Vec::new();
+    for &t in &thread_counts {
+        let mut eager_cfg = RunConfig::small();
+        eager_cfg.rfdet.fault_cost_spins = 0;
+        let mut lazy_cfg = eager_cfg.clone();
+        lazy_cfg.rfdet.lazy_writes = true;
+        let (eager_ns, lazy_ns, iters) = measure_ab(
+            target * 2,
+            || {
+                black_box(RfdetBackend::ci().run_expect(&eager_cfg, propagate_heavy(t)));
+            },
+            || {
+                black_box(RfdetBackend::ci().run_expect(&lazy_cfg, propagate_heavy(t)));
+            },
+        );
+        results.push((format!("rfdet/{t}t_propagate_heavy_eager"), eager_ns, iters));
+        results.push((format!("rfdet/{t}t_propagate_heavy_lazy"), lazy_ns, iters));
+        scaling.push((t, eager_ns, lazy_ns));
     }
 
     // Supervisor-overhead A/B on the same 4-thread contended-mutex
@@ -197,7 +204,7 @@ fn main() {
             "rfdet/4t_propagate_heavy_unsupervised"
         };
         let (ns, iters) = measure(target, || {
-            black_box(RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root)));
+            black_box(RfdetBackend::ci().run_expect(&cfg, propagate_heavy(4)));
         });
         results.push((id.to_owned(), ns, iters));
     }
@@ -215,7 +222,7 @@ fn main() {
             "rfdet/4t_propagate_heavy_untraced"
         };
         let (ns, iters) = measure(target, || {
-            black_box(RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root)));
+            black_box(RfdetBackend::ci().run_expect(&cfg, propagate_heavy(4)));
         });
         results.push((id.to_owned(), ns, iters));
     }
@@ -257,10 +264,10 @@ fn main() {
     let (metered, unmetered, iters) = measure_ab(
         target * 2,
         || {
-            black_box(RfdetBackend::ci().run_expect(&on, Box::new(propagate_heavy_root)));
+            black_box(RfdetBackend::ci().run_expect(&on, propagate_heavy(4)));
         },
         || {
-            black_box(RfdetBackend::ci().run_expect(&off, Box::new(propagate_heavy_root)));
+            black_box(RfdetBackend::ci().run_expect(&off, propagate_heavy(4)));
         },
     );
     results.push((
@@ -274,11 +281,22 @@ fn main() {
         iters,
     ));
 
-    // One instrumented run for the new fast-path counters.
+    // One instrumented run for the fast-path counters, and one lazy
+    // metered run for the `lazy_fault` phase attribution and lazy stats.
     let mut cfg = RunConfig::small();
     cfg.rfdet.fault_cost_spins = 0;
-    let run = RfdetBackend::ci().run_expect(&cfg, Box::new(propagate_heavy_root));
+    let run = RfdetBackend::ci().run_expect(&cfg, propagate_heavy(4));
     let s = &run.stats;
+    let mut lazy_metered_cfg = cfg.clone();
+    lazy_metered_cfg.rfdet.lazy_writes = true;
+    lazy_metered_cfg.metrics = true;
+    let lazy_run = RfdetBackend::ci().run_expect(&lazy_metered_cfg, propagate_heavy(4));
+    let lazy_phase = lazy_run
+        .metrics
+        .as_ref()
+        .and_then(|m| m.phase(rfdet_api::obs::Phase::LazyFault))
+        .map(|p| (p.count, p.sum))
+        .unwrap_or((0, 0));
 
     let lookup = |id: &str| -> f64 {
         results
@@ -314,6 +332,35 @@ fn main() {
         speedup("fragmented")
     );
     json.push_str("  },\n");
+    // The paired 4-thread eager/lazy cell — the §4.5 acceptance pairing:
+    // lazy writes must not cost more than 5% over eager on the workload
+    // built to maximize propagation.
+    let (lazy_pair_eager, lazy_pair_lazy) = scaling
+        .iter()
+        .find(|(t, _, _)| *t == 4)
+        .map_or((f64::NAN, f64::NAN), |&(_, e, l)| (e, l));
+    json.push_str("  \"lazy_vs_eager\": {\n");
+    let _ = writeln!(json, "    \"bench\": \"rfdet/4t_propagate_heavy\",");
+    let _ = writeln!(json, "    \"threads\": 4,");
+    let _ = writeln!(json, "    \"eager_ns\": {lazy_pair_eager:.1},");
+    let _ = writeln!(json, "    \"lazy_ns\": {lazy_pair_lazy:.1},");
+    let _ = writeln!(
+        json,
+        "    \"ratio\": {:.4},",
+        lazy_pair_lazy / lazy_pair_eager
+    );
+    let _ = writeln!(json, "    \"budget_ratio\": 1.05");
+    json.push_str("  },\n");
+    json.push_str("  \"thread_scaling\": [\n");
+    for (idx, &(t, eager_ns, lazy_ns)) in scaling.iter().enumerate() {
+        let comma = if idx + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {t}, \"eager_ns\": {eager_ns:.1}, \"lazy_ns\": {lazy_ns:.1}, \"ratio\": {:.4}}}{comma}",
+            lazy_ns / eager_ns
+        );
+    }
+    json.push_str("  ],\n");
     let sup_ns = lookup("rfdet/4t_propagate_heavy_supervised");
     let unsup_ns = lookup("rfdet/4t_propagate_heavy_unsupervised");
     json.push_str("  \"supervisor_overhead\": {\n");
@@ -391,12 +438,55 @@ fn main() {
         s.snapshot_pool_misses
     );
     let _ = writeln!(json, "    \"runs_coalesced\": {}", s.runs_coalesced);
+    json.push_str("  },\n");
+    let ls = &lazy_run.stats;
+    json.push_str("  \"lazy_counters\": {\n");
+    let _ = writeln!(json, "    \"bench\": \"rfdet/4t_propagate_heavy_lazy\",");
+    let _ = writeln!(
+        json,
+        "    \"lazy_deferred_bytes\": {},",
+        ls.lazy_deferred_bytes
+    );
+    let _ = writeln!(json, "    \"lazy_elided_bytes\": {},", ls.lazy_elided_bytes);
+    let _ = writeln!(
+        json,
+        "    \"lazy_protect_calls\": {},",
+        ls.lazy_protect_calls
+    );
+    let _ = writeln!(json, "    \"page_faults\": {},", ls.page_faults);
+    let _ = writeln!(json, "    \"lazy_fault_count\": {},", lazy_phase.0);
+    let _ = writeln!(json, "    \"lazy_fault_ns_sum\": {}", lazy_phase.1);
     json.push_str("  }\n");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("{json}");
     eprintln!("wrote {out_path}");
+
+    // The human-readable scaling curve for results/.
+    let mut curve = String::new();
+    curve.push_str("propagate-heavy thread scaling: eager vs lazy writes (RFDet-ci)\n");
+    curve.push_str("paired measure_ab cells, min-over-rounds ns per run");
+    if quick {
+        curve.push_str(" [QUICK MODE: plumbing numbers, not comparisons]");
+    }
+    curve.push('\n');
+    curve.push_str("threads  eager_ns      lazy_ns       lazy/eager\n");
+    for &(t, eager_ns, lazy_ns) in &scaling {
+        let _ = writeln!(
+            curve,
+            "{t:>7}  {eager_ns:>12.0}  {lazy_ns:>12.0}  {:>10.3}",
+            lazy_ns / eager_ns
+        );
+    }
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/thread_scaling.txt", &curve))
+    {
+        eprintln!("skipping results/thread_scaling.txt: {e}");
+    } else {
+        eprintln!("wrote results/thread_scaling.txt");
+    }
+
     assert!(
         s.snapshot_pool_hits > 0,
         "steady-state runs must recycle snapshot buffers"

@@ -50,6 +50,10 @@ impl DmtBackend for RfdetBackend {
         true
     }
 
+    fn supports_lazy_writes(&self) -> bool {
+        true
+    }
+
     fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         let mut cfg = cfg.clone();
         if let Some(m) = self.monitor_override {

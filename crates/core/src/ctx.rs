@@ -7,7 +7,7 @@ use rfdet_api::{
     Addr, BarrierId, CondId, DmtCtx, MonitorMode, MutexId, Stats, ThreadFn, ThreadHandle, Tid,
 };
 use rfdet_kendo::{Jitter, KendoHandle};
-use rfdet_mem::{ModRun, PageFlags, PrivateSpace, RunHandle, ThreadHeap};
+use rfdet_mem::{PageFlags, PageOverlay, PrivateSpace, ThreadHeap};
 use rfdet_meta::{SyncKey, SyncVarRef, ThreadMeta};
 use rfdet_vclock::VClock;
 use std::collections::{BTreeMap, HashMap};
@@ -36,10 +36,17 @@ pub struct RfdetCtx {
     /// `NO_ACCESS` marks pages with pending lazy-write modifications.
     pub(crate) flags: PageFlags,
     /// Lazy-writes pending queues, per page, in propagation order. The
-    /// entries are zero-copy handles into published slices' shared run
-    /// lists; the handles keep the backing runs alive, so GC dropping a
-    /// slice from every slice-pointer list never invalidates them.
-    pub(crate) pending: BTreeMap<usize, Vec<RunHandle>>,
+    /// entries are zero-copy handles to per-page run *groups* inside
+    /// published slices' shared run lists (one `Arc` bump per group, not
+    /// per run); the handles keep the backing runs alive, so GC dropping
+    /// a slice from every slice-pointer list never invalidates them.
+    /// Flat page-indexed storage: deposit and fault are O(1) slot hits,
+    /// not tree walks (see [`crate::pending::PendingTable`]).
+    pub(crate) pending: crate::pending::PendingTable,
+    /// Recycled lazy-fault merge buffer (page bytes + occupancy bitmap),
+    /// the `snap_pool` idiom applied to §4.5: steady-state faults merge
+    /// and apply pending runs with zero allocations.
+    pub(crate) lazy_overlay: PageOverlay,
     /// Current vector clock.
     pub(crate) vc: VClock,
     /// Timestamp of the in-progress slice (the clock at its start).
@@ -135,7 +142,8 @@ impl RfdetCtx {
             tid,
             space,
             flags,
-            pending: BTreeMap::new(),
+            pending: crate::pending::PendingTable::default(),
+            lazy_overlay: PageOverlay::new(),
             vc,
             slice_start,
             slice_seq: 0,
@@ -217,62 +225,105 @@ impl RfdetCtx {
         v
     }
 
+    /// The pages an access of `len` bytes at `addr` touches. A
+    /// zero-length access touches no page at all — it must neither fault
+    /// a lazily-pending page nor snapshot one (it cannot observe or
+    /// modify anything), and the previous `(first, last)` encoding had no
+    /// way to say "nothing", silently rounding `len == 0` up to a 1-byte
+    /// access.
     #[inline]
-    fn page_range(&self, addr: Addr, len: usize) -> (usize, usize) {
+    fn page_range(&self, addr: Addr, len: usize) -> std::ops::Range<usize> {
+        if len == 0 {
+            return 0..0;
+        }
         let first = self.space.page_of(addr);
-        let last = self.space.page_of(addr + len.saturating_sub(1) as u64);
-        (first, last)
+        let last = self.space.page_of(addr + (len - 1) as u64);
+        first..last + 1
     }
+
+    /// Queue depth at which a fault merges its deposits through the
+    /// [`PageOverlay`] instead of applying them group-by-group. Shallow
+    /// queues (the common case under active sharing: a page re-accessed
+    /// within a few slices of being deposited on) are cheaper to apply
+    /// sequentially — deposit order is propagation order, so the last
+    /// writer wins byte-for-byte identically, and the double-write cost
+    /// of a rare overlap is a few bytes. Deep queues (a page untouched
+    /// for many epochs — the case lazy writes exist for) amortize the
+    /// overlay's reset/merge/scan over real elision.
+    const OVERLAY_MIN_GROUPS: usize = 4;
 
     /// Applies the pending lazy-write modifications of `page` and lifts
     /// its protection (paper §4.5 *Lazy Writes*: "when a memory access
     /// hits one of these pages, we write the modifications of the page
     /// into the local memory and unprotect the page").
+    ///
+    /// Allocation-free on the steady state, and adaptive: queues below
+    /// [`Self::OVERLAY_MIN_GROUPS`] apply their groups in deposit order
+    /// directly; deeper queues are merged into the thread's recycled
+    /// [`PageOverlay`] (last writer wins, superseded bytes counted by
+    /// word-level popcounts) and the occupied spans are copied into the
+    /// page in one pass. Both orders produce identical bytes — the
+    /// overlay only changes how many times an overwritten byte is
+    /// touched (and makes the saving measurable as `lazy_elided_bytes`).
     #[cold]
     pub(crate) fn lazy_fault(&mut self, page: usize) {
-        let Some(queue) = self.pending.remove(&page) else {
+        let Some(queue) = self.pending.take(page) else {
             return;
         };
+        let t0 = self.obs_start();
         self.stats.page_faults += 1;
-        self.pay_fault_cost();
-        // Overlay the queued runs so each byte is written once, with the
-        // newest value — the memory-write saving §4.5 describes.
-        let page_size = self.space.page_size();
-        let base = self.space.page_base(page);
-        let mut overlay: Vec<Option<u8>> = vec![None; page_size];
-        let mut duplicate_bytes: u64 = 0;
-        for run in &queue {
-            let off = (run.addr - base) as usize;
-            for (i, &b) in run.data.iter().enumerate() {
-                if overlay[off + i].is_some() {
-                    duplicate_bytes += 1;
-                }
-                overlay[off + i] = Some(b);
-            }
+        // Only `pf` monitoring pays the simulated trap + `mprotect` cost:
+        // there the fault is a real protection fault. Under `ci`
+        // monitoring the pending check is compiled-in instrumentation on
+        // the access path (like the Figure-4 store checks), and the eager
+        // path pays nothing equivalent — charging it here is how the
+        // "optimization" lost to eager at the default cost model.
+        if self.shared.cfg.rfdet.monitor == MonitorMode::Pf {
+            self.pay_fault_cost();
         }
-        self.stats.lazy_elided_bytes += duplicate_bytes;
-        let mut i = 0;
-        while i < page_size {
-            if overlay[i].is_none() {
-                i += 1;
-                continue;
+        self.apply_pending(page, queue);
+        self.obs_since(rfdet_api::obs::Phase::LazyFault, t0);
+    }
+
+    /// Drains `page`'s detached queue into local memory and lifts the
+    /// protection — the work of a lazy fault without its cost model.
+    /// Called from [`Self::lazy_fault`] (an access hit the page: trap +
+    /// fault accounting apply) and from runtime-initiated flushes
+    /// (prelock idle merges, pre-fork flush), which write through the
+    /// runtime's own view and therefore never trap.
+    fn apply_pending(&mut self, page: usize, mut queue: Vec<rfdet_mem::RunRange>) {
+        if queue.len() < Self::OVERLAY_MIN_GROUPS {
+            for group in &queue {
+                self.stats.mod_bytes_applied += self.space.apply_runs(group.runs());
             }
-            let start = i;
-            let mut data = Vec::new();
-            while i < page_size {
-                match overlay[i] {
-                    Some(b) => {
-                        data.push(b);
-                        i += 1;
-                    }
-                    None => break,
+        } else {
+            let base = self.space.page_base(page);
+            let mut overlay = std::mem::take(&mut self.lazy_overlay);
+            overlay.reset(self.space.page_size());
+            let mut superseded: u64 = 0;
+            for group in &queue {
+                for run in group.runs() {
+                    let off = (run.addr - base) as usize;
+                    superseded += overlay.write(off, &run.data);
                 }
             }
-            let run = ModRun::new(base + start as u64, data.into());
-            self.stats.mod_bytes_applied += run.len() as u64;
-            self.space.apply_run(&run);
+            self.stats.lazy_elided_bytes += superseded;
+            self.stats.mod_bytes_applied += self.space.apply_overlay(page, &overlay);
+            self.lazy_overlay = overlay;
         }
         self.flags.unprotect(page, PageFlags::NO_ACCESS);
+        queue.clear();
+        self.pending.put_back(page, queue);
+    }
+
+    /// Runtime-initiated drain of `page`'s pending queue, if any. Unlike
+    /// [`Self::lazy_fault`] this charges no fault (nothing trapped — the
+    /// runtime is writing, not the program), so flushing pages while
+    /// blocked or before a fork costs only the memory work itself.
+    pub(crate) fn drain_pending(&mut self, page: usize) {
+        if let Some(queue) = self.pending.take(page) {
+            self.apply_pending(page, queue);
+        }
     }
 
     /// Simulated cost of a page fault (trap + `mprotect` syscalls).
@@ -332,9 +383,8 @@ impl RfdetCtx {
     /// Read without advancing the Kendo clock — for use *inside* a turn
     /// (atomic operations), where a tick would release the turn early.
     pub(crate) fn read_in_turn(&mut self, addr: Addr, buf: &mut [u8]) {
-        if !buf.is_empty() && !self.pending.is_empty() {
-            let (first, last) = self.page_range(addr, buf.len());
-            for page in first..=last {
+        if !self.pending.is_empty() {
+            for page in self.page_range(addr, buf.len()) {
                 if self.flags.is_protected(page, PageFlags::NO_ACCESS) {
                     self.lazy_fault(page);
                 }
@@ -345,13 +395,11 @@ impl RfdetCtx {
     }
 
     /// Write without advancing the Kendo clock (see [`Self::read_in_turn`]);
-    /// still goes through the Figure-4 store instrumentation.
+    /// still goes through the Figure-4 store instrumentation. A
+    /// zero-length write touches no page (empty `page_range`), so it
+    /// neither faults nor snapshots.
     pub(crate) fn write_in_turn(&mut self, addr: Addr, data: &[u8]) {
-        if data.is_empty() {
-            return;
-        }
-        let (first, last) = self.page_range(addr, data.len());
-        for page in first..=last {
+        for page in self.page_range(addr, data.len()) {
             if !self.pending.is_empty() && self.flags.is_protected(page, PageFlags::NO_ACCESS) {
                 self.lazy_fault(page);
             }
@@ -502,5 +550,74 @@ impl DmtCtx for RfdetCtx {
 
     fn atomic_store(&mut self, addr: Addr, value: u64) {
         self.sync_timed(|ctx| crate::sync::atomic_impl(ctx, addr, None, Some(value)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shared::RuntimeShared;
+    use crate::RfdetCtx;
+    use rfdet_api::RunConfig;
+    use std::sync::Arc;
+
+    fn ctx() -> RfdetCtx {
+        let mut cfg = RunConfig::small();
+        cfg.rfdet.lazy_writes = true;
+        cfg.rfdet.fault_cost_spins = 0;
+        RfdetCtx::new_main(Arc::new(RuntimeShared::new(cfg)))
+    }
+
+    #[test]
+    fn page_range_covers_touched_pages() {
+        let c = ctx();
+        assert_eq!(c.page_range(0, 1), 0..1);
+        assert_eq!(c.page_range(4095, 1), 0..1);
+        assert_eq!(c.page_range(4095, 2), 0..2, "straddles the boundary");
+        assert_eq!(c.page_range(4096, 4096), 1..2, "exactly one full page");
+        assert_eq!(c.page_range(100, 8192), 0..3);
+    }
+
+    #[test]
+    fn page_range_of_zero_length_access_is_empty() {
+        let c = ctx();
+        assert!(c.page_range(0, 0).is_empty());
+        assert!(c.page_range(4096, 0).is_empty());
+        // The old `(first, last)` encoding rounded len==0 up to one byte;
+        // at the very end of the space that byte names a page past the
+        // flag table. The empty range makes the boundary a no-op instead.
+        let space_end = c.shared.cfg.space_bytes;
+        assert!(c.page_range(space_end, 0).is_empty());
+    }
+
+    #[test]
+    fn zero_length_accesses_do_not_fault_pending_pages() {
+        use rfdet_mem::ModRun;
+        use rfdet_meta::{SliceRec, SliceRef};
+        use rfdet_vclock::VClock;
+        let mut c = ctx();
+        let mut t = VClock::new();
+        t.tick(1);
+        let mods = vec![ModRun::new(64, vec![7].into())];
+        let s: SliceRef = Arc::new(SliceRec::new(1, 0, t, mods));
+        c.apply_slice(&s);
+        assert_eq!(c.pending.len(), 1);
+
+        c.read_in_turn(64, &mut []);
+        c.write_in_turn(64, &[]);
+        assert_eq!(c.stats.page_faults, 0, "no fault for a no-op access");
+        assert_eq!(c.pending.len(), 1, "queue still pending");
+        assert_eq!(c.stats.stores_with_copy, 0, "no snapshot taken");
+
+        // Zero-length access at the space boundary: must not panic.
+        let space_end = c.shared.cfg.space_bytes;
+        c.read_in_turn(space_end, &mut []);
+        c.write_in_turn(space_end, &[]);
+
+        // A real access still faults and applies.
+        let mut buf = [0u8; 1];
+        c.read_in_turn(64, &mut buf);
+        assert_eq!(buf[0], 7);
+        assert_eq!(c.stats.page_faults, 1);
+        assert!(c.pending.is_empty());
     }
 }

@@ -54,6 +54,7 @@
 mod backend;
 mod ctx;
 mod handoff;
+mod pending;
 mod propagation;
 mod shared;
 mod slices;

@@ -619,10 +619,12 @@ pub(crate) fn exit_impl(ctx: &mut RfdetCtx) {
 
 impl RfdetCtx {
     /// Applies every lazy-pending page (used before forking a child).
+    /// A runtime-initiated flush, not a program access: no fault is
+    /// charged (see [`RfdetCtx::drain_pending`]).
     pub(crate) fn flush_pending(&mut self) {
-        let pages: Vec<usize> = self.pending.keys().copied().collect();
+        let pages: Vec<usize> = self.pending.pages().collect();
         for p in pages {
-            self.lazy_fault(p);
+            self.drain_pending(p);
         }
     }
 }

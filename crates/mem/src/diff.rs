@@ -122,6 +122,68 @@ impl std::ops::Deref for RunHandle {
     }
 }
 
+/// A zero-copy reference to a *contiguous group* of runs inside a shared
+/// [`RunList`].
+///
+/// Slice modification lists arrive sorted by address (diffing walks pages
+/// in index order), so all runs of one page form one contiguous index
+/// range. The lazy-writes pending queues store one `RunRange` per
+/// (slice, page) group — a single `Arc` bump per group instead of one
+/// [`RunHandle`] per run, so deferring a slice costs O(pages touched)
+/// pointer pushes rather than O(runs).
+#[derive(Clone, Debug)]
+pub struct RunRange {
+    list: RunList,
+    start: usize,
+    end: usize,
+}
+
+impl RunRange {
+    /// A handle to `list[start..end]`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds for `list`.
+    #[must_use]
+    pub fn new(list: &RunList, start: usize, end: usize) -> Self {
+        assert!(
+            start < end && end <= list.len(),
+            "RunRange {start}..{end} invalid for list of {}",
+            list.len()
+        );
+        Self {
+            list: Arc::clone(list),
+            start,
+            end,
+        }
+    }
+
+    /// The referenced runs.
+    #[inline]
+    #[must_use]
+    pub fn runs(&self) -> &[ModRun] {
+        &self.list[self.start..self.end]
+    }
+
+    /// Number of runs in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `false` for every range built by [`RunRange::new`] (which rejects
+    /// empty ranges); present for container-idiom completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Total modified bytes across the group.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        runs_len(self.runs())
+    }
+}
+
 /// Per-call accounting returned by [`diff_page_opts`]: the raw material of
 /// the `diff_bytes_scanned` / `runs_coalesced` Stats counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -519,6 +581,38 @@ mod tests {
     fn run_handle_rejects_bad_index() {
         let list: RunList = vec![ModRun::new(0, vec![1].into())].into();
         let _ = RunHandle::new(&list, 1);
+    }
+
+    #[test]
+    fn run_range_shares_a_group_without_copying() {
+        let list: RunList = vec![
+            ModRun::new(0, vec![1].into()),
+            ModRun::new(8, vec![2, 3].into()),
+            ModRun::new(4096, vec![4].into()),
+        ]
+        .into();
+        let r = RunRange::new(&list, 0, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.byte_len(), 3);
+        assert!(!r.is_empty());
+        // One Arc bump covers the whole group; runs alias the list storage.
+        assert_eq!(Arc::strong_count(&list), 2);
+        assert!(std::ptr::eq(&list[0], &r.runs()[0]));
+        assert!(std::ptr::eq(&list[1], &r.runs()[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for list")]
+    fn run_range_rejects_empty_range() {
+        let list: RunList = vec![ModRun::new(0, vec![1].into())].into();
+        let _ = RunRange::new(&list, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for list")]
+    fn run_range_rejects_out_of_bounds() {
+        let list: RunList = vec![ModRun::new(0, vec![1].into())].into();
+        let _ = RunRange::new(&list, 0, 2);
     }
 
     #[cfg(debug_assertions)]

@@ -21,12 +21,14 @@
 
 mod alloc;
 pub mod diff;
+mod overlay;
 mod page;
 mod prot;
 mod space;
 
 pub use alloc::{StripAllocator, ThreadHeap, MAX_HEAP_THREADS};
-pub use diff::{ModRun, RunHandle, RunList};
+pub use diff::{ModRun, RunHandle, RunList, RunRange};
+pub use overlay::PageOverlay;
 pub use page::Page;
 pub use prot::PageFlags;
 pub use space::PrivateSpace;

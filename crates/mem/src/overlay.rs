@@ -1,0 +1,247 @@
+//! The pooled lazy-write overlay (paper §4.5 *Lazy Writes*).
+//!
+//! A lazy fault must merge every pending run of one page so each byte is
+//! written once, with its newest value. The original implementation built
+//! a fresh `Vec<Option<u8>>` the size of the page per fault and re-scanned
+//! all of it to emit merged runs — two allocations plus a full-page enum
+//! walk on *every* fault, which is exactly how the "optimization" ended up
+//! slower than eager application. [`PageOverlay`] replaces that with the
+//! same recycling idiom as the snapshot buffer pool: one page-sized byte
+//! buffer plus a one-bit-per-byte occupancy bitmap, owned by the faulting
+//! thread and reused across faults. A fault clears only the bitmap
+//! (`page_size / 8` bytes), memcpys each run into place (last wins), and
+//! counts superseded bytes with word-level popcounts — no allocation, no
+//! per-byte branching, no `Option` scan.
+
+/// A reusable page-sized merge buffer with a byte-occupancy bitmap.
+///
+/// The buffer is only meaningful at indices whose bitmap bit is set;
+/// everything else is stale garbage from earlier faults, which is why the
+/// apply path ([`crate::PrivateSpace::apply_overlay`]) copies exactly the
+/// set-bit spans and nothing more.
+#[derive(Clone, Debug)]
+pub struct PageOverlay {
+    bytes: Vec<u8>,
+    mask: Vec<u64>,
+    page_size: usize,
+    /// Lowest bitmap word any write of the current epoch touched
+    /// (`usize::MAX` when the overlay is empty). Together with
+    /// `hi_word` this bounds both the reset fill and the apply scan to
+    /// the occupied neighborhood — the common fault merges a handful of
+    /// small runs, and clearing or scanning the other ~60 words of a
+    /// 4 KiB page's bitmap was pure per-fault overhead.
+    lo_word: usize,
+    /// Highest touched bitmap word (see `lo_word`).
+    hi_word: usize,
+}
+
+impl Default for PageOverlay {
+    fn default() -> Self {
+        Self {
+            bytes: Vec::new(),
+            mask: Vec::new(),
+            page_size: 0,
+            lo_word: usize::MAX,
+            hi_word: 0,
+        }
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+impl PageOverlay {
+    /// An empty overlay; buffers are allocated by the first [`reset`].
+    ///
+    /// [`reset`]: PageOverlay::reset
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the overlay for one page of `page_size` bytes: sizes the
+    /// buffers (first call, or page-size change) and clears the bitmap.
+    /// The byte buffer is *not* cleared — set bits define validity.
+    pub fn reset(&mut self, page_size: usize) {
+        if self.page_size != page_size {
+            self.bytes.resize(page_size, 0);
+            self.mask.clear();
+            self.mask.resize(page_size.div_ceil(WORD_BITS), 0);
+            self.page_size = page_size;
+        } else if self.lo_word <= self.hi_word {
+            // Only the words the previous epoch occupied can be dirty.
+            self.mask[self.lo_word..=self.hi_word].fill(0);
+        }
+        self.lo_word = usize::MAX;
+        self.hi_word = 0;
+    }
+
+    /// The page size this overlay is currently sized for.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Writes `data` at byte offset `off`, last-writer-wins, and returns
+    /// how many of the touched bytes were already occupied — the
+    /// superseded-value count behind the `lazy_elided_bytes` stat.
+    ///
+    /// # Panics
+    /// Panics if the write does not fit the page.
+    pub fn write(&mut self, off: usize, data: &[u8]) -> u64 {
+        let len = data.len();
+        assert!(
+            off + len <= self.page_size,
+            "overlay write out of page bounds: off={off} len={len} page={}",
+            self.page_size
+        );
+        self.bytes[off..off + len].copy_from_slice(data);
+        if len == 0 {
+            return 0;
+        }
+        let mut superseded = 0u64;
+        let (first, last) = (off / WORD_BITS, (off + len - 1) / WORD_BITS);
+        self.lo_word = self.lo_word.min(first);
+        self.hi_word = self.hi_word.max(last);
+        for w in first..=last {
+            let lo = off.saturating_sub(w * WORD_BITS).min(WORD_BITS - 1);
+            let hi = (off + len - w * WORD_BITS).min(WORD_BITS);
+            // Bits [lo, hi) of word w fall inside the write.
+            let m = (u64::MAX >> (WORD_BITS - (hi - lo))) << lo;
+            superseded += u64::from((self.mask[w] & m).count_ones());
+            self.mask[w] |= m;
+        }
+        superseded
+    }
+
+    /// The occupancy bitmap, one bit per page byte, little-endian within
+    /// each word.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.mask
+    }
+
+    /// True iff no write landed since the last [`reset`].
+    ///
+    /// [`reset`]: PageOverlay::reset
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo_word > self.hi_word
+    }
+
+    /// The bitmap word indices that may hold set bits — the bound for
+    /// occupancy scans (words outside it are zero by construction).
+    #[must_use]
+    pub fn occupied_words(&self) -> std::ops::Range<usize> {
+        if self.is_empty() {
+            0..0
+        } else {
+            self.lo_word..self.hi_word + 1
+        }
+    }
+
+    /// The raw merge buffer (valid only where the bitmap is set).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of occupied bytes (bitmap popcount).
+    #[must_use]
+    pub fn set_bytes(&self) -> u64 {
+        self.mask.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_overlay_is_empty() {
+        let mut ov = PageOverlay::new();
+        ov.reset(4096);
+        assert_eq!(ov.page_size(), 4096);
+        assert_eq!(ov.set_bytes(), 0);
+        assert!(ov.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn write_sets_bits_and_counts_overlap() {
+        let mut ov = PageOverlay::new();
+        ov.reset(256);
+        assert_eq!(ov.write(10, &[1, 2, 3, 4]), 0);
+        assert_eq!(ov.set_bytes(), 4);
+        // Overlapping rewrite: 2 of 3 bytes were already set.
+        assert_eq!(ov.write(12, &[9, 9, 9]), 2);
+        assert_eq!(ov.set_bytes(), 5);
+        assert_eq!(&ov.bytes()[10..15], &[1, 2, 9, 9, 9]);
+    }
+
+    #[test]
+    fn write_spanning_word_boundary() {
+        let mut ov = PageOverlay::new();
+        ov.reset(256);
+        // 16 bytes across the bit-63/64 boundary.
+        assert_eq!(ov.write(56, &[7u8; 16]), 0);
+        assert_eq!(ov.words()[0], !0u64 << 56);
+        assert_eq!(ov.words()[1], 0xFF);
+        assert_eq!(ov.write(56, &[8u8; 16]), 16);
+    }
+
+    #[test]
+    fn full_page_write() {
+        let mut ov = PageOverlay::new();
+        ov.reset(128);
+        assert_eq!(ov.write(0, &[5u8; 128]), 0);
+        assert_eq!(ov.set_bytes(), 128);
+        assert!(ov.words().iter().all(|&w| w == u64::MAX));
+        assert_eq!(ov.write(0, &[6u8; 128]), 128);
+    }
+
+    #[test]
+    fn reset_clears_bits_but_keeps_capacity() {
+        let mut ov = PageOverlay::new();
+        ov.reset(128);
+        ov.write(0, &[1u8; 64]);
+        let ptr = ov.bytes().as_ptr();
+        ov.reset(128);
+        assert_eq!(ov.set_bytes(), 0, "bitmap cleared");
+        assert!(std::ptr::eq(ptr, ov.bytes().as_ptr()), "buffer reused");
+    }
+
+    #[test]
+    fn occupied_word_range_tracks_writes() {
+        let mut ov = PageOverlay::new();
+        ov.reset(4096);
+        assert!(ov.is_empty());
+        assert_eq!(ov.occupied_words(), 0..0);
+        ov.write(100, &[1]); // word 1
+        assert_eq!(ov.occupied_words(), 1..2);
+        ov.write(1000, &[2, 3]); // word 15
+        assert_eq!(ov.occupied_words(), 1..16);
+        // Reset clears exactly that neighborhood and empties the range.
+        ov.reset(4096);
+        assert!(ov.is_empty());
+        assert_eq!(ov.set_bytes(), 0);
+        // A stale epoch far from the new one must not survive a reset.
+        ov.write(4000, &[9]);
+        ov.reset(4096);
+        assert!(ov.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn zero_length_write_is_a_noop() {
+        let mut ov = PageOverlay::new();
+        ov.reset(64);
+        assert_eq!(ov.write(64, &[]), 0, "end-of-page empty write allowed");
+        assert_eq!(ov.set_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page bounds")]
+    fn overflowing_write_panics() {
+        let mut ov = PageOverlay::new();
+        ov.reset(64);
+        ov.write(62, &[0; 4]);
+    }
+}

@@ -67,6 +67,7 @@ atomic_stats!(
     prelock_premerged,
     lazy_deferred_bytes,
     lazy_elided_bytes,
+    lazy_protect_calls,
     diff_bytes_scanned,
     snapshot_bytes_copied,
     snapshot_pool_hits,

@@ -1,7 +1,7 @@
 //! The instrumented hot phases and their attribution metadata.
 
 /// Number of instrumented phases (length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 10;
+pub const NUM_PHASES: usize = 11;
 
 /// What a phase's samples measure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +54,11 @@ pub enum Phase {
     /// Lockstep backends: one thread's diff applied during the serial
     /// phase.
     SerialApply,
+    /// Lazy-writes fault: merging and applying a page's pending runs on
+    /// first access (§4.5). High totals here mean deferral is paying its
+    /// saving back with interest — the inversion this phase was added to
+    /// diagnose.
+    LazyFault,
 }
 
 impl Phase {
@@ -69,6 +74,7 @@ impl Phase {
         Phase::IdleWakeups,
         Phase::FenceWait,
         Phase::SerialApply,
+        Phase::LazyFault,
     ];
 
     /// Dense index for array-backed per-phase state.
@@ -85,6 +91,7 @@ impl Phase {
             Phase::IdleWakeups => 7,
             Phase::FenceWait => 8,
             Phase::SerialApply => 9,
+            Phase::LazyFault => 10,
         }
     }
 
@@ -103,6 +110,7 @@ impl Phase {
             Phase::IdleWakeups => "idle_wakeups_count",
             Phase::FenceWait => "fence_wait_ns",
             Phase::SerialApply => "serial_apply_ns",
+            Phase::LazyFault => "lazy_fault_ns",
         }
     }
 
@@ -120,6 +128,7 @@ impl Phase {
             Phase::IdleWakeups => "Idle re-checks per blocking park",
             Phase::FenceWait => "Wait at the lockstep global fence",
             Phase::SerialApply => "Per-thread diff apply in the serial phase",
+            Phase::LazyFault => "Lazy-write pending apply on first access",
         }
     }
 
@@ -146,6 +155,7 @@ impl Phase {
                 | Phase::Propagation
                 | Phase::FenceWait
                 | Phase::SerialApply
+                | Phase::LazyFault
         )
     }
 }

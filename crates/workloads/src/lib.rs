@@ -25,6 +25,7 @@ pub mod parsec;
 pub mod phoenix;
 pub mod racey;
 pub mod splash;
+pub mod stress;
 pub mod util;
 
 use rfdet_api::ThreadFn;
@@ -191,6 +192,13 @@ pub fn by_name(name: &str) -> Option<Workload> {
             name: "racey",
             suite: Suite::Stress,
             factory: racey::root,
+        });
+    }
+    if name == "propagate_heavy" {
+        return Some(Workload {
+            name: "propagate_heavy",
+            suite: Suite::Stress,
+            factory: stress::propagate_heavy,
         });
     }
     if name.starts_with("chaos.") {

@@ -1,9 +1,10 @@
 //! The cross-backend conformance matrix (ISSUE 5 satellite).
 //!
 //! Table-driven: the matrix is built from the workload registry itself
-//! (`benchmarks()` + `racey` + `chaos::scenarios()`), so a workload
-//! added to the registry is enrolled here automatically. Every entry
-//! runs on all backends × {2, 4} threads, twice per cell — and the
+//! (`benchmarks()` + `racey` + `propagate_heavy` + `chaos::scenarios()`),
+//! so a workload added to the registry is enrolled here automatically.
+//! Every entry runs on all backends × {2, 4, 8, 16} threads (16 is
+//! `#[ignore]`d for scheduled/manual runs), twice per cell — and the
 //! second run collects metrics, so the whole matrix doubles as an
 //! end-to-end check that observation never perturbs results.
 //!
@@ -47,6 +48,7 @@ fn expectation(w: &Workload) -> Expectation {
 fn table() -> Vec<Workload> {
     let mut t = benchmarks();
     t.push(rfdet::workloads::by_name("racey").expect("racey registered"));
+    t.push(rfdet::workloads::by_name("propagate_heavy").expect("stress registered"));
     t.extend(chaos::scenarios());
     t
 }
@@ -60,10 +62,25 @@ fn cfg(metrics: bool) -> RunConfig {
 }
 
 /// Runs one cell twice — plain, then with metrics on — and checks the
-/// outputs byte-identical before returning the (shared) output.
+/// outputs byte-identical before returning the (shared) output. On
+/// backends that honor lazy writes, a third run with deferral on must
+/// also match: eager and lazy propagation are two schedules of the same
+/// modification order, so the digest may not move.
 fn run_cell(b: &dyn DmtBackend, w: &Workload, threads: usize) -> Vec<u8> {
     let plain = b.run_expect(&cfg(false), (w.factory)(Params::new(threads, Size::Test)));
     let observed = b.run_expect(&cfg(true), (w.factory)(Params::new(threads, Size::Test)));
+    if b.supports_lazy_writes() {
+        let mut lazy_cfg = cfg(false);
+        lazy_cfg.rfdet.lazy_writes = true;
+        let lazy = b.run_expect(&lazy_cfg, (w.factory)(Params::new(threads, Size::Test)));
+        assert_eq!(
+            plain.output_digest(),
+            lazy.output_digest(),
+            "{}@{threads} on {}: lazy writes changed the output",
+            w.name,
+            b.name()
+        );
+    }
     assert!(
         !plain.output.is_empty(),
         "{}@{threads} on {} produced no output",
@@ -123,6 +140,22 @@ fn conformance_matrix_two_threads() {
 #[test]
 fn conformance_matrix_four_threads() {
     digest_matrix(4);
+}
+
+#[test]
+fn conformance_matrix_eight_threads() {
+    digest_matrix(8);
+}
+
+/// The widest matrix cell. `#[ignore]`d because it oversubscribes CI
+/// runners (16 live threads per cell, every workload, every backend);
+/// the `scaling-smoke` workflow job runs it on schedule/dispatch with
+/// `-- --ignored`, and it must stay green — lazy writes are exercised
+/// hardest here.
+#[test]
+#[ignore = "16-thread matrix is for scheduled/manual CI (cargo test -- --ignored)"]
+fn conformance_matrix_sixteen_threads() {
+    digest_matrix(16);
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Property: lazy writes are invisible at scale (ISSUE 6 satellite).
+//!
+//! §4.5 deferral is a pure scheduling change to *when* propagated
+//! modifications land in a thread's private space — never to what any
+//! access observes. So for every backend that honors the flag, a lazy
+//! run must produce a byte-identical output digest to the eager run of
+//! the same program, at the thread counts where deferral is busiest
+//! (8 and 16), and under schedule perturbation: random jitter plans
+//! (the jitter half of [`FaultPlan::random`]) shift turn order without
+//! failing anything, so digests must hold across them too.
+
+use proptest::prelude::*;
+use rfdet::api::FaultAction;
+use rfdet::workloads::{by_name, Params, Size};
+use rfdet::{all_backends, DmtBackend, FaultPlan, RunConfig};
+
+/// The jitter-only projection of a chaos plan: [`FaultPlan::random`]
+/// mixes panics and jitter roughly evenly, and a panicking run has no
+/// output digest to compare — so keep only the perturbations that
+/// leave the program intact.
+fn jitter_plan(seed: u64, threads: u32) -> FaultPlan {
+    let chaos = FaultPlan::random(seed, threads, 120, 8);
+    FaultPlan::from_specs(
+        chaos
+            .specs()
+            .iter()
+            .filter(|s| matches!(s.action, FaultAction::JitterTicks { .. }))
+            .copied()
+            .collect(),
+    )
+}
+
+fn cfg(lazy: bool, plan: &FaultPlan) -> RunConfig {
+    let mut c = RunConfig::small();
+    c.rfdet.fault_cost_spins = 0;
+    c.rfdet.lazy_writes = lazy;
+    c.fault_plan = plan.clone();
+    c
+}
+
+/// Digest of one propagate-heavy run (the workload whose every slice
+/// exercises the pending-queue machinery on multiple pages).
+fn digest(b: &dyn DmtBackend, threads: usize, lazy: bool, plan: &FaultPlan) -> u64 {
+    let w = by_name("propagate_heavy").expect("stress workload registered");
+    b.run_expect(
+        &cfg(lazy, plan),
+        (w.factory)(Params::new(threads, Size::Test)),
+    )
+    .output_digest()
+}
+
+fn assert_lazy_matches_eager(threads: usize, seed: u64) {
+    let plan = jitter_plan(seed, threads as u32);
+    for b in all_backends()
+        .into_iter()
+        .filter(|b| b.supports_lazy_writes())
+    {
+        let eager = digest(b.as_ref(), threads, false, &plan);
+        let lazy = digest(b.as_ref(), threads, true, &plan);
+        assert_eq!(
+            eager,
+            lazy,
+            "{}@{threads}t seed={seed:#x}: lazy digest diverged from eager",
+            b.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lazy_digest_matches_eager_at_eight_threads(seed in any::<u64>()) {
+        assert_lazy_matches_eager(8, seed);
+    }
+}
+
+proptest! {
+    // 16-thread runs oversubscribe small machines; fewer cases keep the
+    // property affordable while still sweeping distinct jitter plans.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lazy_digest_matches_eager_at_sixteen_threads(seed in any::<u64>()) {
+        assert_lazy_matches_eager(16, seed);
+    }
+}
+
+/// The capability gate itself: the property above must not be vacuous.
+#[test]
+fn at_least_two_backends_support_lazy_writes() {
+    let n = all_backends()
+        .iter()
+        .filter(|b| b.supports_lazy_writes())
+        .count();
+    assert!(n >= 2, "expected RFDet-ci and RFDet-pf, found {n}");
+}
