@@ -142,6 +142,16 @@ pub struct RunConfig {
     /// liveness/latency trade-off — wakeups themselves are delivered
     /// deterministically — so it never enters the trace projection.
     pub idle_poll_ms: u64,
+    /// Fall back to the original broadcast spin-scan turn arbitration
+    /// instead of successor handoff (every waiter scans every slot,
+    /// O(T²) coherence traffic per turn transition). Both strategies
+    /// admit the identical turn sequence — *which* thread is minimal is
+    /// a pure function of logical clocks; arbitration only decides how
+    /// the winner finds out — so, like `idle_poll_ms`, this is a
+    /// latency/throughput knob that stays out of the trace projection.
+    /// Kept for A/B measurement and as the oracle mode the handoff
+    /// protocol is pinned against.
+    pub spin_arbitration: bool,
 }
 
 impl Default for RunConfig {
@@ -163,6 +173,7 @@ impl Default for RunConfig {
             trace: None,
             metrics: false,
             idle_poll_ms: 20,
+            spin_arbitration: false,
         }
     }
 }
@@ -260,10 +271,12 @@ impl RunConfig {
             deadlock_after_ms: c.deadlock_after_ms,
             trace: Some(trace.workload.clone()),
             // Not part of the determinism-relevant projection: metrics
-            // never influence results, and the idle-poll period only
-            // affects wakeup latency. Replays use the defaults.
+            // never influence results, the idle-poll period only affects
+            // wakeup latency, and both arbitration strategies admit the
+            // identical turn sequence. Replays use the defaults.
             metrics: false,
             idle_poll_ms: RunConfig::default().idle_poll_ms,
+            spin_arbitration: false,
         }
     }
 
@@ -373,6 +386,7 @@ mod tests {
         let mut cfg = RunConfig::small();
         cfg.metrics = true;
         cfg.idle_poll_ms = 3;
+        cfg.spin_arbitration = true;
         cfg.trace = Some("w".to_owned());
         let trace = rfdet_trace::RunTrace {
             backend: "b".into(),
@@ -390,6 +404,10 @@ mod tests {
         let back = RunConfig::from_trace(&trace);
         assert!(!back.metrics, "replays run with metrics off by default");
         assert_eq!(back.idle_poll_ms, RunConfig::default().idle_poll_ms);
+        assert!(
+            !back.spin_arbitration,
+            "arbitration strategy is schedule-neutral: replays use handoff"
+        );
     }
 
     #[test]

@@ -113,6 +113,16 @@ pub struct Stats {
     pub shard_lock_contended: u64,
     /// Sync-queue class locks that were held by another thread on arrival.
     pub queue_lock_contended: u64,
+
+    // ---- turn arbitration (Kendo successor handoff) ----
+    /// Successor scans run by turn holders at release (handoff mode: one
+    /// per turn transition; zero in spin-scan mode).
+    pub handoff_scans: u64,
+    /// Targeted unparks of a designated successor (scans where the next
+    /// thread was parked rather than still polling).
+    pub handoff_wakes: u64,
+    /// Times a non-designated turn-waiter parked instead of spinning.
+    pub turn_parks: u64,
 }
 
 impl Stats {
@@ -200,7 +210,10 @@ impl AddAssign for Stats {
             sync_var_cache_hits,
             sync_var_cache_misses,
             shard_lock_contended,
-            queue_lock_contended
+            queue_lock_contended,
+            handoff_scans,
+            handoff_wakes,
+            turn_parks
         );
         // Peaks take the maximum, not the sum.
         self.peak_meta_bytes = self.peak_meta_bytes.max(rhs.peak_meta_bytes);

@@ -92,7 +92,14 @@ impl DmtBackend for RfdetBackend {
             Some(err) => Err(err),
             None => Ok(RunOutput {
                 output: shared.meta.collect_output(),
-                stats: shared.meta.stats.snapshot(),
+                stats: {
+                    let mut stats = shared.meta.stats.snapshot();
+                    // Arbitration counters live on the Kendo state, not
+                    // the per-thread contexts: fold them in here.
+                    (stats.handoff_scans, stats.handoff_wakes, stats.turn_parks) =
+                        shared.kendo.handoff_counters();
+                    stats
+                },
                 metrics: None,
             }),
         };

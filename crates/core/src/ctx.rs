@@ -98,6 +98,19 @@ pub struct RfdetCtx {
     pub(crate) slice_t0: Option<std::time::Instant>,
     /// `loads + stores` at slice start (metrics-only baseline).
     pub(crate) slice_ops_base: u64,
+    /// Shared phase-boundary timestamp: the end instant of the last
+    /// recorded phase, reused as the start of the adjacent one. Clock
+    /// reads dominate observation cost on sync-dense runs, so adjacent
+    /// boundaries (sync-op entry → WaitTurn, slice-wall end → Diff,
+    /// Diff end → Arbitration, Arbitration end → Propagation) share one
+    /// read; phases bounded by shared reads absorb the small in-turn
+    /// bookkeeping between them. Every reader `take()`s it — a boundary
+    /// never leaks across sync ops (each op entry re-seeds it). `None`
+    /// whenever metrics are off.
+    pub(crate) obs_boundary: Option<std::time::Instant>,
+    /// Reusable scratch buffer for propagation lower limits — avoids a
+    /// fresh `VClock` allocation per mailbox source / premerge round.
+    pub(crate) scratch_lower: VClock,
     exited: bool,
 }
 
@@ -165,6 +178,8 @@ impl RfdetCtx {
             obs: None,
             slice_t0: None,
             slice_ops_base: 0,
+            obs_boundary: None,
+            scratch_lower: VClock::new(),
             exited: false,
         };
         ctx.trace = ctx
@@ -437,19 +452,74 @@ impl RfdetCtx {
         }
     }
 
+    /// Start instant for a phase adjacent to the previously recorded
+    /// one: reuses the stored boundary read when there is one (see
+    /// `obs_boundary`), otherwise reads the clock.
+    #[inline]
+    pub(crate) fn obs_boundary_start(&mut self) -> Option<std::time::Instant> {
+        self.obs.as_ref()?;
+        self.obs_boundary
+            .take()
+            .or_else(|| Some(std::time::Instant::now()))
+    }
+
+    /// Records `phase` from `t0` to now, storing the end instant as the
+    /// boundary for the next adjacent phase.
+    #[inline]
+    pub(crate) fn obs_since_boundary(
+        &mut self,
+        phase: rfdet_api::obs::Phase,
+        t0: Option<std::time::Instant>,
+    ) {
+        if let (Some(obs), Some(t0)) = (self.obs.as_mut(), t0) {
+            let now = std::time::Instant::now();
+            obs.record(phase, now.duration_since(t0).as_nanos() as u64);
+            self.obs_boundary = Some(now);
+        }
+    }
+
+    /// Invalidate-and-reseed the shared boundary after an untimed gap (a
+    /// park, a wake wait): whatever boundary was stored predates the gap,
+    /// and letting the next adjacent phase start from it would attribute
+    /// the whole gap to that phase. The gap stays inside the `SyncOp`
+    /// envelope, unattributed — which is the honest label for blocked
+    /// time.
+    #[inline]
+    pub(crate) fn obs_reseed_boundary(&mut self) {
+        if self.obs.is_some() {
+            self.obs_boundary = Some(std::time::Instant::now());
+        }
+    }
+
     /// [`KendoState::wait_for_turn`] with the stall attributed to
-    /// [`Phase::WaitTurn`](rfdet_api::obs::Phase::WaitTurn).
+    /// [`Phase::WaitTurn`](rfdet_api::obs::Phase::WaitTurn). The stall
+    /// starts at the sync-op envelope's clock read and its end seeds the
+    /// next boundary.
     pub(crate) fn wait_for_turn_timed(&mut self) {
-        let t0 = self.obs_start();
+        let t0 = self.obs_boundary_start();
         self.shared.kendo.wait_for_turn(&self.kendo);
-        self.obs_since(rfdet_api::obs::Phase::WaitTurn, t0);
+        self.obs_since_boundary(rfdet_api::obs::Phase::WaitTurn, t0);
+    }
+
+    /// Releases the Kendo turn after a sync operation — the final tick
+    /// plus, in handoff mode, the successor scan and targeted unpark —
+    /// attributed to [`Phase::Arbitration`](rfdet_api::obs::Phase::Arbitration).
+    #[inline]
+    pub(crate) fn release_turn(&mut self) {
+        let t0 = self.obs_boundary_start();
+        self.shared
+            .kendo
+            .release_turn(&self.kendo, crate::shared::SYNC_TICK);
+        self.obs_since_boundary(rfdet_api::obs::Phase::Arbitration, t0);
     }
 
     /// Runs one sync operation under the end-to-end
-    /// [`Phase::SyncOp`](rfdet_api::obs::Phase::SyncOp) envelope.
+    /// [`Phase::SyncOp`](rfdet_api::obs::Phase::SyncOp) envelope. The
+    /// envelope's start read doubles as the WaitTurn boundary.
     #[inline]
     fn sync_timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
         let t0 = self.obs_start();
+        self.obs_boundary = t0;
         let r = f(self);
         self.obs_since(rfdet_api::obs::Phase::SyncOp, t0);
         r
@@ -479,16 +549,16 @@ impl DmtCtx for RfdetCtx {
 
     #[inline]
     fn tick(&mut self, n: u64) {
-        self.kendo.tick(n);
+        self.shared.kendo.tick_off_turn(&self.kendo, n);
     }
 
     fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
-        self.kendo.tick(1);
+        self.shared.kendo.tick_off_turn(&self.kendo, 1);
         self.read_in_turn(addr, buf);
     }
 
     fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
-        self.kendo.tick(1);
+        self.shared.kendo.tick_off_turn(&self.kendo, 1);
         self.write_in_turn(addr, data);
     }
 
@@ -525,14 +595,14 @@ impl DmtCtx for RfdetCtx {
     }
 
     fn alloc(&mut self, size: u64, align: u64) -> Addr {
-        self.kendo.tick(1);
+        self.shared.kendo.tick_off_turn(&self.kendo, 1);
         self.alloc_fault_point();
         self.stats.shared_bytes += size;
         self.heap.alloc(size, align)
     }
 
     fn dealloc(&mut self, addr: Addr) {
-        self.kendo.tick(1);
+        self.shared.kendo.tick_off_turn(&self.kendo, 1);
         self.heap.dealloc(addr);
     }
 

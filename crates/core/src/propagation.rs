@@ -17,7 +17,7 @@ impl RfdetCtx {
     /// already seen), apply its modifications in list order, and append it
     /// to our own list (transitive propagation).
     pub(crate) fn propagate_from(&mut self, from: Tid, upper: &VClock, lower: &VClock) {
-        let t0 = self.obs_start();
+        let t0 = self.obs_boundary_start();
         let cursor = self.cursors.get(&from).copied().unwrap_or(0);
         // `upper` is a release time of `from`, so the list is
         // prefix-closed under it: start at the cursor, stop at the first
@@ -31,7 +31,7 @@ impl RfdetCtx {
             self.apply_slice(s);
         }
         self.meta_thread.append_slices(&batch);
-        self.obs_since(Phase::Propagation, t0);
+        self.obs_since_boundary(Phase::Propagation, t0);
     }
 
     /// Barrier-merge propagation: everything that happened before the
@@ -39,7 +39,7 @@ impl RfdetCtx {
     /// (§4.1: "the thread with the smallest ID merges its modifications
     /// first"), deduplicated across lists.
     pub(crate) fn propagate_barrier(&mut self, b: &BarrierHandoff, lower: &VClock) {
-        let t0 = self.obs_start();
+        let t0 = self.obs_boundary_start();
         let mut seen: HashSet<(Tid, u64)> = HashSet::new();
         let mut participants = b.participants.clone();
         participants.sort_unstable();
@@ -59,7 +59,7 @@ impl RfdetCtx {
             }
             self.meta_thread.append_slices(&batch);
         }
-        self.obs_since(Phase::Propagation, t0);
+        self.obs_since_boundary(Phase::Propagation, t0);
     }
 
     /// Applies one slice's modifications to local memory — directly, or
@@ -166,8 +166,10 @@ impl RfdetCtx {
             return;
         }
         bound.set(source, sc - 1);
-        let lower = self.vc.clone();
+        let mut lower = std::mem::take(&mut self.scratch_lower);
+        lower.clone_from(&self.vc);
         if bound.leq(&lower) {
+            self.scratch_lower = lower;
             return;
         }
         let cursor = self.cursors.get(&source).copied().unwrap_or(0);
@@ -181,6 +183,7 @@ impl RfdetCtx {
         self.vc.join(&bound);
         // Everything ≤ bound is now reflected (or queued) locally.
         self.meta_thread.set_published_vc(&self.vc);
+        self.scratch_lower = lower;
     }
 
     /// Consumes a wakeup mailbox: joins each deposited release time into
@@ -188,16 +191,21 @@ impl RfdetCtx {
     /// Pre-merged slices are excluded automatically: the pre-merge joined
     /// their times into `vc`, so the lowerlimit filters them.
     pub(crate) fn apply_mailbox(&mut self, mail: Mailbox) {
+        // One scratch buffer serves every lower limit in the box: each
+        // round copies `vc` into it in place (`clone_from` reuses the
+        // allocation), where a per-round `clone` allocated afresh.
+        let mut lower = std::mem::take(&mut self.scratch_lower);
         if let Some(b) = mail.barrier {
-            let lower = self.vc.clone();
+            lower.clone_from(&self.vc);
             self.vc.join(&b.upper);
             self.propagate_barrier(&b, &lower);
         }
         for src in mail.sources {
-            let lower = self.vc.clone();
+            lower.clone_from(&self.vc);
             self.vc.join(&src.time);
             self.propagate_from(src.from, &src.time, &lower);
         }
+        self.scratch_lower = lower;
     }
 }
 

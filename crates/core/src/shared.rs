@@ -91,7 +91,12 @@ impl RuntimeShared {
         // deadlock detection (supervise.rs) normally fires first.
         let kendo = KendoState::new()
             .with_deadlock_timeout(cfg.deadlock_after())
-            .with_idle_poll(cfg.idle_poll());
+            .with_idle_poll(cfg.idle_poll())
+            .with_arbitration(if cfg.spin_arbitration {
+                rfdet_kendo::ArbitrationMode::SpinScan
+            } else {
+                rfdet_kendo::ArbitrationMode::Handoff
+            });
         let trace_sink = rfdet_api::trace_sink(&cfg);
         if let Some(sink) = &trace_sink {
             // Wakes run inside the waker's turn, so they are schedule

@@ -19,10 +19,11 @@ impl RfdetCtx {
     /// buffers are recycled into the bounded pool after diffing, so the
     /// next slice's first writes snapshot allocation-free.
     pub(crate) fn end_slice(&mut self) {
-        // One clock read serves as both the slice-wall end and the diff
+        // One clock read serves as the end of the *previous* boundary
+        // phase (WaitTurn, usually), the slice-wall end, and the diff
         // start (clock reads dominate observation cost on sync-dense
         // runs, so adjacent phase boundaries share them).
-        let diff_t0 = self.obs_start();
+        let diff_t0 = self.obs_boundary_start();
         if let (Some(t0), Some(now)) = (self.slice_t0.take(), diff_t0) {
             let ops = (self.stats.loads + self.stats.stores).saturating_sub(self.slice_ops_base);
             self.obs_count(Phase::SliceOps, ops);
@@ -53,7 +54,7 @@ impl RfdetCtx {
             }
         }
         self.stats.slices += 1;
-        self.obs_since(Phase::Diff, diff_t0);
+        self.obs_since_boundary(Phase::Diff, diff_t0);
         if !mods.is_empty() {
             let rec = SliceRec::new(self.tid, self.slice_seq, self.slice_start.clone(), mods);
             let (_slice, gc_needed) = self.shared.meta.publish_slice_for(&self.meta_thread, rec);
@@ -77,7 +78,10 @@ impl RfdetCtx {
     /// shared memory with no write permission at the beginning of each
     /// slice").
     pub(crate) fn begin_slice(&mut self) {
-        self.slice_t0 = self.obs_start();
+        // Consume (not re-store) the boundary: the new slice starts at
+        // the previous phase's end read, and whatever runs next is user
+        // code, not an adjacent instrumented phase.
+        self.slice_t0 = self.obs_boundary_start();
         self.slice_ops_base = self.stats.loads + self.stats.stores;
         self.slice_start = self.vc.clone();
         debug_assert!(self.snapshots.is_empty(), "begin_slice with open snapshots");

@@ -267,7 +267,7 @@ impl RfdetCtx {
         if !plan.is_empty() {
             let f = plan.on_sync_op(self.tid, op);
             if f.jitter_ticks > 0 {
-                self.kendo.tick(f.jitter_ticks);
+                self.shared.kendo.tick_off_turn(&self.kendo, f.jitter_ticks);
             }
             if f.panic {
                 panic!("{}", rfdet_api::FaultPlan::panic_message(self.tid, op));

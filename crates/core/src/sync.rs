@@ -19,7 +19,6 @@
 
 use crate::ctx::RfdetCtx;
 use crate::handoff::{AcquireSource, BarrierHandoff};
-use crate::shared::SYNC_TICK;
 use parking_lot::{Mutex, MutexGuard};
 use rfdet_api::{BarrierId, CondId, MutexId, ThreadFn, ThreadHandle, Tid};
 use rfdet_meta::SyncKey;
@@ -84,6 +83,9 @@ fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
             .park_until_active_with(&kendo_handle, || shared.check_deadlock()),
     };
     ctx.obs_count(rfdet_api::obs::Phase::IdleWakeups, idles);
+    // The boundary stored at sync-op entry predates the park; reseed so
+    // the mailbox propagation below is not billed for the blocked time.
+    ctx.obs_reseed_boundary();
     let mail = ctx.mailbox.lock().drain();
     debug_assert!(!mail.is_empty(), "woken without a handoff");
     ctx.apply_mailbox(mail);
@@ -157,7 +159,7 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
     match path {
         LockPath::Merged => {
             ctx.stats.slices_merged += 1;
-            ctx.kendo.tick(SYNC_TICK);
+            ctx.release_turn();
         }
         LockPath::Fast(edge) => {
             op_boundary(ctx, None);
@@ -166,7 +168,7 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
                 None => ctx.vc.clone(),
             };
             ctx.meta_thread.set_turn_vc(&turn_vc);
-            ctx.kendo.tick(SYNC_TICK);
+            ctx.release_turn();
             // Turn released — propagation proceeds in parallel with other
             // threads' synchronization. No global barrier anywhere.
             if let Some((from, time)) = edge {
@@ -180,7 +182,7 @@ pub(crate) fn lock_impl(ctx: &mut RfdetCtx, m: MutexId) {
             op_boundary(ctx, None);
             ctx.meta_thread.set_turn_vc(&ctx.vc);
             ctx.shared.kendo.block(&ctx.kendo);
-            ctx.kendo.tick(SYNC_TICK);
+            ctx.release_turn();
             // §4.5 Prelock: merge everything that must happen-before our
             // eventual acquire while the lock holder still works.
             block_and_acquire(ctx, Some(pred));
@@ -217,7 +219,7 @@ pub(crate) fn unlock_impl(ctx: &mut RfdetCtx, m: MutexId) {
         handoff_release(ctx, w, lower);
         ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
     }
-    ctx.kendo.tick(SYNC_TICK);
+    ctx.release_turn();
     op_epilogue(ctx);
 }
 
@@ -274,7 +276,7 @@ pub(crate) fn wait_impl(ctx: &mut RfdetCtx, c: CondId, m: MutexId) {
     // signaler either grants it immediately or moves us to the mutex
     // queue, in which case the eventual unlocker completes the wakeup).
     ctx.shared.kendo.block(&ctx.kendo);
-    ctx.kendo.tick(SYNC_TICK);
+    ctx.release_turn();
     block_and_acquire(ctx, None);
 }
 
@@ -358,7 +360,7 @@ pub(crate) fn signal_impl(ctx: &mut RfdetCtx, c: CondId, broadcast: bool) {
     for w in wake_now {
         ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
     }
-    ctx.kendo.tick(SYNC_TICK);
+    ctx.release_turn();
     op_epilogue(ctx);
 }
 
@@ -393,7 +395,7 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
     match arrivals {
         None => {
             ctx.shared.kendo.block(&ctx.kendo);
-            ctx.kendo.tick(SYNC_TICK);
+            ctx.release_turn();
             block_and_acquire(ctx, None);
         }
         Some(arrivals) => {
@@ -417,7 +419,7 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
                 ctx.shared.kendo.wake(w, ctx.kendo.clock() + 1);
             }
             ctx.meta_thread.join_turn_vc(&upper);
-            ctx.kendo.tick(SYNC_TICK);
+            ctx.release_turn();
             // Own merge, off turn.
             let my_lower = ctx.vc.clone();
             ctx.vc.join(&upper);
@@ -483,7 +485,7 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
         })
         .expect("failed to spawn OS thread");
     ctx.shared.os_handles.lock().insert(child_tid, handle);
-    ctx.kendo.tick(SYNC_TICK);
+    ctx.release_turn();
     op_epilogue(ctx);
     ThreadHandle(child_tid)
 }
@@ -513,7 +515,7 @@ pub(crate) fn join_impl(ctx: &mut RfdetCtx, h: ThreadHandle) {
         op_boundary(ctx, None);
         let turn_vc = ctx.vc.joined(&exit_time);
         ctx.meta_thread.set_turn_vc(&turn_vc);
-        ctx.kendo.tick(SYNC_TICK);
+        ctx.release_turn();
         let lower = ctx.vc.clone();
         ctx.vc.join(&exit_time);
         ctx.propagate_from(target, &exit_time, &lower);
@@ -522,7 +524,7 @@ pub(crate) fn join_impl(ctx: &mut RfdetCtx, h: ThreadHandle) {
         op_boundary(ctx, None);
         ctx.meta_thread.set_turn_vc(&ctx.vc);
         ctx.shared.kendo.block(&ctx.kendo);
-        ctx.kendo.tick(SYNC_TICK);
+        ctx.release_turn();
         // The join target's published clock always precedes its exit
         // time, so it is a sound prelock source for the parked joiner.
         block_and_acquire(ctx, Some(target));
@@ -584,7 +586,7 @@ pub(crate) fn atomic_impl(
     // Release boundary: publish the one-op slice and record the release.
     op_boundary(ctx, Some(key));
     ctx.meta_thread.set_turn_vc(&ctx.vc);
-    ctx.kendo.tick(SYNC_TICK);
+    ctx.release_turn();
     op_epilogue(ctx);
     old
 }

@@ -13,8 +13,15 @@
 //! execute only while its thread is the unique minimum of
 //! `(clock, tid)` over all `Active` threads — [`KendoState::wait_for_turn`]
 //! blocks until then. The operation runs, mutates whatever deterministic
-//! state it needs, and finally calls [`KendoHandle::tick`], which releases
-//! the turn.
+//! state it needs, and finally calls [`KendoState::release_turn`] (a tick
+//! plus, in handoff mode, the successor scan), which releases the turn.
+//!
+//! *Which* thread runs next is a pure function of the clocks; *how* the
+//! next thread finds out is an implementation choice ([`ArbitrationMode`]):
+//! either the releasing turn holder computes the successor and hands it a
+//! baton (default — one scan per transition, everyone else parks), or every
+//! waiter broadcast-scans all slots (the original protocol, kept as the
+//! oracle). Both admit the identical turn sequence.
 //!
 //! # The invariants that make this deterministic
 //!
@@ -42,4 +49,4 @@ mod jitter;
 mod state;
 
 pub use jitter::Jitter;
-pub use state::{KendoHandle, KendoState, Status, WakeTap};
+pub use state::{ArbitrationMode, KendoHandle, KendoState, Status, WakeTap, MAX_THREADS};

@@ -1,9 +1,30 @@
 //! The arbitration state machine.
+//!
+//! Two arbitration strategies share one protocol (see
+//! [`ArbitrationMode`]):
+//!
+//! * **Successor handoff** (the default): the turn holder alone computes
+//!   the next minimal `(clock, tid)` when it releases the turn and
+//!   publishes it in a packed [`AtomicU64`] baton. Waiters check one
+//!   uncontended load; non-designated waiters park on their own slot
+//!   condvar and are woken by a targeted notify. One O(T) scan per turn
+//!   *transition*, by one thread.
+//! * **Broadcast spin-scan** (the original protocol, kept as the debug
+//!   oracle): every waiter repeatedly runs the O(T) epoch-stable scan,
+//!   which costs O(T²) cache-coherence traffic per transition and
+//!   collapses once threads oversubscribe the CPUs.
+//!
+//! Both admit the identical turn sequence — the turn is always granted
+//! to the unique minimal `(clock, tid)` over `Active` threads — which
+//! the cross-mode tests pin.
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use rfdet_vclock::Tid;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering::SeqCst};
-use std::sync::Arc;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicU8, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release, SeqCst},
+};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Pads a value to its own cache line so per-thread slots never falsely
@@ -60,11 +81,24 @@ impl Status {
     }
 }
 
+/// Which turn-arbitration strategy a [`KendoState`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArbitrationMode {
+    /// Successor handoff via the packed baton (one scan per transition,
+    /// by the releasing thread; everyone else parks).
+    #[default]
+    Handoff,
+    /// Every waiter spin-scans all slots (the original broadcast
+    /// protocol, kept as the oracle the handoff path is checked against).
+    SpinScan,
+}
+
 #[derive(Debug)]
 struct Slot {
     clock: CachePadded<AtomicU64>,
     status: CachePadded<AtomicU8>,
-    /// Parking support for blocked threads.
+    /// Parking support for blocked threads and non-designated
+    /// turn-waiters.
     park_lock: Mutex<()>,
     park_cv: Condvar,
 }
@@ -77,6 +111,84 @@ impl Slot {
             park_lock: Mutex::new(()),
             park_cv: Condvar::new(),
         }
+    }
+}
+
+/// Maximum threads per run: the baton packs the tid into its low byte
+/// and reserves `0xFF` for the NONE sentinel.
+pub const MAX_THREADS: usize = 255;
+
+/// Baton value meaning "no active thread is designated" (terminal:
+/// every registered thread is blocked or finished). Its low byte is
+/// `0xFF`, which no valid tid can match.
+const BATON_NONE: u64 = u64::MAX;
+
+#[inline]
+fn pack(clock: u64, tid: Tid) -> u64 {
+    debug_assert!(clock < 1 << 56, "kendo clock overflows the baton");
+    (clock << 8) | u64::from(tid) & 0xFF
+}
+
+#[inline]
+fn baton_tid(b: u64) -> Tid {
+    (b & 0xFF) as Tid
+}
+
+#[inline]
+fn baton_clock(b: u64) -> u64 {
+    b >> 8
+}
+
+/// `RFDET_KENDO_TRACE` looked up once per process — the wait loop used
+/// to call `env::var_os` every 1000 spins.
+fn kendo_trace_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("RFDET_KENDO_TRACE").is_some())
+}
+
+/// Grow-only lock-free slot table: a fixed array of `OnceLock` cells
+/// plus a published length. Readers on the hot path (`has_turn`, the
+/// handoff scan, `status_of`, `finish_forced`) take no lock at all;
+/// writers (`register`) are serialized by the registration mutex and
+/// publish the new length with `Release` so a reader that observes index
+/// `i` also observes slot `i` initialized.
+struct SlotTable {
+    slots: Box<[OnceLock<Arc<Slot>>]>,
+    len: AtomicUsize,
+}
+
+impl SlotTable {
+    fn new() -> Self {
+        Self {
+            slots: (0..MAX_THREADS).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len.load(Acquire)
+    }
+
+    /// Appends a slot; caller must hold the registration lock.
+    fn push(&self, slot: Arc<Slot>) -> usize {
+        let i = self.len.load(Acquire);
+        assert!(i < MAX_THREADS, "kendo: more than {MAX_THREADS} threads");
+        assert!(self.slots[i].set(slot).is_ok(), "slot {i} registered twice");
+        self.len.store(i + 1, Release);
+        i
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &Arc<Slot> {
+        self.slots[i]
+            .get()
+            .expect("slot index past registered length")
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = (usize, &Arc<Slot>)> {
+        (0..self.len()).map(move |i| (i, self.get(i)))
     }
 }
 
@@ -109,6 +221,19 @@ impl KendoHandle {
     }
 }
 
+/// How aggressively waiters spin before parking (see
+/// `KendoState::spin_tier`). Purely a wall-clock policy: affects *when*
+/// a waiter sleeps, never *which* thread is admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SpinTier {
+    /// Threads ≤ CPUs: long yield phases, parking is the exception.
+    Dedicated,
+    /// Mild oversubscription (≤ 8×): short yield phases.
+    Shared,
+    /// Heavy oversubscription (≥ 8×): park right after the inline spin.
+    Saturated,
+}
+
 /// Observer of deterministic wakeups, set by the runtime's flight
 /// recorder: called with `(woken tid, its new clock)` from inside the
 /// waker's turn — a deterministic point of the schedule, which is what
@@ -117,7 +242,24 @@ pub type WakeTap = Box<dyn Fn(Tid, u64) + Send + Sync>;
 
 /// The global arbitration state shared by all threads of one run.
 pub struct KendoState {
-    slots: RwLock<Vec<Arc<Slot>>>,
+    slots: SlotTable,
+    /// Serializes `register` (a cold path; runtime registrations happen
+    /// inside the parent's turn anyway, but tests register freely).
+    register_lock: Mutex<()>,
+    /// The handoff baton: `(clock << 8) | tid` of the thread currently
+    /// designated to hold (or next take) the turn, or [`BATON_NONE`].
+    ///
+    /// Ownership invariant: only the thread named by the baton may scan
+    /// and republish it. While a turn is in progress the baton holds the
+    /// holder's `(arrival clock, tid)`; the holder's release tick makes
+    /// that pair stale against its own clock, and the holder then runs
+    /// the successor scan and hands the baton off. Scans are sound
+    /// without an epoch guard because status changes (block, wake,
+    /// finish, register) happen only inside turns — which cannot run
+    /// concurrently with the unique baton owner's scan — and clocks are
+    /// monotone, so an observed minimum stays a minimum.
+    baton: CachePadded<AtomicU64>,
+    mode: ArbitrationMode,
     /// How long a parked thread waits between deadlock scans.
     deadlock_after: Option<Duration>,
     /// Period of a parked thread's idle re-check (condvar wait timeout
@@ -136,6 +278,19 @@ pub struct KendoState {
     /// whose clock the scan already saw (and rejected, had it been
     /// smaller).
     wake_epoch: AtomicU64,
+    /// Successor scans run (one per turn transition in handoff mode).
+    handoff_scans: AtomicU64,
+    /// Targeted unparks issued to a designated successor.
+    handoff_wakes: AtomicU64,
+    /// Times a non-designated turn-waiter gave up spinning and parked.
+    turn_parks: AtomicU64,
+    /// Host parallelism, read once at construction. Purely a spin-length
+    /// hint: when registered threads exceed it, waiters shorten their
+    /// yield phases and park early — a runnable waiter on an
+    /// oversubscribed host steals quanta from the turn holder, so the
+    /// yield storm costs more than the condvar round trip it avoids.
+    /// Never consulted for any scheduling *decision*.
+    cpus: usize,
     /// Flight-recorder wake observer. Cold: read under an uncontended
     /// `RwLock` only on the wake path (already a slow path), `None` when
     /// recording is off.
@@ -146,6 +301,7 @@ impl std::fmt::Debug for KendoState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KendoState")
             .field("threads", &self.num_threads())
+            .field("mode", &self.mode)
             .field("deadlock_after", &self.deadlock_after)
             .field("aborted", &self.aborted())
             .field("state", &self.debug_state())
@@ -164,12 +320,38 @@ impl KendoState {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            slots: RwLock::new(Vec::new()),
+            slots: SlotTable::new(),
+            register_lock: Mutex::new(()),
+            baton: CachePadded::new(AtomicU64::new(BATON_NONE)),
+            mode: ArbitrationMode::Handoff,
             deadlock_after: Some(Duration::from_secs(30)),
             idle_poll: Duration::from_millis(20),
             abort: AtomicBool::new(false),
             wake_epoch: AtomicU64::new(0),
+            handoff_scans: AtomicU64::new(0),
+            handoff_wakes: AtomicU64::new(0),
+            turn_parks: AtomicU64::new(0),
+            cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             wake_tap: RwLock::new(None),
+        }
+    }
+
+    /// Spin-length tier, from the registered-threads : host-CPUs ratio.
+    /// Spinning is a latency win only while the spinner does not steal
+    /// the quantum the waker needs; the more oversubscribed the host,
+    /// the sooner a waiter should be off the run queue. Thresholds
+    /// measured on the reference host (see DESIGN.md §4.10): at 8×
+    /// oversubscription any yield phase costs 30-50% wall time on the
+    /// contended benches, while at 2-4× a short yield phase still beats
+    /// the condvar round trip.
+    fn spin_tier(&self) -> SpinTier {
+        let t = self.slots.len();
+        if t >= 8 * self.cpus {
+            SpinTier::Saturated
+        } else if t > self.cpus {
+            SpinTier::Shared
+        } else {
+            SpinTier::Dedicated
         }
     }
 
@@ -184,8 +366,9 @@ impl KendoState {
     /// propagate a panic out of one thread without deadlocking the rest.
     pub fn set_abort(&self) {
         self.abort.store(true, SeqCst);
-        // Kick every parked thread so they observe the flag.
-        for slot in self.slots.read().iter() {
+        // Kick every parked thread — blocked parkers and turn-waiters
+        // alike share the slot condvar — so they observe the flag.
+        for (_, slot) in self.slots.iter() {
             let _guard = slot.park_lock.lock();
             slot.park_cv.notify_all();
         }
@@ -219,6 +402,30 @@ impl KendoState {
         self
     }
 
+    /// Selects the arbitration strategy (default: [`ArbitrationMode::Handoff`]).
+    #[must_use]
+    pub fn with_arbitration(mut self, mode: ArbitrationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active arbitration strategy.
+    #[must_use]
+    pub fn arbitration(&self) -> ArbitrationMode {
+        self.mode
+    }
+
+    /// Handoff-protocol counters: `(successor scans, targeted unparks,
+    /// turn-waiter parks)`. All zero in spin-scan mode.
+    #[must_use]
+    pub fn handoff_counters(&self) -> (u64, u64, u64) {
+        (
+            self.handoff_scans.load(Relaxed),
+            self.handoff_wakes.load(Relaxed),
+            self.turn_parks.load(Relaxed),
+        )
+    }
+
     /// Epoch-stable stable-deadlock scan: `Some(blocked tids)` iff at
     /// least one registered thread is `Blocked` and **every** registered,
     /// non-`Finished` thread is `Blocked` — verified with `wake_epoch`
@@ -235,14 +442,11 @@ impl KendoState {
     pub fn blocked_snapshot(&self) -> Option<Vec<Tid>> {
         let epoch_before = self.wake_epoch.load(SeqCst);
         let mut blocked = Vec::new();
-        {
-            let slots = self.slots.read();
-            for (i, s) in slots.iter().enumerate() {
-                match Status::from_u8(s.status.load(SeqCst)) {
-                    Status::Active => return None,
-                    Status::Blocked => blocked.push(i as Tid),
-                    Status::Finished => {}
-                }
+        for (i, s) in self.slots.iter() {
+            match Status::from_u8(s.status.load(SeqCst)) {
+                Status::Active => return None,
+                Status::Blocked => blocked.push(i as Tid),
+                Status::Finished => {}
             }
         }
         if blocked.is_empty() || self.wake_epoch.load(SeqCst) != epoch_before {
@@ -255,11 +459,20 @@ impl KendoState {
     /// slot handle. Thread IDs are dense and sequential; callers must
     /// invoke this under a deterministic order (inside the parent's turn).
     pub fn register(&self, initial_clock: u64) -> KendoHandle {
-        let mut slots = self.slots.write();
-        let tid = slots.len() as Tid;
+        let guard = self.register_lock.lock();
         let slot = Arc::new(Slot::new(initial_clock, Status::Active));
-        slots.push(Arc::clone(&slot));
-        drop(slots);
+        let tid = self.slots.push(Arc::clone(&slot)) as Tid;
+        // Seed or lower the baton when the newcomer is the minimum. A
+        // runtime registration happens inside the parent's turn, where
+        // the child's clock (parent + 1) can never undercut the holder's
+        // baton pair — so this fires only for the first thread and for
+        // pre-run test registration, where no turn is in progress and
+        // re-aiming the baton at the true minimum is exactly right.
+        let packed = pack(initial_clock, tid);
+        if packed < self.baton.load(SeqCst) {
+            self.baton.store(packed, SeqCst);
+        }
+        drop(guard);
         self.wake_epoch.fetch_add(1, SeqCst);
         KendoHandle { slot, tid }
     }
@@ -267,28 +480,29 @@ impl KendoState {
     /// Number of registered threads.
     #[must_use]
     pub fn num_threads(&self) -> usize {
-        self.slots.read().len()
+        self.slots.len()
     }
 
     /// A thread's current clock.
     #[must_use]
     pub fn clock_of(&self, tid: Tid) -> u64 {
-        self.slots.read()[tid as usize].clock.load(SeqCst)
+        self.slots.get(tid as usize).clock.load(SeqCst)
     }
 
     /// A thread's current status.
     #[must_use]
     pub fn status_of(&self, tid: Tid) -> Status {
-        Status::from_u8(self.slots.read()[tid as usize].status.load(SeqCst))
+        Status::from_u8(self.slots.get(tid as usize).status.load(SeqCst))
     }
 
     /// `true` iff `(clock, tid)` is minimal over all `Active` threads —
-    /// verified by an epoch-stable scan (see `wake_epoch`).
+    /// verified by an epoch-stable scan (see `wake_epoch`). This is the
+    /// spin-scan arbitration predicate, retained in handoff mode as the
+    /// debug oracle the baton grant is checked against.
     fn has_turn(&self, me: &KendoHandle) -> bool {
         let epoch_before = self.wake_epoch.load(SeqCst);
         let my_clock = me.clock();
-        let slots = self.slots.read();
-        for (i, s) in slots.iter().enumerate() {
+        for (i, s) in self.slots.iter() {
             if i as Tid == me.tid {
                 continue;
             }
@@ -300,11 +514,112 @@ impl KendoState {
                 return false;
             }
         }
-        drop(slots);
         // A wake or register slipped in mid-scan: the snapshot may be
         // inconsistent (a thread observed Blocked may now be Active with
         // a smaller clock). Retry.
         self.wake_epoch.load(SeqCst) == epoch_before
+    }
+
+    /// The successor scan: one O(T) pass over the slot table computing
+    /// the minimal `(clock, tid)` over `Active` threads, published into
+    /// the baton. Returns `true` iff the caller itself is the minimum
+    /// (it then holds the turn); otherwise the designated successor is
+    /// unparked with a targeted notify.
+    ///
+    /// Soundness: only the baton owner calls this, so no turn body — and
+    /// therefore no block/wake/finish/register — runs concurrently.
+    /// Statuses are frozen for the duration of the scan and clocks only
+    /// grow, so the observed minimum is the true minimum at publication
+    /// time. (A designated thread that ticks past the observed clock
+    /// before reading the baton sees the stale pair, becomes the unique
+    /// scanner by the same ownership rule, and repairs the designation.)
+    fn scan_and_publish(&self, me: &KendoHandle) -> bool {
+        self.handoff_scans.fetch_add(1, Relaxed);
+        let mut best: Option<(u64, Tid)> = None;
+        for (i, s) in self.slots.iter() {
+            if Status::from_u8(s.status.load(SeqCst)) != Status::Active {
+                continue;
+            }
+            let cand = (s.clock.load(SeqCst), i as Tid);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        match best {
+            None => {
+                // Terminal: everyone blocked or finished. Parked blocked
+                // threads own deadlock detection from here.
+                self.baton.store(BATON_NONE, SeqCst);
+                false
+            }
+            Some((clock, tid)) => {
+                // Publish before the notify: a parker re-checks the baton
+                // under its own park lock before sleeping, so the store →
+                // lock → notify order makes lost wakeups impossible.
+                self.baton.store(pack(clock, tid), SeqCst);
+                if tid == me.tid {
+                    return true;
+                }
+                let slot = self.slots.get(tid as usize);
+                let _guard = slot.park_lock.lock();
+                slot.park_cv.notify_all();
+                self.handoff_wakes.fetch_add(1, Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Releases the turn after a sync operation: advances the caller's
+    /// clock by `n` and, in handoff mode, runs the successor scan. The
+    /// caller must hold the turn. (In spin-scan mode the tick alone
+    /// releases it — every waiter is scanning.)
+    pub fn release_turn(&self, me: &KendoHandle, n: u64) {
+        me.tick(n);
+        if self.mode == ArbitrationMode::Handoff {
+            self.scan_and_publish(me);
+        }
+    }
+
+    /// Off-turn clock advance with stale-designation repair.
+    ///
+    /// The paper's §3.1 no-blocking property: a thread that never
+    /// synchronizes must not delay threads that do. Under handoff, the
+    /// successor scan can designate a compute-bound thread (minimal
+    /// clock, `Active`) that is nowhere near the arbiter; if that thread
+    /// only ever advanced its clock through the plain [`KendoHandle::tick`],
+    /// waiters it has since ticked past would stay parked until it next
+    /// entered a sync op — potentially forever. So off-turn ticks route
+    /// here: whenever the clock crosses a 64-unit boundary, the thread
+    /// checks one baton load and, if it is named with a now-stale clock,
+    /// repairs the designation by rescanning.
+    ///
+    /// Soundness: a stale designation can never be *taken* (admission
+    /// requires the baton clock to equal the thread's current clock, and
+    /// clocks are monotone), so the named thread is the unique legal
+    /// scanner whether it notices in the arbiter or out here. Statuses
+    /// still only change inside turn bodies, and no turn body can start
+    /// while the baton names this thread, so the scan's frozen-status
+    /// argument carries over unchanged.
+    ///
+    /// Liveness of the amortization: if the designated thread stops
+    /// ticking entirely its clock is frozen, so by the admission rule
+    /// every waiter must wait for it regardless — no repair could help.
+    /// If it keeps ticking, it crosses a boundary within 64 units and
+    /// repairs. Wall-clock only: which thread is admitted next is still
+    /// exactly the minimal `(clock, tid)`, whenever the scan runs.
+    pub fn tick_off_turn(&self, me: &KendoHandle, n: u64) {
+        let old = me.slot.clock.fetch_add(n, SeqCst);
+        if self.mode != ArbitrationMode::Handoff {
+            return;
+        }
+        let new = old + n;
+        if (old >> 6) == (new >> 6) {
+            return;
+        }
+        let b = self.baton.load(SeqCst);
+        if b != BATON_NONE && baton_tid(b) == me.tid && baton_clock(b) < new {
+            self.scan_and_publish(me);
+        }
     }
 
     /// Blocks until the calling thread holds the turn.
@@ -313,6 +628,131 @@ impl KendoState {
     /// so until it ticks; everything it does in between is serialized
     /// against every other turn body, in deterministic order.
     pub fn wait_for_turn(&self, me: &KendoHandle) {
+        match self.mode {
+            ArbitrationMode::Handoff => self.wait_for_turn_handoff(me),
+            ArbitrationMode::SpinScan => self.wait_for_turn_scan(me),
+        }
+    }
+
+    /// Handoff waiter: one uncontended baton load per check. The
+    /// designated successor takes the turn (or repairs a stale
+    /// designation); everyone else spins briefly and then parks until
+    /// the targeted unpark.
+    fn wait_for_turn_handoff(&self, me: &KendoHandle) {
+        let start = Instant::now();
+        let mut spins: u32 = 0;
+        loop {
+            // Abort check must precede the fast-path return: a thread
+            // that is always the designated leader would otherwise never
+            // observe the abort.
+            self.check_abort();
+            let b = self.baton.load(SeqCst);
+            if baton_tid(b) == me.tid {
+                let my_clock = me.clock();
+                let bc = baton_clock(b);
+                if bc == my_clock {
+                    debug_assert!(
+                        self.has_turn(me),
+                        "baton grant disagrees with the scan oracle: t{} clock={} state={}",
+                        me.tid,
+                        my_clock,
+                        self.debug_state()
+                    );
+                    return;
+                }
+                // Stale designation: we ticked past the clock the scan
+                // observed (off-turn memory ticks). Clock monotonicity
+                // means the baton can only lag, never lead.
+                debug_assert!(
+                    bc < my_clock,
+                    "baton clock {bc} ahead of its owner t{} at {my_clock}",
+                    me.tid
+                );
+                // We are the unique baton owner: rescan and either take
+                // the turn or hand off to the real minimum.
+                if self.scan_and_publish(me) {
+                    debug_assert!(self.has_turn(me), "post-rescan grant fails the oracle");
+                    return;
+                }
+                spins = 0;
+                continue;
+            }
+            if b == BATON_NONE {
+                // No designated thread, yet we are Active: a state only
+                // test harnesses can construct (the runtime's last active
+                // thread always republishes before anyone new can wait).
+                // Safe to scan — with no turn in progress, statuses are
+                // frozen and any published minimum is valid.
+                if self.scan_and_publish(me) {
+                    return;
+                }
+            }
+            spins += 1;
+            // Oversubscribed hosts park almost immediately: the targeted
+            // unpark makes spinning pure overhead once the CPUs are full
+            // of peers that all want the quantum we are burning.
+            let park_after: u32 = match self.spin_tier() {
+                SpinTier::Dedicated => 256,
+                SpinTier::Shared => 96,
+                SpinTier::Saturated => 64,
+            };
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < park_after {
+                std::thread::yield_now();
+            } else {
+                // Not designated: park. The successor scan that picks us
+                // will publish our exact pair (a parked thread's clock is
+                // frozen) and notify our condvar.
+                self.park_for_baton(me, start);
+                spins = 0;
+            }
+        }
+    }
+
+    /// Parks a non-designated turn-waiter on its own slot condvar until
+    /// the baton names it (or the run aborts / the starvation bound
+    /// trips). Wakeup sources: the targeted handoff notify, the
+    /// `set_abort` sweep, and the `idle_poll` timeout for re-checks.
+    fn park_for_baton(&self, me: &KendoHandle, start: Instant) {
+        self.turn_parks.fetch_add(1, Relaxed);
+        let mut guard = me.slot.park_lock.lock();
+        loop {
+            self.check_abort();
+            if baton_tid(self.baton.load(SeqCst)) == me.tid {
+                return;
+            }
+            me.slot.park_cv.wait_for(&mut guard, self.idle_poll);
+            if kendo_trace_enabled() {
+                eprintln!(
+                    "[kendo-trace] t{} parked for turn at clock {}: {}",
+                    me.tid,
+                    me.clock(),
+                    self.debug_state()
+                );
+            }
+            if let Some(limit) = self.deadlock_after {
+                if start.elapsed() > limit {
+                    // Abort first so every *other* waiter (parked or
+                    // spinning) wakes and unwinds too, instead of only
+                    // the thread that noticed.
+                    drop(guard);
+                    self.set_abort();
+                    panic!(
+                        "kendo: thread {} starved waiting for its turn for {:?} \
+                         (parked; clock={}, state={})",
+                        me.tid,
+                        limit,
+                        me.clock(),
+                        self.debug_state()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The original broadcast waiter: every waiter spin-scans all slots.
+    fn wait_for_turn_scan(&self, me: &KendoHandle) {
         let mut spins: u32 = 0;
         let start = Instant::now();
         loop {
@@ -331,7 +771,7 @@ impl KendoState {
                 std::thread::yield_now();
             } else {
                 std::thread::sleep(Duration::from_micros(20));
-                if spins.is_multiple_of(1_000) && std::env::var_os("RFDET_KENDO_TRACE").is_some() {
+                if spins.is_multiple_of(1_000) && kendo_trace_enabled() {
                     eprintln!(
                         "[kendo-trace] t{} waiting at clock {}: {}",
                         me.tid,
@@ -375,16 +815,22 @@ impl KendoState {
 
     /// Marks the calling thread finished. Must be called while holding
     /// the turn; the turn is implicitly released (finished threads are
-    /// skipped by arbitration).
+    /// skipped by arbitration), so in handoff mode this also runs the
+    /// successor scan.
     pub fn finish(&self, me: &KendoHandle) {
         debug_assert!(self.has_turn(me), "finish() outside of turn");
         me.slot.status.store(Status::Finished as u8, SeqCst);
+        if self.mode == ArbitrationMode::Handoff {
+            self.scan_and_publish(me);
+        }
     }
 
     /// Marks a thread finished without the turn assertion. Only for panic
-    /// cleanup after [`KendoState::set_abort`].
+    /// cleanup after [`KendoState::set_abort`] (no baton repair needed:
+    /// every waiter is already unwinding on the abort flag).
     pub fn finish_forced(&self, tid: Tid) {
-        self.slots.read()[tid as usize]
+        self.slots
+            .get(tid as usize)
             .status
             .store(Status::Finished as u8, SeqCst);
     }
@@ -394,9 +840,10 @@ impl KendoState {
     /// **Must be called from inside the waker's turn**, and `new_clock`
     /// must be strictly greater than the waker's current clock — this
     /// keeps the waker minimal until its own tick and makes the order of
-    /// the wakeup deterministic.
+    /// the wakeup deterministic. (The waker's release scan then decides
+    /// whether the woken thread is the next successor.)
     pub fn wake(&self, target: Tid, new_clock: u64) {
-        let slot = Arc::clone(&self.slots.read()[target as usize]);
+        let slot = Arc::clone(self.slots.get(target as usize));
         debug_assert_eq!(
             Status::from_u8(slot.status.load(SeqCst)),
             Status::Blocked,
@@ -446,7 +893,23 @@ impl KendoState {
         let start = Instant::now();
         // Stage 1: poll. Typical lock/condvar handoffs land here; a
         // yielding thread keeps a tiny vruntime so the scheduler runs it
-        // promptly after the waker's store even on a saturated CPU.
+        // promptly after the waker's store even on a saturated CPU. On an
+        // oversubscribed host that logic inverts — every yielding blocked
+        // thread competes with the waker for the quantum it needs to
+        // reach the wake call — so the poll stage is cut short and the
+        // condvar (whose waiters cost the waker nothing) carries the wait.
+        // Measured on the 1-CPU reference host at 16 threads: any yield
+        // phase here costs 30-50% wall time over parking straight after
+        // the inline spin (21.8 ms vs 33+ ms on bench-scale
+        // propagate-heavy) — each runnable yielder multiplies context
+        // switches on the critical wake chain. At 2-4× oversubscription
+        // the inversion is partial: a short yield phase still wins over
+        // an immediate futex round trip.
+        let poll_cap: u32 = match self.spin_tier() {
+            SpinTier::Dedicated => 20_000,
+            SpinTier::Shared => 192,
+            SpinTier::Saturated => 64,
+        };
         let mut polls: u32 = 0;
         while Status::from_u8(me.slot.status.load(SeqCst)) != Status::Active {
             self.check_abort();
@@ -456,7 +919,7 @@ impl KendoState {
             } else {
                 std::thread::yield_now();
             }
-            if polls > 20_000 {
+            if polls > poll_cap {
                 break; // long park: fall through to sleeping
             }
         }
@@ -504,9 +967,8 @@ impl KendoState {
     /// Snapshot of all slots for diagnostics.
     #[must_use]
     pub fn debug_state(&self) -> String {
-        let slots = self.slots.read();
         let mut s = String::new();
-        for (i, slot) in slots.iter().enumerate() {
+        for (i, slot) in self.slots.iter() {
             use std::fmt::Write;
             let _ = write!(
                 s,
@@ -515,6 +977,13 @@ impl KendoState {
                 Status::from_u8(slot.status.load(SeqCst)),
                 slot.clock.load(SeqCst)
             );
+        }
+        let b = self.baton.load(SeqCst);
+        use std::fmt::Write;
+        if b == BATON_NONE {
+            let _ = write!(s, " baton=none");
+        } else {
+            let _ = write!(s, " baton=t{}@{}", baton_tid(b), baton_clock(b));
         }
         s
     }
@@ -548,7 +1017,7 @@ mod tests {
         let k = KendoState::new();
         let h = k.register(0);
         k.wait_for_turn(&h); // returns immediately
-        h.tick(1);
+        k.release_turn(&h, 1);
         k.wait_for_turn(&h);
     }
 
@@ -582,6 +1051,51 @@ mod tests {
         let b = k.register(100);
         k.finish(&a);
         assert!(k.has_turn(&b));
+    }
+
+    #[test]
+    fn finish_hands_the_baton_to_the_survivor() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(100);
+        k.finish(&a);
+        // The successor scan must have designated b: its wait returns
+        // without any other thread running.
+        k.wait_for_turn(&b);
+    }
+
+    #[test]
+    fn release_turn_designates_the_next_minimum() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        let b = k.register(3);
+        k.wait_for_turn(&a);
+        k.release_turn(&a, 5); // a: 0 -> 5; b (3) is now minimal
+        k.wait_for_turn(&b);
+        k.release_turn(&b, 5); // b: 3 -> 8; a (5) minimal again
+        k.wait_for_turn(&a);
+        let (scans, _, _) = k.handoff_counters();
+        assert!(scans >= 2, "each release runs one successor scan");
+    }
+
+    #[test]
+    fn stale_designation_is_repaired_by_the_owner() {
+        let k = Arc::new(KendoState::new());
+        let a = k.register(0);
+        let b = k.register(3);
+        k.wait_for_turn(&a);
+        k.release_turn(&a, 1); // a: 0 -> 1, still minimal: baton = (1, a)
+        a.tick(10); // off-turn ticks make the designation stale (a=11 > b=3)
+        let k2 = Arc::clone(&k);
+        let t = std::thread::spawn(move || {
+            // Stranded on the stale baton until the owner's next wait
+            // repairs the designation — the runtime analogue is the
+            // holder's next sync op.
+            k2.wait_for_turn(&b);
+            k2.release_turn(&b, 20); // b: 3 -> 23; a (11) minimal again
+        });
+        k.wait_for_turn(&a); // owner rescans, hands off to b, then waits
+        t.join().unwrap();
     }
 
     #[test]
@@ -641,47 +1155,89 @@ mod tests {
         assert_eq!(k.idle_poll, Duration::from_millis(1));
     }
 
+    /// N threads each take `rounds` turns appending their tid, ticking by
+    /// a schedule-determined amount; returns the admission order.
+    fn contended_order(k: Arc<KendoState>, n: u64, rounds: u64) -> Vec<Tid> {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let started = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let k = Arc::clone(&k);
+                let order = Arc::clone(&order);
+                let started = Arc::clone(&started);
+                let h = k.register(0);
+                std::thread::spawn(move || {
+                    started.fetch_add(1, SeqCst);
+                    while started.load(SeqCst) < n as usize {
+                        std::hint::spin_loop();
+                    }
+                    for round in 0..rounds {
+                        k.wait_for_turn(&h);
+                        order.lock().push(h.tid());
+                        // Uneven, deterministic progress per thread.
+                        k.release_turn(&h, 1 + (i + round) % 3);
+                    }
+                    k.wait_for_turn(&h);
+                    k.finish(&h);
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        Arc::try_unwrap(order).unwrap().into_inner()
+    }
+
     #[test]
     fn turn_order_is_deterministic_under_contention() {
-        // N threads each take 50 turns appending their tid; the resulting
-        // sequence must be a pure function of the tick amounts.
-        fn run() -> Vec<Tid> {
-            let k = Arc::new(KendoState::new());
-            let order = Arc::new(Mutex::new(Vec::new()));
-            let started = Arc::new(AtomicUsize::new(0));
-            let handles: Vec<_> = (0..4u64)
-                .map(|i| {
-                    let k = Arc::clone(&k);
-                    let order = Arc::clone(&order);
-                    let started = Arc::clone(&started);
-                    let h = k.register(0);
-                    std::thread::spawn(move || {
-                        started.fetch_add(1, SeqCst);
-                        while started.load(SeqCst) < 4 {
-                            std::hint::spin_loop();
-                        }
-                        for round in 0..50u64 {
-                            k.wait_for_turn(&h);
-                            order.lock().push(h.tid());
-                            // Uneven, deterministic progress per thread.
-                            h.tick(1 + (i + round) % 3);
-                        }
-                        k.wait_for_turn(&h);
-                        k.finish(&h);
-                    })
-                })
-                .collect();
-            for t in handles {
-                t.join().unwrap();
-            }
-            Arc::try_unwrap(order).unwrap().into_inner()
-        }
+        let run = || contended_order(Arc::new(KendoState::new()), 4, 50);
         let a = run();
         let b = run();
         let c = run();
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn handoff_admits_the_same_turn_sequence_as_the_scan_oracle() {
+        // The cross-mode pin: for several thread counts, the successor
+        // handoff must admit exactly the order the broadcast scan does.
+        for n in [2u64, 4, 8] {
+            let rounds = 30;
+            let handoff = contended_order(
+                Arc::new(KendoState::new().with_arbitration(ArbitrationMode::Handoff)),
+                n,
+                rounds,
+            );
+            let scan = contended_order(
+                Arc::new(KendoState::new().with_arbitration(ArbitrationMode::SpinScan)),
+                n,
+                rounds,
+            );
+            assert_eq!(handoff, scan, "mode divergence at {n} threads");
+            assert_eq!(handoff.len() as u64, n * rounds);
+        }
+    }
+
+    #[test]
+    fn parked_turn_waiter_observes_abort() {
+        let k = Arc::new(KendoState::new().with_deadlock_timeout(None));
+        let _a = k.register(0); // designated leader; never progresses
+        let b = k.register(10);
+        let k2 = Arc::clone(&k);
+        let waiter = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| k2.wait_for_turn(&b))).is_err()
+        });
+        // Give b time to pass the spin stage and park on its condvar.
+        std::thread::sleep(Duration::from_millis(50));
+        let (_, _, parks) = k.handoff_counters();
+        assert!(parks >= 1, "non-designated waiter must park, not spin");
+        k.set_abort();
+        assert!(
+            waiter.join().unwrap(),
+            "abort must unwind a parked turn-waiter"
+        );
     }
 
     #[test]
@@ -756,5 +1312,64 @@ mod tests {
         let _a = k.register(0); // never ticks, never blocked
         let b = k.register(10);
         k.wait_for_turn(&b); // can never win
+    }
+
+    #[test]
+    #[should_panic(expected = "starved")]
+    fn starvation_detector_fires_in_spin_scan_mode() {
+        let k = KendoState::new()
+            .with_arbitration(ArbitrationMode::SpinScan)
+            .with_deadlock_timeout(Some(Duration::from_millis(150)));
+        let _a = k.register(0);
+        let b = k.register(10);
+        k.wait_for_turn(&b);
+    }
+
+    /// §3.1 repair: a compute-bound thread that the successor scan
+    /// designated (minimal clock, never entering the arbiter) must hand
+    /// the baton onward from its off-turn ticks once it passes the
+    /// waiter — without this, the waiter parks until the compute
+    /// thread's next sync op, which may be arbitrarily far away.
+    #[test]
+    fn off_turn_ticks_repair_stale_designation() {
+        let k = Arc::new(KendoState::new().with_deadlock_timeout(Some(Duration::from_secs(30))));
+        let a = k.register(0);
+        let compute = k.register(0);
+        // a takes and releases its turn; the scan designates `compute`
+        // (clock 0 beats a's post-release clock).
+        k.wait_for_turn(&a);
+        k.release_turn(&a, 1);
+        assert_eq!(baton_tid(k.baton.load(SeqCst)), compute.tid());
+        let k2 = Arc::clone(&k);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let waiter = std::thread::spawn(move || {
+            // Parks: the baton names `compute`, whose clock is below a's.
+            k2.wait_for_turn(&a);
+            tx.send(()).unwrap();
+        });
+        // The compute thread never calls wait_for_turn; its off-turn
+        // ticks alone must republish the baton to `a` once they cross a
+        // 64-unit boundary past a's clock.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            k.tick_off_turn(&compute, 64);
+            match rx.try_recv() {
+                Ok(()) => break,
+                Err(_) => assert!(Instant::now() < deadline, "waiter still parked"),
+            }
+            std::thread::yield_now();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn baton_packing_round_trips() {
+        let b = pack(123_456, 17);
+        assert_eq!(baton_tid(b), 17);
+        assert_eq!(baton_clock(b), 123_456);
+        // Tuple order is preserved by integer order on the packed form.
+        assert!(pack(5, 0) < pack(5, 1));
+        assert!(pack(5, 200) < pack(6, 0));
+        assert!(pack(6, 0) < BATON_NONE);
     }
 }

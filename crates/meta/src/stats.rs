@@ -80,6 +80,9 @@ atomic_stats!(
     sync_var_cache_misses,
     shard_lock_contended,
     queue_lock_contended,
+    handoff_scans,
+    handoff_wakes,
+    turn_parks,
 );
 
 #[cfg(test)]

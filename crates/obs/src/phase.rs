@@ -1,7 +1,7 @@
 //! The instrumented hot phases and their attribution metadata.
 
 /// Number of instrumented phases (length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 11;
+pub const NUM_PHASES: usize = 12;
 
 /// What a phase's samples measure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +59,10 @@ pub enum Phase {
     /// saving back with interest — the inversion this phase was added to
     /// diagnose.
     LazyFault,
+    /// Turn release and successor handoff: the turn holder's O(T) scan
+    /// for the next minimal `(clock, tid)` plus the targeted unpark of
+    /// the designated successor (Kendo handoff arbitration).
+    Arbitration,
 }
 
 impl Phase {
@@ -75,6 +79,7 @@ impl Phase {
         Phase::FenceWait,
         Phase::SerialApply,
         Phase::LazyFault,
+        Phase::Arbitration,
     ];
 
     /// Dense index for array-backed per-phase state.
@@ -92,6 +97,7 @@ impl Phase {
             Phase::FenceWait => 8,
             Phase::SerialApply => 9,
             Phase::LazyFault => 10,
+            Phase::Arbitration => 11,
         }
     }
 
@@ -111,6 +117,7 @@ impl Phase {
             Phase::FenceWait => "fence_wait_ns",
             Phase::SerialApply => "serial_apply_ns",
             Phase::LazyFault => "lazy_fault_ns",
+            Phase::Arbitration => "arbitration_ns",
         }
     }
 
@@ -129,6 +136,7 @@ impl Phase {
             Phase::FenceWait => "Wait at the lockstep global fence",
             Phase::SerialApply => "Per-thread diff apply in the serial phase",
             Phase::LazyFault => "Lazy-write pending apply on first access",
+            Phase::Arbitration => "Turn release: successor scan and handoff",
         }
     }
 
@@ -156,6 +164,7 @@ impl Phase {
                 | Phase::FenceWait
                 | Phase::SerialApply
                 | Phase::LazyFault
+                | Phase::Arbitration
         )
     }
 }

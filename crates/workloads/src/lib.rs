@@ -201,6 +201,13 @@ pub fn by_name(name: &str) -> Option<Workload> {
             factory: stress::propagate_heavy,
         });
     }
+    if name == "sync_heavy" {
+        return Some(Workload {
+            name: "sync_heavy",
+            suite: Suite::Stress,
+            factory: stress::sync_heavy,
+        });
+    }
     if name.starts_with("chaos.") {
         return chaos::scenarios().into_iter().find(|w| w.name == name);
     }

@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_6.json — machine-readable micro-bench numbers for
+# Regenerates BENCH_7.json — machine-readable micro-bench numbers for
 # the memory-pipeline fast path (chunked diff kernel, zero-copy
-# propagation, snapshot pooling) plus the supervisor-overhead A/B
-# (cfg.supervise on vs off; budget <2%, see DESIGN.md §4.7), the
-# flight-recorder A/B (cfg.trace on vs off; budget <5% recording,
-# ~0 disabled, see DESIGN.md §4.8), the metrics-layer A/B
-# (cfg.metrics on vs off; budget <2% collecting, one branch per timed
-# site disabled, see DESIGN.md §4.9), and the lazy-vs-eager writes A/B
-# with its 2/4/8/16-thread scaling curve (budget: lazy ≤ 1.05× eager on
+# propagation, snapshot pooling) plus the turn-arbitration A/B
+# (successor handoff vs broadcast spin-scan on sync-heavy, with the
+# 2/4/8/16-thread scaling table and the 16t/8t regression guard, see
+# DESIGN.md §4.10), the supervisor-overhead A/B (cfg.supervise on vs
+# off; budget <2%, see DESIGN.md §4.7), the flight-recorder A/B
+# (cfg.trace on vs off; budget <5% recording, ~0 disabled, see
+# DESIGN.md §4.8), the metrics-layer A/B (cfg.metrics on vs off;
+# budget <2% collecting, one branch per timed site disabled, see
+# DESIGN.md §4.9), and the lazy-vs-eager writes A/B with its
+# 2/4/8/16-thread scaling curve (budget: lazy ≤ 1.05× eager on
 # propagate-heavy at 4 threads, see DESIGN.md §4.5). Also writes the
-# human-readable curve to results/thread_scaling.txt.
+# human-readable curves to results/thread_scaling.txt and
+# results/sync_heavy_scaling.txt.
 #
-# Usage: scripts/bench_json.sh [--quick] [--out PATH]
-#   --quick  shrink measurement time for CI smoke runs
-#   --out    output path (default: BENCH_6.json at the repo root)
+# Usage: scripts/bench_json.sh [--quick] [--out PATH] [--enforce]
+#   --quick    shrink measurement time for CI smoke runs
+#   --out      output path (default: BENCH_7.json at the repo root)
+#   --enforce  exit non-zero on any within-run budget breach (the CI
+#              scaling job's regression gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p rfdet-bench --bin bench_json -- "$@"
