@@ -1,7 +1,7 @@
 //! The backend abstraction: anything that can execute a DMT workload.
 
 use crate::{FaultPlan, RunConfig, RunError, Stats, ThreadFn};
-use rfdet_trace::{ddmin, RunTrace, TraceFault};
+use rfdet_trace::{ddmin, Checkpoint, RunTrace, TraceFault};
 
 /// The result of running a workload to completion under some backend.
 #[derive(Clone, Debug, Default)]
@@ -39,6 +39,14 @@ pub struct TracedRun {
     /// The recorded trace. For failed runs it has already been persisted
     /// (best effort) and the report's `trace_path` stamped.
     pub trace: Option<Box<RunTrace>>,
+    /// Checkpoints captured during the run, in epoch order. Non-empty
+    /// only on backends with [`DmtBackend::supports_checkpoints`] and
+    /// [`RunConfig::checkpoint_every`] `> 0`.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Non-fatal degradations (e.g. a trace or checkpoint that could not
+    /// be persisted). Warnings never change results or digests — they
+    /// exist so robustness is visible instead of silent.
+    pub warnings: Vec<String>,
 }
 
 /// The outcome of re-executing a recorded trace.
@@ -88,6 +96,15 @@ pub trait DmtBackend: Send + Sync {
     /// the flag report `false`, so matrix tests and property checks can
     /// enroll the lazy arm exactly where it changes the execution.
     fn supports_lazy_writes(&self) -> bool {
+        false
+    }
+
+    /// Whether the backend can capture deterministic checkpoints
+    /// ([`RunConfig::checkpoint_every`]) and restore from them. Only the
+    /// core backend implements the consistent-cut protocol; the others
+    /// report `false` and ignore the checkpoint knobs, and the
+    /// conformance matrix pins that split.
+    fn supports_checkpoints(&self) -> bool {
         false
     }
 

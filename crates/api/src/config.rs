@@ -152,6 +152,31 @@ pub struct RunConfig {
     /// Kept for A/B measurement and as the oracle mode the handoff
     /// protocol is pinned against.
     pub spin_arbitration: bool,
+    /// Deterministic checkpointing (core backend only): capture a
+    /// [`rfdet_trace::Checkpoint`] at every Nth *eligible* barrier
+    /// episode — a full-membership barrier where no mutex is held and
+    /// every recorded sync-var release is dominated by the episode's
+    /// upper limit (a consistent cut; see DESIGN.md §4.11). `0` (the
+    /// default) disables capture. Schedule-neutral: the eligibility
+    /// decision only reads state inside a turn that already exists, and
+    /// fragment capture runs off-turn — so, like `metrics`, this knob
+    /// stays out of the trace projection and a checkpointed run's
+    /// digests equal an uncheckpointed one's.
+    pub checkpoint_every: u64,
+    /// Stop the run cleanly right after contributing to the checkpoint
+    /// with this epoch (sharded replay's shard boundary). The stopping
+    /// threads unwind with a private token — no failure is recorded, the
+    /// partial output and the terminal checkpoint are the run's result.
+    /// Requires `checkpoint_every` to make the target epoch reachable.
+    pub stop_at_checkpoint: Option<u64>,
+    /// Where captured checkpoints persist (atomic rename, best-effort:
+    /// an unwritable directory degrades to a warning, never a failed
+    /// run). `None` uses `rfdet_trace::persist::trace_dir()`.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Persist captured checkpoints to disk as they seal. `false` keeps
+    /// them in-memory only (`TracedRun::checkpoints`) — sharded replay
+    /// uses this so verification shards do not re-write the chain.
+    pub persist_checkpoints: bool,
 }
 
 impl Default for RunConfig {
@@ -174,6 +199,10 @@ impl Default for RunConfig {
             metrics: false,
             idle_poll_ms: 20,
             spin_arbitration: false,
+            checkpoint_every: 0,
+            stop_at_checkpoint: None,
+            checkpoint_dir: None,
+            persist_checkpoints: true,
         }
     }
 }
@@ -273,11 +302,43 @@ impl RunConfig {
             // Not part of the determinism-relevant projection: metrics
             // never influence results, the idle-poll period only affects
             // wakeup latency, and both arbitration strategies admit the
-            // identical turn sequence. Replays use the defaults.
+            // identical turn sequence. Checkpoint capture is likewise
+            // schedule-neutral (decisions ride an existing turn, capture
+            // runs off-turn), so whether and where a run checkpoints is
+            // replay-side policy, not a recorded input. Replays use the
+            // defaults; `replay resume`/`replay shard` set the checkpoint
+            // knobs explicitly on top of this reconstruction.
             metrics: false,
             idle_poll_ms: RunConfig::default().idle_poll_ms,
             spin_arbitration: false,
+            checkpoint_every: 0,
+            stop_at_checkpoint: None,
+            checkpoint_dir: None,
+            persist_checkpoints: true,
         }
+    }
+
+    /// Reconstructs the configuration a checkpoint was recorded under,
+    /// from the checkpoint's own self-describing header — no trace file
+    /// needed. The fault plan comes back *empty*: resuming past a crash
+    /// means running without the fault that caused it; shard replay of a
+    /// faulted run should resume from its persisted trace instead.
+    #[must_use]
+    pub fn from_checkpoint(ckpt: &rfdet_trace::Checkpoint) -> Self {
+        let synthetic = rfdet_trace::RunTrace {
+            backend: ckpt.backend.clone(),
+            workload: ckpt.workload.clone(),
+            seed: ckpt.seed,
+            config: ckpt.config.clone(),
+            faults: Vec::new(),
+            events: Vec::new(),
+            failure: rfdet_trace::FailureSummary {
+                kind: rfdet_trace::KIND_NONE,
+                tid: 0,
+                report_digest: 0,
+            },
+        };
+        Self::from_trace(&synthetic)
     }
 
     /// Validates invariants (power-of-two page size, nonzero space).
@@ -408,6 +469,34 @@ mod tests {
             !back.spin_arbitration,
             "arbitration strategy is schedule-neutral: replays use handoff"
         );
+    }
+
+    #[test]
+    fn checkpoint_knobs_stay_out_of_the_trace_projection() {
+        let mut cfg = RunConfig::small();
+        cfg.checkpoint_every = 4;
+        cfg.stop_at_checkpoint = Some(8);
+        cfg.checkpoint_dir = Some(std::path::PathBuf::from("/tmp/nowhere"));
+        cfg.persist_checkpoints = false;
+        cfg.trace = Some("w".to_owned());
+        let trace = rfdet_trace::RunTrace {
+            backend: "b".into(),
+            workload: "w".into(),
+            seed: None,
+            config: cfg.trace_config(),
+            faults: Vec::new(),
+            events: Vec::new(),
+            failure: rfdet_trace::FailureSummary {
+                kind: rfdet_trace::KIND_NONE,
+                tid: 0,
+                report_digest: 0,
+            },
+        };
+        let back = RunConfig::from_trace(&trace);
+        assert_eq!(back.checkpoint_every, 0, "capture is replay-side policy");
+        assert_eq!(back.stop_at_checkpoint, None);
+        assert_eq!(back.checkpoint_dir, None);
+        assert!(back.persist_checkpoints);
     }
 
     #[test]

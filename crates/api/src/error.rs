@@ -190,6 +190,13 @@ pub struct FailureReport {
     /// [`Self::report_digest`]: a path reflects the environment, not the
     /// schedule.
     pub trace_path: Option<PathBuf>,
+    /// Non-fatal degradations hit while producing this report — e.g. the
+    /// trace or a checkpoint could not be persisted (read-only directory,
+    /// full disk). Excluded from [`Self::report_digest`] like
+    /// [`Self::trace_path`]: I/O health reflects the environment, not
+    /// the schedule, and a reproducible failure must never be masked by
+    /// an unpersistable artifact.
+    pub warnings: Vec<String>,
 }
 
 impl FailureReport {
@@ -301,6 +308,9 @@ impl FailureReport {
         if let Some(p) = &self.trace_path {
             let _ = write!(s, "\n  trace: {}", p.display());
         }
+        for w in &self.warnings {
+            let _ = write!(s, "\n  warning: {w}");
+        }
         s
     }
 }
@@ -406,6 +416,7 @@ mod tests {
             cycle: Vec::new(),
             peers: Vec::new(),
             trace_path: None,
+            warnings: Vec::new(),
         }
     }
 
@@ -519,6 +530,19 @@ mod tests {
         b.trace_path = Some(PathBuf::from("/tmp/x.trace"));
         assert_eq!(a.report_digest(), b.report_digest());
         assert!(b.render().contains("/tmp/x.trace"));
+    }
+
+    #[test]
+    fn digest_ignores_warnings_but_render_shows_them() {
+        let a = report(FailureKind::Panic);
+        let mut b = a.clone();
+        b.warnings.push("trace not persisted: disk full".to_owned());
+        assert_eq!(
+            a.report_digest(),
+            b.report_digest(),
+            "I/O health must not perturb the reproducibility digest"
+        );
+        assert!(b.render().contains("warning: trace not persisted"));
     }
 
     #[test]

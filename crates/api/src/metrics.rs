@@ -97,6 +97,7 @@ mod tests {
             cycle: Vec::new(),
             peers: Vec::new(),
             trace_path: None,
+            warnings: Vec::new(),
         }));
         let before = result.as_ref().unwrap_err().report_digest();
         finish_metrics("test", Some(&sink), &mut result);

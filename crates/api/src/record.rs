@@ -21,8 +21,9 @@ pub fn trace_sink(cfg: &RunConfig) -> Option<Arc<TraceSink>> {
 /// Assembles the run's [`RunTrace`] from the drained sink, persists it
 /// when the run failed (atomic rename; best effort — a full disk must
 /// not turn a reproducible failure into an I/O panic), and stamps the
-/// persisted path into the error's report. Returns `None` when the run
-/// was not recording.
+/// persisted path into the error's report. A persist failure degrades
+/// to a warning on the report instead of vanishing silently. Returns
+/// `None` when the run was not recording.
 pub fn finish_trace(
     backend: &str,
     cfg: &RunConfig,
@@ -52,8 +53,12 @@ pub fn finish_trace(
         failure,
     };
     if let Err(e) = result {
-        if let Ok(path) = persist::save(&trace) {
-            e.report_mut().trace_path = Some(path);
+        match persist::save(&trace) {
+            Ok(path) => e.report_mut().trace_path = Some(path),
+            Err(io) => e
+                .report_mut()
+                .warnings
+                .push(format!("trace not persisted: {io}")),
         }
     }
     Some(Box::new(trace))
@@ -76,6 +81,7 @@ mod tests {
             cycle: Vec::new(),
             peers: Vec::new(),
             trace_path: None,
+            warnings: Vec::new(),
         }))
     }
 

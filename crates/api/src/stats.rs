@@ -114,6 +114,11 @@ pub struct Stats {
     /// Sync-queue class locks that were held by another thread on arrival.
     pub queue_lock_contended: u64,
 
+    // ---- checkpoint/restore (§4.11) ----
+    /// Checkpoint fragments this run contributed (one per live thread
+    /// per captured epoch; `captured epochs = this / live threads`).
+    pub checkpoints_contributed: u64,
+
     // ---- turn arbitration (Kendo successor handoff) ----
     /// Successor scans run by turn holders at release (handoff mode: one
     /// per turn transition; zero in spin-scan mode).
@@ -211,6 +216,7 @@ impl AddAssign for Stats {
             sync_var_cache_misses,
             shard_lock_contended,
             queue_lock_contended,
+            checkpoints_contributed,
             handoff_scans,
             handoff_wakes,
             turn_parks

@@ -3,44 +3,111 @@
 //!
 //! ```text
 //! replay record <workload>[@threads] [--backend NAME] [--seed S]
+//!               [--checkpoint-every N] [--ckpt-dir DIR]
 //!               [--panic TID:OP]... [--jitter TID:OP:TICKS]...
 //!               [--fail-alloc TID:NTH]...
-//! replay replay <trace-file>
+//! replay replay <trace-file> [--timeout MS]
 //! replay shrink <trace-file>
+//! replay resume <ckpt-file> [--every N] [--timeout MS]
+//! replay shard  <ckpt-file> [-j N] [--timeout MS]
 //! replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]
 //! ```
 //!
 //! `record` runs a workload with the recorder on; if the run fails the
 //! trace is persisted (honouring `RFDET_TRACE_DIR`, default
-//! `target/rfdet-traces/`) and the path printed as `TRACE <path>`.
+//! `target/rfdet-traces/`) and the path printed as `TRACE <path>`. With
+//! `--checkpoint-every N` the core backend also persists a consistent-cut
+//! checkpoint every N eligible barrier episodes (DESIGN.md §4.11).
 //! `replay` re-executes a persisted trace pinned to its recorded inputs
 //! and exits non-zero unless the terminal digest (and, where recorded,
 //! the culprit's schedule) reproduces. `shrink` delta-debugs the
 //! recorded fault plan and writes the minimized trace beside the
 //! original with a `.min` tag.
 //!
+//! `resume` restarts a run from one persisted checkpoint and lets it
+//! finish — crash recovery. `shard` takes any checkpoint of a chain,
+//! replays every inter-checkpoint window in parallel (`-j`), and proves
+//! each shard's terminal checkpoint bit-identical to the recorded chain
+//! — the serial replay runs too, for the wall-time comparison.
+//!
 //! `metrics` runs a workload once with the deterministic-safe metrics
 //! layer enabled and prints the phase rollup — `json` (default) for
 //! tooling, `prom` for a Prometheus text-format scrape body.
 //!
 //! Workloads resolve through `rfdet_workloads::by_name`; the `chaos.*`
-//! scenarios exist specifically to fail on demand.
+//! scenarios exist specifically to fail on demand (and
+//! `chaos.long_haul` specifically to checkpoint and resume).
+//!
+//! Exit codes are distinct per failure class so scripts can branch:
+//! `0` success, `1` divergence (digest or schedule mismatch), `2` usage
+//! or unsupported configuration, `3` file I/O or codec failure, `4`
+//! wedged (the run blew its `--timeout`, or ended [`RunError::Wedged`]).
 
-use rfdet_api::{trace::persist, DmtBackend, FaultPlan, RunConfig, RunTrace, ThreadFn};
+use rfdet_api::trace::Checkpoint;
+use rfdet_api::{trace::persist, DmtBackend, FaultPlan, RunConfig, RunError, RunTrace, ThreadFn};
+use rfdet_core::RfdetBackend;
 use rfdet_workloads::{by_name, Params, Size, Workload};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Divergence: a digest or schedule did not reproduce.
+const EXIT_DIVERGED: i32 = 1;
+/// Usage error or unsupported backend/workload combination.
+const EXIT_USAGE: i32 = 2;
+/// File I/O or codec failure.
+const EXIT_IO: i32 = 3;
+/// The run wedged: `--timeout` exceeded or [`RunError::Wedged`].
+const EXIT_WEDGED: i32 = 4;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          replay record <workload>[@threads] [--backend NAME] [--seed S]\n    \
+           [--checkpoint-every N] [--ckpt-dir DIR]\n    \
            [--panic TID:OP]... [--jitter TID:OP:TICKS]... [--fail-alloc TID:NTH]...\n  \
-         replay replay <trace-file>\n  \
+         replay replay <trace-file> [--timeout MS]\n  \
          replay shrink <trace-file>\n  \
-         replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]"
+         replay resume <ckpt-file> [--every N] [--timeout MS]\n  \
+         replay shard  <ckpt-file> [-j N] [--timeout MS]\n  \
+         replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]\n\
+         exit codes: 0 ok, 1 diverged, 2 usage, 3 io, 4 wedged"
     );
-    exit(2);
+    exit(EXIT_USAGE);
+}
+
+/// Runs `f` on a worker thread, bounding it to `ms` when given. A run
+/// that cannot finish in time is wedged by definition here: the process
+/// exits `4` and the stuck thread dies with it.
+fn run_with_timeout<T: Send + 'static>(
+    ms: Option<u64>,
+    what: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let Some(ms) = ms else { return f() };
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_millis(ms)) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: {what} did not finish within {ms} ms: wedged");
+            exit(EXIT_WEDGED);
+        }
+    }
+}
+
+/// Maps a run failure to its exit code: wedged runs are a distinct
+/// class (retryable, usually environmental) from divergence.
+fn failure_code(e: &RunError) -> i32 {
+    if matches!(e, RunError::Wedged(_)) {
+        EXIT_WEDGED
+    } else {
+        EXIT_DIVERGED
+    }
 }
 
 /// Backend registry keyed by the names backends report (and traces
@@ -48,10 +115,21 @@ fn usage() -> ! {
 fn backend_by_name(name: &str) -> Option<Box<dyn DmtBackend>> {
     match name {
         "pthreads" => Some(Box::new(rfdet_native::NativeBackend)),
-        "RFDet" | "RFDet-ci" => Some(Box::new(rfdet_core::RfdetBackend::ci())),
-        "RFDet-pf" => Some(Box::new(rfdet_core::RfdetBackend::pf())),
+        "RFDet" | "RFDet-ci" => Some(Box::new(RfdetBackend::ci())),
+        "RFDet-pf" => Some(Box::new(RfdetBackend::pf())),
         "DThreads" => Some(Box::new(rfdet_dthreads::DthreadsBackend)),
         "CoreDet-q" => Some(Box::new(rfdet_quantum::QuantumBackend)),
+        _ => None,
+    }
+}
+
+/// Checkpoint restore needs the concrete core backend (`run_resumed` is
+/// not on the [`DmtBackend`] trait — no other backend can implement it).
+fn core_backend(name: &str) -> Option<RfdetBackend> {
+    match name {
+        "RFDet" => Some(RfdetBackend::default()),
+        "RFDet-ci" => Some(RfdetBackend::ci()),
+        "RFDet-pf" => Some(RfdetBackend::pf()),
         _ => None,
     }
 }
@@ -87,11 +165,51 @@ fn load_or_die(path: &str) -> RunTrace {
     match persist::load(Path::new(path)) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("error: cannot load trace {path}: {e:?}");
-            exit(2);
+            eprintln!("error: cannot load trace {path}: {e}");
+            exit(EXIT_IO);
         }
     }
 }
+
+fn load_ckpt_or_die(path: &Path) -> Checkpoint {
+    match persist::load_checkpoint(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot load checkpoint {}: {e}", path.display());
+            exit(EXIT_IO);
+        }
+    }
+}
+
+/// Resolves a checkpoint's workload to its per-tid resume bodies, or
+/// exits: both failures are configuration errors, not divergence.
+fn resume_setup(ckpt: &Checkpoint) -> (RfdetBackend, ResumeBodies) {
+    let Some(backend) = core_backend(&ckpt.backend) else {
+        eprintln!(
+            "error: backend {:?} does not support checkpoint restore",
+            ckpt.backend
+        );
+        exit(EXIT_USAGE);
+    };
+    let Some((workload, params)) = resolve_workload(&ckpt.workload) else {
+        eprintln!(
+            "error: checkpoint names unknown workload {:?}",
+            ckpt.workload
+        );
+        exit(EXIT_USAGE);
+    };
+    let Some(bodies) = rfdet_workloads::resume_bodies(workload.name, params) else {
+        eprintln!(
+            "error: workload {:?} is not resumable (its control state does not \
+             live in deterministic memory)",
+            workload.name
+        );
+        exit(EXIT_USAGE);
+    };
+    (backend, bodies)
+}
+
+type ResumeBodies = Box<dyn Fn(rfdet_api::Tid) -> ThreadFn + Send + Sync>;
 
 fn cmd_record(args: &[String]) -> i32 {
     let Some(spec) = args.first() else { usage() };
@@ -102,6 +220,8 @@ fn cmd_record(args: &[String]) -> i32 {
     let mut backend_name = "RFDet-ci".to_owned();
     let mut plan = FaultPlan::new();
     let mut seed = None;
+    let mut checkpoint_every = 0u64;
+    let mut ckpt_dir: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +231,19 @@ fn cmd_record(args: &[String]) -> i32 {
             }
             "--seed" => {
                 seed = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(PathBuf::from(
+                    args.get(i + 1).cloned().unwrap_or_else(|| usage()),
+                ));
                 i += 2;
             }
             "--panic" => {
@@ -150,7 +283,24 @@ fn cmd_record(args: &[String]) -> i32 {
     cfg.fault_plan = plan;
     cfg.jitter_seed = seed;
     cfg.trace = Some(format!("{}@{}", workload.name, params.threads));
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.checkpoint_dir = ckpt_dir;
+    if checkpoint_every > 0 && !backend.supports_checkpoints() {
+        eprintln!("error: backend {backend_name:?} does not support checkpoints");
+        return EXIT_USAGE;
+    }
     let run = backend.run_traced(&cfg, make_root(&workload, params));
+    for w in &run.warnings {
+        eprintln!("warning: {w}");
+    }
+    if let Some(first) = run.checkpoints.first() {
+        println!(
+            "checkpoints: {} (epochs {:?}, run key {:016x})",
+            run.checkpoints.len(),
+            run.checkpoints.iter().map(|c| c.epoch).collect::<Vec<_>>(),
+            first.run_key()
+        );
+    }
     match &run.result {
         Ok(out) => {
             println!(
@@ -174,17 +324,22 @@ fn cmd_record(args: &[String]) -> i32 {
 
 fn cmd_replay(args: &[String]) -> i32 {
     let Some(path) = args.first() else { usage() };
+    let timeout = parse_timeout(&args[1..]);
     let trace = load_or_die(path);
     println!("{}", trace.summary());
     let Some(backend) = backend_by_name(&trace.backend) else {
         eprintln!("error: trace names unknown backend {:?}", trace.backend);
-        return 2;
+        return EXIT_USAGE;
     };
     let Some((workload, params)) = resolve_workload(&trace.workload) else {
         eprintln!("error: trace names unknown workload {:?}", trace.workload);
-        return 2;
+        return EXIT_USAGE;
     };
-    let replay = backend.replay(&trace, make_root(&workload, params));
+    let replay = {
+        let root = make_root(&workload, params);
+        let trace = trace.clone();
+        run_with_timeout(timeout, "replay", move || backend.replay(&trace, root))
+    };
     let digest = match &replay.result {
         Ok(out) => out.output_digest(),
         Err(e) => e.report_digest(),
@@ -209,8 +364,237 @@ fn cmd_replay(args: &[String]) -> i32 {
         0
     } else {
         println!("REPLAY FAILED");
-        1
+        match &replay.result {
+            // A replay that wedged did not diverge — it never finished.
+            Err(RunError::Wedged(_)) => EXIT_WEDGED,
+            _ => EXIT_DIVERGED,
+        }
     }
+}
+
+/// Parses a trailing `--timeout MS` flag (shared by the run-executing
+/// verbs); any other flag here is a usage error.
+fn parse_timeout(args: &[String]) -> Option<u64> {
+    let mut timeout = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                timeout = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    timeout
+}
+
+/// `replay resume <ckpt-file>`: crash recovery. Rebuilds the run at the
+/// checkpoint's consistent cut and lets it finish under the recorded
+/// config — minus the fault plan, because the plan is what killed it.
+fn cmd_resume(args: &[String]) -> i32 {
+    let Some(path) = args.first() else { usage() };
+    let mut timeout = None;
+    let mut every = 0u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                timeout = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--every" => {
+                every = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let ckpt = load_ckpt_or_die(Path::new(path));
+    println!("{}", ckpt.summary());
+    let (backend, bodies) = resume_setup(&ckpt);
+    let mut cfg = RunConfig::from_checkpoint(&ckpt);
+    cfg.checkpoint_every = every;
+    let run = run_with_timeout(timeout, "resume", move || {
+        backend.run_resumed(&cfg, &ckpt, &|tid| bodies(tid))
+    });
+    for w in &run.warnings {
+        eprintln!("warning: {w}");
+    }
+    match run.result {
+        Ok(out) => {
+            println!(
+                "resumed run completed: output digest {:#018x} ({} bytes)",
+                out.output_digest(),
+                out.output.len()
+            );
+            0
+        }
+        Err(e) => {
+            println!("{e}");
+            failure_code(&e)
+        }
+    }
+}
+
+/// `replay shard <ckpt-file> -j N`: replays every inter-checkpoint
+/// window of the chain in parallel and proves each shard's terminal
+/// checkpoint bit-identical to the recorded one; the tail shard's
+/// output must match the serial replay, which also provides the
+/// wall-time baseline.
+fn cmd_shard(args: &[String]) -> i32 {
+    let Some(path) = args.first() else { usage() };
+    let mut jobs = 4usize;
+    let mut timeout = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-j" => {
+                jobs = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--timeout" => {
+                timeout = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let anchor_path = Path::new(path);
+    let anchor = load_ckpt_or_die(anchor_path);
+    let dir = anchor_path.parent().unwrap_or_else(|| Path::new("."));
+    let files = persist::checkpoint_chain(dir, anchor.run_key());
+    let chain: Vec<Checkpoint> = files.iter().map(|(_, p)| load_ckpt_or_die(p)).collect();
+    assert!(!chain.is_empty(), "the anchor itself is on the chain");
+    // Shard windows come from the recording cadence; a gappy chain
+    // (deleted files) cannot schedule its stop points.
+    let every = chain[0].epoch;
+    for (k, c) in chain.iter().enumerate() {
+        if every == 0 || c.epoch != every * (k as u64 + 1) {
+            eprintln!(
+                "error: checkpoint chain is not a uniform cadence \
+                 (epochs {:?}); cannot shard",
+                chain.iter().map(|c| c.epoch).collect::<Vec<_>>()
+            );
+            return EXIT_USAGE;
+        }
+    }
+    println!(
+        "chain: {} checkpoints, cadence {every} (run key {:016x})",
+        chain.len(),
+        anchor.run_key()
+    );
+    let (backend, bodies) = resume_setup(&chain[0]);
+    let Some((workload, params)) = resolve_workload(&chain[0].workload) else {
+        unreachable!("resume_setup already resolved the workload");
+    };
+    let mut cfg = RunConfig::from_checkpoint(&chain[0]);
+    cfg.checkpoint_every = every;
+    cfg.persist_checkpoints = false;
+
+    run_with_timeout(timeout, "shard replay", move || {
+        // Serial baseline: the full run, start to finish.
+        let t0 = Instant::now();
+        let serial = backend.run_traced(&cfg, (workload.factory)(params));
+        let serial_ms = t0.elapsed().as_millis();
+        let serial_digest = match &serial.result {
+            Ok(out) => out.output_digest(),
+            Err(e) => {
+                println!("{e}");
+                eprintln!("error: serial replay failed; chain is not replayable");
+                return failure_code(e);
+            }
+        };
+        for (k, c) in chain.iter().enumerate() {
+            let Some(own) = serial.checkpoints.get(k) else {
+                eprintln!(
+                    "error: serial replay produced no epoch-{} checkpoint",
+                    c.epoch
+                );
+                return EXIT_DIVERGED;
+            };
+            if own.digest() != c.digest() {
+                eprintln!("error: serial replay diverged at epoch {}", c.epoch);
+                return EXIT_DIVERGED;
+            }
+        }
+
+        // Parallel shards: 0 replays from the start to the first
+        // checkpoint, k resumes at checkpoint k-1 and stops at k, and
+        // the tail shard (id == chain.len()) runs to completion.
+        let n_shards = chain.len() + 1;
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<rfdet_api::TracedRun>>> =
+            (0..n_shards).map(|_| Mutex::new(None)).collect();
+        let t1 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..jobs.clamp(1, n_shards) {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n_shards {
+                        break;
+                    }
+                    let mut shard_cfg = cfg.clone();
+                    shard_cfg.stop_at_checkpoint = chain.get(k).map(|c| c.epoch);
+                    let run = if k == 0 {
+                        backend.run_traced(&shard_cfg, (workload.factory)(params))
+                    } else {
+                        backend.run_resumed(&shard_cfg, &chain[k - 1], &|tid| bodies(tid))
+                    };
+                    *results[k].lock().expect("shard result lock") = Some(run);
+                });
+            }
+        });
+        let sharded_ms = t1.elapsed().as_millis();
+
+        for (k, slot) in results.iter().enumerate() {
+            let run = slot
+                .lock()
+                .expect("shard result lock")
+                .take()
+                .expect("shard ran");
+            match &run.result {
+                Err(e) => {
+                    println!("shard {k}: {e}");
+                    return failure_code(e);
+                }
+                Ok(out) if k == n_shards - 1 => {
+                    if out.output_digest() != serial_digest {
+                        eprintln!("error: tail shard output diverged from serial replay");
+                        return EXIT_DIVERGED;
+                    }
+                }
+                Ok(_) => {
+                    let Some(last) = run.checkpoints.last() else {
+                        eprintln!("error: shard {k} produced no terminal checkpoint");
+                        return EXIT_DIVERGED;
+                    };
+                    if last.digest() != chain[k].digest() {
+                        eprintln!(
+                            "error: shard {k} terminal checkpoint diverged at epoch {}",
+                            chain[k].epoch
+                        );
+                        return EXIT_DIVERGED;
+                    }
+                }
+            }
+        }
+        println!(
+            "SHARD OK: {n_shards} shards (j={jobs}) digest-identical to serial; \
+             serial {serial_ms} ms, sharded {sharded_ms} ms"
+        );
+        0
+    })
 }
 
 fn cmd_shrink(args: &[String]) -> i32 {
@@ -315,6 +699,8 @@ fn main() {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => usage(),
     };

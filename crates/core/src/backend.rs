@@ -54,63 +54,98 @@ impl DmtBackend for RfdetBackend {
         true
     }
 
+    fn supports_checkpoints(&self) -> bool {
+        true
+    }
+
     fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         let mut cfg = cfg.clone();
         if let Some(m) = self.monitor_override {
             cfg.rfdet.monitor = m;
         }
-        let shared = Arc::new(RuntimeShared::new(cfg));
+        let mut shared = RuntimeShared::new(cfg);
+        shared.backend_name = self.name();
+        let shared = Arc::new(shared);
         let mut main = RfdetCtx::new_main(Arc::clone(&shared));
         let result = catch_unwind(AssertUnwindSafe(|| {
             root(&mut main);
             main.on_exit();
         }));
         if let Err(payload) = result {
-            let state = main.thread_report();
-            shared.record_panic(0, payload, Some(state));
+            handle_main_unwind(&shared, &mut main, payload);
         }
-        // Harvest every worker; children may keep spawning while we join,
-        // so loop until the handle map stays empty. Workers never unwind
-        // out of their closure (panics route through record_panic), so
-        // these joins cannot themselves fail.
-        loop {
-            let handles: Vec<_> = {
-                let mut map = shared.os_handles.lock();
-                map.drain().map(|(_, h)| h).collect()
-            };
-            if handles.is_empty() {
-                break;
-            }
-            for h in handles {
-                let _ = h.join();
-            }
-        }
-        // Flush the main context's trace buffer before assembling the
-        // trace (worker buffers flushed when their contexts dropped).
-        drop(main);
-        let mut result = match shared.take_run_error(&self.name()) {
-            Some(err) => Err(err),
-            None => Ok(RunOutput {
-                output: shared.meta.collect_output(),
-                stats: {
-                    let mut stats = shared.meta.stats.snapshot();
-                    // Arbitration counters live on the Kendo state, not
-                    // the per-thread contexts: fold them in here.
-                    (stats.handoff_scans, stats.handoff_wakes, stats.turn_parks) =
-                        shared.kendo.handoff_counters();
-                    stats
-                },
-                metrics: None,
-            }),
+        teardown(&self.name(), &shared, main)
+    }
+}
+
+/// Routes the main thread's unwind: a [`crate::checkpoint::CkptStop`]
+/// token is a clean shard stop (finish the slot, no failure); anything
+/// else is a recorded panic.
+pub(crate) fn handle_main_unwind(
+    shared: &Arc<RuntimeShared>,
+    main: &mut RfdetCtx,
+    payload: Box<dyn std::any::Any + Send>,
+) {
+    if payload
+        .downcast_ref::<crate::checkpoint::CkptStop>()
+        .is_some()
+    {
+        shared.kendo.finish_forced(0);
+    } else {
+        let state = main.thread_report();
+        shared.record_panic(0, payload, Some(state));
+    }
+}
+
+/// The shared tail of every core-backend run (fresh or resumed): harvest
+/// workers, assemble the result, finish the trace and metrics, and drain
+/// the checkpoint collector.
+pub(crate) fn teardown(name: &str, shared: &Arc<RuntimeShared>, main: RfdetCtx) -> TracedRun {
+    // Harvest every worker; children may keep spawning while we join,
+    // so loop until the handle map stays empty. Workers never unwind
+    // out of their closure (panics route through record_panic), so
+    // these joins cannot themselves fail.
+    loop {
+        let handles: Vec<_> = {
+            let mut map = shared.os_handles.lock();
+            map.drain().map(|(_, h)| h).collect()
         };
-        let trace = rfdet_api::finish_trace(
-            &self.name(),
-            &shared.cfg,
-            shared.trace_sink.as_ref(),
-            &mut result,
-        );
-        rfdet_api::finish_metrics(&self.name(), shared.obs.as_ref(), &mut result);
-        TracedRun { result, trace }
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    // Flush the main context's trace buffer before assembling the
+    // trace (worker buffers flushed when their contexts dropped).
+    drop(main);
+    let mut result = match shared.take_run_error(name) {
+        Some(err) => Err(err),
+        None => Ok(RunOutput {
+            output: shared.meta.collect_output(),
+            stats: {
+                let mut stats = shared.meta.stats.snapshot();
+                // Arbitration counters live on the Kendo state, not
+                // the per-thread contexts: fold them in here.
+                (stats.handoff_scans, stats.handoff_wakes, stats.turn_parks) =
+                    shared.kendo.handoff_counters();
+                stats
+            },
+            metrics: None,
+        }),
+    };
+    let trace = rfdet_api::finish_trace(name, &shared.cfg, shared.trace_sink.as_ref(), &mut result);
+    rfdet_api::finish_metrics(name, shared.obs.as_ref(), &mut result);
+    let (checkpoints, warnings) = shared.ckpt.take_results();
+    if let Err(e) = &mut result {
+        e.report_mut().warnings.extend(warnings.iter().cloned());
+    }
+    TracedRun {
+        result,
+        trace,
+        checkpoints,
+        warnings,
     }
 }
 

@@ -1,0 +1,418 @@
+//! Consistent-cut checkpoint capture (DESIGN.md §4.11).
+//!
+//! A checkpoint rides a *full-membership barrier episode*: the one point
+//! in the DLRC protocol where every live thread is provably at the same
+//! synchronization boundary without any global barrier being added —
+//! the application already paid for this one. Eligibility is decided
+//! inside the last arriver's turn ([`decide`]); per-thread state is then
+//! captured *off turn* by each participant right after its own barrier
+//! merge ([`contribute`]), so capture parallelizes exactly like
+//! propagation does and the turn pipeline never stalls on page copies.
+//!
+//! Eligibility (all three, checked in-turn):
+//!
+//! 1. **Full membership** — every live thread is a participant of this
+//!    episode. Threads parked on mutexes/condvars/joins are live but not
+//!    at the barrier, so their in-flight wakeup state would be lost.
+//! 2. **No mutex held, no waiter queued** — mutex ownership is runtime
+//!    queue state the checkpoint record deliberately does not carry.
+//! 3. **Every recorded release ≤ upper** — post-merge, each participant's
+//!    clock dominates the episode's upper limit, so every slice any
+//!    future acquire could need has already been propagated into every
+//!    survivor. That is what makes "restore with empty slice lists and
+//!    zero cursors" sound. The check matters for *unjoined dead
+//!    threads*: their exit release can exceed `upper`, and restoring
+//!    without their unpropagated slices would lose their writes to a
+//!    later joiner — such episodes are simply ineligible.
+//!
+//! The episode counter advances only on eligible episodes, so epoch
+//! numbering is itself deterministic: the same run always checkpoints at
+//! the same episodes with the same contents, which is what lets sharded
+//! replay compare checkpoint digests byte-for-byte.
+
+use crate::ctx::RfdetCtx;
+use parking_lot::Mutex;
+use rfdet_api::Tid;
+use rfdet_mem::HeapState;
+use rfdet_meta::SyncKey;
+use rfdet_trace::{
+    persist, sync_class, Checkpoint, CkptFreeList, CkptHeap, CkptPage, CkptSyncVar, CkptThread,
+};
+use rfdet_vclock::VClock;
+
+/// Panic payload for the clean shard stop
+/// ([`rfdet_api::RunConfig::stop_at_checkpoint`]): after contributing to
+/// the target epoch every participant unwinds with this token, the
+/// backend recognizes it and finishes the thread without recording a
+/// failure. Partial output plus the terminal checkpoint *are* the result.
+pub(crate) struct CkptStop;
+
+/// One live thread's contribution to a pending checkpoint.
+struct PendingCkpt {
+    /// Number of live participants still expected to contribute.
+    expected: usize,
+    /// The checkpoint under construction: global seal data and
+    /// dead-thread entries were filled in-turn by [`decide`]; live
+    /// fragments arrive off-turn through [`CkptCollector::add_fragment`].
+    ckpt: Checkpoint,
+}
+
+#[derive(Default)]
+struct CkptInner {
+    /// Eligible-episode counter — the epoch id. Seeded from the source
+    /// checkpoint on resume so a resumed run's chain continues the
+    /// original numbering.
+    episodes: u64,
+    pending: Option<PendingCkpt>,
+    collected: Vec<Checkpoint>,
+    warnings: Vec<String>,
+}
+
+/// Run-wide checkpoint assembly state, one per [`crate::shared::RuntimeShared`].
+///
+/// The lock is uncontended in the steady state: [`decide`] runs inside a
+/// turn, and the off-turn [`contribute`] calls take it once per
+/// participant per checkpointed episode.
+#[derive(Default)]
+pub(crate) struct CkptCollector {
+    inner: Mutex<CkptInner>,
+}
+
+impl CkptCollector {
+    /// Seeds the eligible-episode counter (resume: continue the source
+    /// run's epoch numbering instead of restarting at 1).
+    pub fn seed_episodes(&self, episodes: u64) {
+        self.inner.lock().episodes = episodes;
+    }
+
+    /// Records a non-fatal degradation (e.g. an unpersistable file).
+    pub fn warn(&self, msg: String) {
+        self.inner.lock().warnings.push(msg);
+    }
+
+    /// Drains the run's results at teardown.
+    pub fn take_results(&self) -> (Vec<Checkpoint>, Vec<String>) {
+        let mut inner = self.inner.lock();
+        (
+            std::mem::take(&mut inner.collected),
+            std::mem::take(&mut inner.warnings),
+        )
+    }
+
+    /// Deposits one live thread's fragment. Returns the sealed
+    /// checkpoint when this was the last expected contribution — the
+    /// caller persists it *outside* the lock.
+    fn add_fragment(&self, frag: CkptThread) -> Option<Checkpoint> {
+        let mut inner = self.inner.lock();
+        let pending = inner
+            .pending
+            .as_mut()
+            .expect("fragment contributed with no checkpoint pending");
+        pending.ckpt.threads.push(frag);
+        pending.expected -= 1;
+        if pending.expected > 0 {
+            return None;
+        }
+        let mut sealed = inner.pending.take().expect("just observed").ckpt;
+        sealed.threads.sort_by_key(|t| t.tid);
+        Some(sealed)
+    }
+}
+
+fn key_to_class(key: SyncKey) -> (u8, u64) {
+    match key {
+        SyncKey::Mutex(id) => (sync_class::MUTEX, u64::from(id)),
+        SyncKey::Cond(id) => (sync_class::COND, u64::from(id)),
+        SyncKey::Barrier(id) => (sync_class::BARRIER, u64::from(id)),
+        SyncKey::Thread(tid) => (sync_class::THREAD, u64::from(tid)),
+        SyncKey::Atomic(addr) => (sync_class::ATOMIC, addr),
+    }
+}
+
+/// Inverse of [`key_to_class`], used by restore.
+pub(crate) fn class_to_key(class: u8, id: u64) -> SyncKey {
+    #[allow(clippy::cast_possible_truncation)]
+    match class {
+        sync_class::MUTEX => SyncKey::Mutex(id as u32),
+        sync_class::COND => SyncKey::Cond(id as u32),
+        sync_class::BARRIER => SyncKey::Barrier(id as u32),
+        sync_class::THREAD => SyncKey::Thread(id as Tid),
+        sync_class::ATOMIC => SyncKey::Atomic(id),
+        other => panic!("unknown sync-var class {other} in checkpoint"),
+    }
+}
+
+fn heap_to_ckpt(s: &HeapState) -> CkptHeap {
+    CkptHeap {
+        cursor: s.cursor,
+        allocated_bytes: s.allocated_bytes,
+        free: s
+            .free
+            .iter()
+            .map(|(class, addrs)| CkptFreeList {
+                class: *class,
+                addrs: addrs.clone(),
+            })
+            .collect(),
+        live: s.live.clone(),
+    }
+}
+
+/// Inverse of [`heap_to_ckpt`], used by restore.
+pub(crate) fn ckpt_to_heap(c: &CkptHeap) -> HeapState {
+    HeapState {
+        cursor: c.cursor,
+        allocated_bytes: c.allocated_bytes,
+        free: c
+            .free
+            .iter()
+            .map(|fl| (fl.class, fl.addrs.clone()))
+            .collect(),
+        live: c.live.clone(),
+    }
+}
+
+/// Decides, inside the last arriver's turn, whether this barrier episode
+/// seeds a checkpoint. Returns the epoch to stamp into the
+/// [`crate::handoff::BarrierHandoff`] when it does.
+///
+/// Running in-turn is what makes the *global* seal data (sync-var table,
+/// join table, dead threads' output) safe to read without racing: no
+/// other thread can execute an op boundary until this turn releases, and
+/// the woken participants run only off-turn work until their next op.
+pub(crate) fn decide(ctx: &mut RfdetCtx, participants: &[Tid], upper: &VClock) -> Option<u64> {
+    let every = ctx.shared.cfg.checkpoint_every;
+    if every == 0 {
+        return None;
+    }
+    let finished: Vec<Tid> = {
+        let joins = ctx.shared.queues.joins.lock();
+        let mut f: Vec<Tid> = joins.finished.iter().copied().collect();
+        f.sort_unstable();
+        f
+    };
+    let live = ctx.shared.meta.num_threads() - finished.len();
+    if participants.len() != live {
+        return None;
+    }
+    {
+        let mxs = ctx.shared.queues.mutexes.lock();
+        if mxs
+            .values()
+            .any(|m| m.owner.is_some() || !m.queue.is_empty())
+        {
+            return None;
+        }
+    }
+    let mut sync_vars: Vec<CkptSyncVar> = Vec::new();
+    for (key, last_tid, last_time) in ctx.shared.meta.sync_var_entries() {
+        if !last_time.leq(upper) {
+            // An undominated release (typically an unjoined dead
+            // thread's exit): its slices are not yet everywhere, so the
+            // empty-slice-list restore would lose them.
+            return None;
+        }
+        let (class, id) = key_to_class(key);
+        sync_vars.push(CkptSyncVar {
+            class,
+            id,
+            last_tid,
+            last_time: last_time.components(),
+        });
+    }
+    sync_vars.sort_by_key(|v| (v.class, v.id));
+
+    let mut inner = ctx.shared.ckpt.inner.lock();
+    inner.episodes += 1;
+    let epoch = inner.episodes;
+    if !epoch.is_multiple_of(every) {
+        return None;
+    }
+    debug_assert!(
+        inner.pending.is_none(),
+        "previous checkpoint still pending at a new eligible episode"
+    );
+    // Dead threads' deterministic residue is their output stream (their
+    // writes are, by eligibility, already propagated everywhere). Safe
+    // to read in-turn: dead threads no longer mutate anything.
+    let cfg = &ctx.shared.cfg;
+    let mut threads: Vec<CkptThread> = Vec::with_capacity(ctx.shared.meta.num_threads());
+    for &tid in &finished {
+        threads.push(CkptThread {
+            tid,
+            alive: false,
+            clock: 0,
+            vc: Vec::new(),
+            slice_seq: 0,
+            sync_ops: 0,
+            allocs: 0,
+            output: ctx.shared.meta.thread(tid).output.lock().clone(),
+            heap: CkptHeap::default(),
+            pages: Vec::new(),
+        });
+    }
+    inner.pending = Some(PendingCkpt {
+        expected: participants.len(),
+        ckpt: Checkpoint {
+            epoch,
+            backend: ctx.shared.backend_name.clone(),
+            workload: cfg.trace.clone().unwrap_or_default(),
+            seed: cfg.jitter_seed,
+            config: cfg.trace_config(),
+            upper: upper.components(),
+            sync_vars,
+            finished,
+            threads,
+        },
+    });
+    Some(epoch)
+}
+
+/// Contributes the calling thread's fragment to the pending checkpoint
+/// for `epoch`. Runs *off turn*, right after the thread's own barrier
+/// merge (`op_epilogue`), in both barrier arms. The last contributor
+/// seals and persists; every contributor then honors
+/// `stop_at_checkpoint` by unwinding with [`CkptStop`].
+pub(crate) fn contribute(ctx: &mut RfdetCtx, epoch: u64) {
+    // Lazy pending queues hold propagated-but-unapplied bytes; capturing
+    // pages without flushing would checkpoint stale memory. The flush
+    // shifts *when* fault-counter stats are charged (never the bytes),
+    // and only on runs that checkpoint — stats are not captured state.
+    ctx.flush_pending();
+    let pages: Vec<usize> = ctx.space.materialized_indices().collect();
+    let frag = CkptThread {
+        tid: ctx.tid,
+        alive: true,
+        clock: ctx.kendo.clock(),
+        vc: ctx.vc.components(),
+        slice_seq: ctx.slice_seq,
+        sync_ops: ctx.sync_ops,
+        allocs: ctx.allocs,
+        output: ctx.meta_thread.output.lock().clone(),
+        heap: heap_to_ckpt(&ctx.heap.export_state()),
+        pages: pages
+            .into_iter()
+            .map(|idx| CkptPage {
+                index: idx as u64,
+                data: ctx.space.snapshot_page(idx).into_vec(),
+            })
+            .collect(),
+    };
+    ctx.stats.checkpoints_contributed += 1;
+    if let Some(sealed) = ctx.shared.ckpt.add_fragment(frag) {
+        debug_assert_eq!(sealed.epoch, epoch);
+        // Persistence runs outside the collector lock: disk latency must
+        // not serialize against other threads' (hypothetical) bookkeeping.
+        if ctx.shared.cfg.persist_checkpoints {
+            let dir = ctx
+                .shared
+                .cfg
+                .checkpoint_dir
+                .clone()
+                .unwrap_or_else(persist::trace_dir);
+            if let Err(io) = persist::save_checkpoint_in(&dir, &sealed) {
+                ctx.shared.ckpt.warn(format!(
+                    "checkpoint epoch {} not persisted: {io}",
+                    sealed.epoch
+                ));
+            }
+        }
+        ctx.shared.ckpt.inner.lock().collected.push(sealed);
+    }
+    if ctx.shared.cfg.stop_at_checkpoint == Some(epoch) {
+        silence_ckpt_stop_panics();
+        std::panic::panic_any(CkptStop);
+    }
+}
+
+/// Installs (once, process-wide) a panic-hook filter that swallows
+/// [`CkptStop`] unwinds. They are control flow — every one is caught and
+/// turned into a clean slot finish — but the default hook would still
+/// print a "thread panicked" banner plus backtrace per stopping thread,
+/// burying shard-replay output under pages of noise. All other payloads
+/// pass through to whatever hook was installed before.
+fn silence_ckpt_stop_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CkptStop>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_class_round_trips() {
+        for key in [
+            SyncKey::Mutex(7),
+            SyncKey::Cond(1),
+            SyncKey::Barrier(0),
+            SyncKey::Thread(3),
+            SyncKey::Atomic(0xdead_beef),
+        ] {
+            let (class, id) = key_to_class(key);
+            assert_eq!(class_to_key(class, id), key);
+        }
+    }
+
+    #[test]
+    fn heap_state_round_trips_through_ckpt_form() {
+        let s = HeapState {
+            cursor: 0x4000,
+            allocated_bytes: 768,
+            free: vec![(6, vec![0x100, 0x140]), (8, vec![0x800])],
+            live: vec![(0x1000, 9), (0x2000, 6)],
+        };
+        assert_eq!(ckpt_to_heap(&heap_to_ckpt(&s)), s);
+    }
+
+    #[test]
+    fn collector_seals_after_last_fragment_in_tid_order() {
+        let col = CkptCollector::default();
+        {
+            let mut inner = col.inner.lock();
+            inner.pending = Some(PendingCkpt {
+                expected: 2,
+                ckpt: Checkpoint {
+                    epoch: 1,
+                    backend: "RFDet".into(),
+                    workload: "w".into(),
+                    seed: None,
+                    config: rfdet_api::RunConfig::small().trace_config(),
+                    upper: vec![1, 1],
+                    sync_vars: Vec::new(),
+                    finished: Vec::new(),
+                    threads: Vec::new(),
+                },
+            });
+        }
+        let frag = |tid| CkptThread {
+            tid,
+            alive: true,
+            clock: 5,
+            vc: vec![1, 1],
+            slice_seq: 0,
+            sync_ops: 0,
+            allocs: 0,
+            output: Vec::new(),
+            heap: CkptHeap::default(),
+            pages: Vec::new(),
+        };
+        assert!(col.add_fragment(frag(1)).is_none());
+        let sealed = col.add_fragment(frag(0)).expect("last fragment seals");
+        assert_eq!(
+            sealed.threads.iter().map(|t| t.tid).collect::<Vec<_>>(),
+            [0, 1],
+            "threads sorted ascending regardless of contribution order"
+        );
+        let (collected, warnings) = col.take_results();
+        assert!(collected.is_empty(), "sealer pushes, not add_fragment");
+        assert!(warnings.is_empty());
+    }
+}

@@ -28,6 +28,11 @@ pub struct BarrierHandoff {
     pub participants: Vec<Tid>,
     /// Join of all participants' release times: the upperlimit.
     pub upper: VClock,
+    /// `Some(epoch)` when this episode seeds a checkpoint (§4.11): each
+    /// woken participant contributes its fragment right after its merge.
+    /// Stamped by the last arriver *before* any mailbox deposit, so
+    /// every participant of the episode sees the same decision.
+    pub checkpoint: Option<u64>,
 }
 
 /// Accumulated wakeup information for one blocking episode.

@@ -52,10 +52,12 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod backend;
+mod checkpoint;
 mod ctx;
 mod handoff;
 mod pending;
 mod propagation;
+mod resume;
 mod shared;
 mod slices;
 mod supervise;

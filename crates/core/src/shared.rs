@@ -64,6 +64,13 @@ pub(crate) struct SyncQueues {
 /// Everything shared by all threads of one RFDet run.
 pub(crate) struct RuntimeShared {
     pub cfg: RunConfig,
+    /// The running backend's display name ("RFDet", "RFDet-ci",
+    /// "RFDet-pf"). Stamped into checkpoints, whose `run_key` covers it:
+    /// two monitor modes of the same workload are different runs.
+    pub backend_name: String,
+    /// Checkpoint assembly state (§4.11); inert when
+    /// `cfg.checkpoint_every == 0`.
+    pub ckpt: crate::checkpoint::CkptCollector,
     pub kendo: KendoState,
     pub meta: MetaSpace,
     pub strips: StripAllocator,
@@ -113,6 +120,8 @@ impl RuntimeShared {
             }));
         }
         Self {
+            backend_name: "RFDet".to_owned(),
+            ckpt: crate::checkpoint::CkptCollector::default(),
             kendo,
             meta: MetaSpace::with_options(
                 cfg.meta_capacity_bytes as usize,

@@ -230,6 +230,7 @@ impl RuntimeShared {
                 .map(|(_, r)| r)
                 .collect(),
             trace_path: None,
+            warnings: Vec::new(),
         }))
     }
 }

@@ -88,6 +88,9 @@ fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
     ctx.obs_reseed_boundary();
     let mail = ctx.mailbox.lock().drain();
     debug_assert!(!mail.is_empty(), "woken without a handoff");
+    // Peek the checkpoint decision before the mailbox is consumed; the
+    // fragment is contributed only after the merge completes below.
+    let ckpt_epoch = mail.barrier.as_ref().and_then(|b| b.checkpoint);
     ctx.apply_mailbox(mail);
     debug_assert_eq!(
         ctx.vc,
@@ -95,6 +98,9 @@ fn block_and_acquire(ctx: &mut RfdetCtx, premerge_source: Option<Tid>) {
         "post-wake clock must equal the in-turn published clock"
     );
     op_epilogue(ctx);
+    if let Some(epoch) = ckpt_epoch {
+        crate::checkpoint::contribute(ctx, epoch);
+    }
 }
 
 enum LockPath {
@@ -405,9 +411,15 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
                 upper.join(t);
             }
             let participants: Vec<Tid> = arrivals.iter().map(|(t, _)| *t).collect();
+            // Checkpoint eligibility is decided here, inside the last
+            // arriver's turn, *before* any deposit or wake: the global
+            // seal data (sync-var table, join table, dead outputs) is
+            // race-free, and every participant learns the same epoch.
+            let checkpoint = crate::checkpoint::decide(ctx, &participants, &upper);
             let handoff = BarrierHandoff {
                 participants: participants.clone(),
                 upper: upper.clone(),
+                checkpoint,
             };
             for &w in &participants {
                 if w == ctx.tid {
@@ -425,6 +437,9 @@ pub(crate) fn barrier_impl(ctx: &mut RfdetCtx, b: BarrierId, parties: usize) {
             ctx.vc.join(&upper);
             ctx.propagate_barrier(&handoff, &my_lower);
             op_epilogue(ctx);
+            if let Some(epoch) = checkpoint {
+                crate::checkpoint::contribute(ctx, epoch);
+            }
         }
     }
 }
@@ -477,10 +492,22 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
                 child.on_exit();
             }));
             if let Err(payload) = result {
-                // Capture the unwound thread's deterministic state while
-                // the context is still alive, then abort the protocol.
-                let state = child.thread_report();
-                shared.record_panic(child_tid, payload, Some(state));
+                if payload
+                    .downcast_ref::<crate::checkpoint::CkptStop>()
+                    .is_some()
+                {
+                    // Clean shard stop (§4.11): the thread contributed
+                    // its fragment to the target epoch and is done. Not
+                    // a failure, not an exit — just finish the slot so
+                    // arbitration ignores it.
+                    shared.kendo.finish_forced(child_tid);
+                } else {
+                    // Capture the unwound thread's deterministic state
+                    // while the context is still alive, then abort the
+                    // protocol.
+                    let state = child.thread_report();
+                    shared.record_panic(child_tid, payload, Some(state));
+                }
             }
         })
         .expect("failed to spawn OS thread");

@@ -1,0 +1,200 @@
+//! End-to-end checkpoint/restore and sharded-replay tests (DESIGN.md
+//! §4.11), driven through the resumable `chaos.long_haul` workload.
+//!
+//! The invariant under test everywhere: a run continued from a
+//! consistent-cut checkpoint is *byte-identical* to the uninterrupted
+//! run — same output, same later checkpoints — because the cut captures
+//! every determinism-relevant input (clocks, pages, heap, sync table,
+//! fault coordinates) and the resume body replays the exact post-cut op
+//! sequence.
+
+use rfdet_api::{DmtBackend, FaultPlan, RunConfig, TracedRun};
+use rfdet_core::RfdetBackend;
+use rfdet_trace::{persist, Checkpoint};
+use rfdet_workloads::{chaos, Params, Size};
+
+/// Worker count; barrier parties are `WORKERS + 1` (main participates).
+const WORKERS: usize = 3;
+/// 12 test-size rounds with a cadence of 4 → checkpoints at 4, 8, 12.
+const EVERY: u64 = 4;
+
+fn params() -> Params {
+    Params::new(WORKERS, Size::Test)
+}
+
+fn base_cfg() -> RunConfig {
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.deadlock_after_ms = Some(10_000);
+    cfg.checkpoint_every = EVERY;
+    cfg.persist_checkpoints = false;
+    cfg.trace = Some(format!("chaos.long_haul@{WORKERS}"));
+    cfg
+}
+
+fn run_full() -> TracedRun {
+    RfdetBackend::ci().run_traced(&base_cfg(), chaos::long_haul(params()))
+}
+
+fn resumed(cfg: &RunConfig, ckpt: &Checkpoint) -> TracedRun {
+    let bodies = chaos::long_haul_resume(params());
+    RfdetBackend::ci().run_resumed(cfg, ckpt, &|tid| bodies(tid))
+}
+
+#[test]
+fn full_run_collects_the_checkpoint_chain() {
+    let run = run_full();
+    let out = run.result.expect("clean long_haul run");
+    assert!(!out.output.is_empty());
+    let epochs: Vec<u64> = run.checkpoints.iter().map(|c| c.epoch).collect();
+    assert_eq!(epochs, vec![4, 8, 12], "cadence 4 over 12 eligible rounds");
+    for c in &run.checkpoints {
+        assert_eq!(c.threads.len(), WORKERS + 1, "full membership");
+        assert!(c.threads.iter().all(|t| t.alive));
+        assert!(c.finished.is_empty());
+        assert_eq!(c.backend, "RFDet-ci");
+    }
+    assert!(run.warnings.is_empty(), "no persistence warnings in-memory");
+    // 3 checkpoints × 4 threads contributed.
+    assert_eq!(out.stats.checkpoints_contributed, 12);
+}
+
+#[test]
+fn crash_resume_recovers_to_the_identical_digest() {
+    let baseline = run_full();
+    let base_out = baseline.result.as_ref().expect("clean baseline").clone();
+
+    // Crash the run mid-flight, after the epoch-8 checkpoint persisted:
+    // worker 2 executes 3 sync ops per round, so op 30 lands in round 10.
+    let dir = std::env::temp_dir().join(format!("rfdet-ckpt-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let mut faulted_cfg = base_cfg();
+    faulted_cfg.persist_checkpoints = true;
+    faulted_cfg.checkpoint_dir = Some(dir.clone());
+    faulted_cfg.fault_plan = FaultPlan::new().panic_at(2, 30);
+    let crashed = RfdetBackend::ci().run_traced(&faulted_cfg, chaos::long_haul(params()));
+    let err = crashed
+        .result
+        .expect_err("injected panic must fail the run");
+    assert_eq!(err.report().tid, 2);
+    assert!(crashed.warnings.is_empty(), "persistence must have worked");
+
+    // Recover from the latest on-disk checkpoint: epoch 8, the last one
+    // sealed before the crash.
+    let run_key = crashed
+        .checkpoints
+        .first()
+        .expect("pre-crash chain")
+        .run_key();
+    let chain = persist::checkpoint_chain(&dir, run_key);
+    assert_eq!(
+        chain.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+        vec![4, 8],
+        "epoch 12 was never reached"
+    );
+    let (epoch, path) = persist::latest_checkpoint(&dir, run_key).expect("latest checkpoint");
+    assert_eq!(epoch, 8);
+    let ckpt = persist::load_checkpoint(&path).expect("decode persisted checkpoint");
+
+    // Resume under the recorded config minus the fault plan (the crash
+    // cause): the continuation must converge on the clean run exactly.
+    let resume = resumed(&base_cfg(), &ckpt);
+    let out = resume.result.expect("resumed run completes");
+    assert_eq!(out.output, base_out.output, "byte-identical recovery");
+    assert_eq!(out.output_digest(), base_out.output_digest());
+    assert_eq!(
+        resume
+            .checkpoints
+            .iter()
+            .map(Checkpoint::digest)
+            .collect::<Vec<_>>(),
+        vec![baseline.checkpoints[2].digest()],
+        "the resumed run reproduces the epoch-12 checkpoint bit-for-bit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unwritable_checkpoint_dir_degrades_to_warnings_not_failure() {
+    // Point checkpoint_dir *under a regular file*, which fails with
+    // ENOTDIR for any user (a read-only directory would be bypassed by
+    // root, which CI containers run as). Persistence must degrade to
+    // one warning per missed checkpoint; the run itself — output,
+    // in-memory chain, digests — must be untouched.
+    let file = std::env::temp_dir().join(format!("rfdet-ckpt-notdir-{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").expect("create blocker file");
+    let mut cfg = base_cfg();
+    cfg.persist_checkpoints = true;
+    cfg.checkpoint_dir = Some(file.join("ckpts"));
+    let run = RfdetBackend::ci().run_traced(&cfg, chaos::long_haul(params()));
+    std::fs::remove_file(&file).ok();
+
+    let baseline = run_full();
+    let out = run
+        .result
+        .expect("persistence failure must not fail the run");
+    assert_eq!(
+        out.output,
+        baseline.result.expect("clean baseline").output,
+        "degraded run is still byte-identical"
+    );
+    assert_eq!(run.checkpoints.len(), 3, "in-memory chain is complete");
+    assert_eq!(run.warnings.len(), 3, "one warning per unpersisted epoch");
+    for w in &run.warnings {
+        assert!(w.contains("not persisted"), "warning text: {w}");
+    }
+}
+
+#[test]
+fn stop_at_checkpoint_is_a_clean_partial_stop() {
+    let mut cfg = base_cfg();
+    cfg.stop_at_checkpoint = Some(4);
+    let run = RfdetBackend::ci().run_traced(&cfg, chaos::long_haul(params()));
+    let out = run.result.expect("a shard stop is not a failure");
+    assert!(
+        out.output.is_empty(),
+        "long_haul emits only after its final round"
+    );
+    assert_eq!(run.checkpoints.len(), 1);
+    assert_eq!(run.checkpoints[0].epoch, 4);
+}
+
+#[test]
+fn sharded_replay_reproduces_the_serial_chain_and_output() {
+    let baseline = run_full();
+    let base_out = baseline.result.as_ref().expect("clean baseline").clone();
+    let chain = &baseline.checkpoints;
+    assert_eq!(chain.len(), 3);
+
+    // Shard 0 replays from the start up to the first checkpoint; each
+    // later shard resumes at checkpoint k and stops at k+1. Terminal
+    // checkpoint digests must match the recorded chain bit-for-bit —
+    // that is the whole verification story for parallel shard replay.
+    let mut shard0_cfg = base_cfg();
+    shard0_cfg.stop_at_checkpoint = Some(chain[0].epoch);
+    let shard0 = RfdetBackend::ci().run_traced(&shard0_cfg, chaos::long_haul(params()));
+    shard0.result.expect("shard 0 stops cleanly");
+    assert_eq!(shard0.checkpoints.len(), 1);
+    assert_eq!(shard0.checkpoints[0].digest(), chain[0].digest());
+
+    for k in 0..2 {
+        let mut cfg = base_cfg();
+        cfg.stop_at_checkpoint = Some(chain[k + 1].epoch);
+        let shard = resumed(&cfg, &chain[k]);
+        shard.result.expect("mid shard stops cleanly");
+        let last = shard.checkpoints.last().expect("terminal checkpoint");
+        assert_eq!(
+            last.digest(),
+            chain[k + 1].digest(),
+            "shard {} terminal checkpoint diverged",
+            k + 1
+        );
+    }
+
+    // The tail shard runs to completion and must reproduce the full
+    // run's output exactly.
+    let tail = resumed(&base_cfg(), &chain[2]);
+    let out = tail.result.expect("tail shard completes");
+    assert_eq!(out.output, base_out.output);
+    assert_eq!(out.output_digest(), base_out.output_digest());
+}

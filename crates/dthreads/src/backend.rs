@@ -60,7 +60,12 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, backend: &str, root: Thre
     };
     let trace = rfdet_api::finish_trace(backend, cfg, engine.trace_sink.as_ref(), &mut result);
     rfdet_api::finish_metrics(backend, engine.obs.as_ref(), &mut result);
-    TracedRun { result, trace }
+    TracedRun {
+        result,
+        trace,
+        checkpoints: Vec::new(),
+        warnings: Vec::new(),
+    }
 }
 
 /// The DThreads-model backend: strong determinism via isolated threads,

@@ -218,6 +218,7 @@ impl Engine {
                     cycle,
                     peers: Vec::new(),
                     trace_path: None,
+                    warnings: Vec::new(),
                 });
             } else if let Some(c) = culprit {
                 self.peers.lock().entry(tid).or_insert(c);

@@ -827,12 +827,38 @@ impl KendoState {
 
     /// Marks a thread finished without the turn assertion. Only for panic
     /// cleanup after [`KendoState::set_abort`] (no baton repair needed:
-    /// every waiter is already unwinding on the abort flag).
+    /// every waiter is already unwinding on the abort flag) and for
+    /// checkpoint-restore registration of already-dead threads (the
+    /// restorer calls [`KendoState::reseed_baton`] afterwards).
     pub fn finish_forced(&self, tid: Tid) {
         self.slots
             .get(tid as usize)
             .status
             .store(Status::Finished as u8, SeqCst);
+    }
+
+    /// Re-aims the baton at the true minimal `(clock, tid)` over `Active`
+    /// threads (or [`BATON_NONE`] when none remain). For checkpoint
+    /// restore, **before the run starts**: `register` seeds the baton
+    /// with the minimum over *all* registrations, but restore also
+    /// registers already-finished threads (tids must stay dense), and
+    /// `finish_forced` never republishes — without the reseed the baton
+    /// could name a `Finished` thread forever and the resumed run would
+    /// hang at its first turn. Not for concurrent use: no thread may be
+    /// waiting yet (no notify is issued).
+    pub fn reseed_baton(&self) {
+        let mut best: Option<(u64, Tid)> = None;
+        for (i, s) in self.slots.iter() {
+            if Status::from_u8(s.status.load(SeqCst)) != Status::Active {
+                continue;
+            }
+            let cand = (s.clock.load(SeqCst), i as Tid);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        let packed = best.map_or(BATON_NONE, |(c, t)| pack(c, t));
+        self.baton.store(packed, SeqCst);
     }
 
     /// Reactivates a blocked thread with a deterministic new clock.
@@ -1360,6 +1386,30 @@ mod tests {
             std::thread::yield_now();
         }
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn reseed_baton_skips_finished_registrations() {
+        // Restore registers dead threads too (dense tids); the baton may
+        // then name a Finished thread. Reseed must re-aim it at the live
+        // minimum.
+        let k = KendoState::new();
+        let dead = k.register(0);
+        let live = k.register(7);
+        k.finish_forced(dead.tid());
+        assert_eq!(baton_tid(k.baton.load(SeqCst)), dead.tid(), "stale seed");
+        k.reseed_baton();
+        assert_eq!(baton_tid(k.baton.load(SeqCst)), live.tid());
+        k.wait_for_turn(&live); // returns: the designation is repaired
+    }
+
+    #[test]
+    fn reseed_baton_with_no_active_threads_is_none() {
+        let k = KendoState::new();
+        let a = k.register(0);
+        k.finish_forced(a.tid());
+        k.reseed_baton();
+        assert_eq!(k.baton.load(SeqCst), BATON_NONE);
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod page;
 mod prot;
 mod space;
 
-pub use alloc::{StripAllocator, ThreadHeap, MAX_HEAP_THREADS};
+pub use alloc::{HeapState, StripAllocator, ThreadHeap, MAX_HEAP_THREADS};
 pub use diff::{ModRun, RunHandle, RunList, RunRange};
 pub use overlay::PageOverlay;
 pub use page::Page;

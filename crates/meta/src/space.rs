@@ -493,6 +493,26 @@ impl MetaSpace {
         f(&mut guard)
     }
 
+    /// Every sync var with a recorded release, as `(key, lastTid,
+    /// lastTime)` sorted by key — the deterministic table projection
+    /// checkpoints capture and the capture-eligibility check scans.
+    /// Called only from inside a Kendo turn (no concurrent releases), so
+    /// the per-shard locking cannot tear the view.
+    #[must_use]
+    pub fn sync_var_entries(&self) -> Vec<(SyncKey, Tid, VClock)> {
+        let mut out = Vec::new();
+        for shard in self.sync_vars.iter() {
+            for (key, var) in shard.lock().iter() {
+                let v = var.lock();
+                if let Some(tid) = v.last_tid {
+                    out.push((*key, tid, v.last_time.clone()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(key, _, _)| key);
+        out
+    }
+
     /// Appends bytes to a thread's output stream.
     pub fn emit(&self, tid: Tid, bytes: &[u8]) {
         self.thread(tid).output.lock().extend_from_slice(bytes);

@@ -80,6 +80,7 @@ atomic_stats!(
     sync_var_cache_misses,
     shard_lock_contended,
     queue_lock_contended,
+    checkpoints_contributed,
     handoff_scans,
     handoff_wakes,
     turn_parks,

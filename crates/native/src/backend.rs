@@ -58,6 +58,11 @@ impl DmtBackend for NativeBackend {
         let trace =
             rfdet_api::finish_trace(&self.name(), cfg, shared.trace_sink.as_ref(), &mut result);
         rfdet_api::finish_metrics(&self.name(), shared.obs.as_ref(), &mut result);
-        TracedRun { result, trace }
+        TracedRun {
+            result,
+            trace,
+            checkpoints: Vec::new(),
+            warnings: Vec::new(),
+        }
     }
 }

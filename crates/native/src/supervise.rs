@@ -92,6 +92,7 @@ impl Supervision {
                     cycle: Vec::new(),
                     peers: Vec::new(),
                     trace_path: None,
+                    warnings: Vec::new(),
                 });
             } else if let Some(c) = culprit {
                 self.peers.lock().entry(tid).or_insert(c);

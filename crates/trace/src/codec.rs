@@ -53,7 +53,7 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-fn fnv(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -62,24 +62,24 @@ fn fnv(bytes: &[u8]) -> u64 {
     h
 }
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn boolean(&mut self, v: bool) {
+    pub(crate) fn boolean(&mut self, v: bool) {
         self.u8(u8::from(v));
     }
-    fn opt_u64(&mut self, v: Option<u64>) {
+    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
         match v {
             Some(x) => {
                 self.u8(1);
@@ -88,19 +88,23 @@ impl Writer {
             None => self.u8(0),
         }
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
         let end = self.pos.checked_add(n).ok_or(TraceError::BadLength)?;
         if end > self.buf.len() {
             return Err(TraceError::Truncated);
@@ -109,46 +113,50 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, TraceError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, TraceError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, TraceError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn u64(&mut self) -> Result<u64, TraceError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, TraceError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
-    fn boolean(&mut self) -> Result<bool, TraceError> {
+    pub(crate) fn boolean(&mut self) -> Result<bool, TraceError> {
         Ok(self.u8()? != 0)
     }
-    fn opt_u64(&mut self) -> Result<Option<u64>, TraceError> {
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, TraceError> {
         Ok(if self.u8()? != 0 {
             Some(self.u64()?)
         } else {
             None
         })
     }
-    fn str(&mut self) -> Result<String, TraceError> {
+    pub(crate) fn str(&mut self) -> Result<String, TraceError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::BadLength)
     }
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, TraceError> {
+        let len = self.list_len(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
     /// Guards list length prefixes against absurd values before any
     /// allocation: each element needs at least `min_elem` bytes.
-    fn list_len(&mut self, min_elem: usize) -> Result<usize, TraceError> {
+    pub(crate) fn list_len(&mut self, min_elem: usize) -> Result<usize, TraceError> {
         let len = self.u64()? as usize;
-        if len.saturating_mul(min_elem) > self.buf.len() {
+        if len.saturating_mul(min_elem.max(1)) > self.buf.len() {
             return Err(TraceError::BadLength);
         }
         Ok(len)
     }
 }
 
-fn write_config(w: &mut Writer, c: &TraceConfig) {
+pub(crate) fn write_config(w: &mut Writer, c: &TraceConfig) {
     w.u64(c.space_bytes);
     w.u64(c.page_size);
     w.u64(c.meta_capacity_bytes);
@@ -168,7 +176,7 @@ fn write_config(w: &mut Writer, c: &TraceConfig) {
     w.opt_u64(c.deadlock_after_ms);
 }
 
-fn read_config(r: &mut Reader<'_>) -> Result<TraceConfig, TraceError> {
+pub(crate) fn read_config(r: &mut Reader<'_>) -> Result<TraceConfig, TraceError> {
     Ok(TraceConfig {
         space_bytes: r.u64()?,
         page_size: r.u64()?,

@@ -26,11 +26,16 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod ckpt;
 mod codec;
 pub mod persist;
 mod shrink;
 mod sink;
 
+pub use ckpt::{
+    sync_class, Checkpoint, CkptFreeList, CkptHeap, CkptPage, CkptSyncVar, CkptThread, CKPT_MAGIC,
+    CKPT_VERSION,
+};
 pub use codec::TraceError;
 pub use shrink::ddmin;
 pub use sink::{TraceBuf, TraceSink};

@@ -7,7 +7,7 @@
 //! `.tmp-` file, never a torn `.trace`. The codec's trailing checksum
 //! backstops the remaining ways a file can be damaged after the fact.
 
-use crate::{RunTrace, TraceError};
+use crate::{Checkpoint, RunTrace, TraceError};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -42,16 +42,22 @@ pub fn save(trace: &RunTrace) -> std::io::Result<PathBuf> {
 /// # Errors
 /// Propagates filesystem errors (directory creation, write, rename).
 pub fn save_in(dir: &Path, trace: &RunTrace, tag: &str) -> std::io::Result<PathBuf> {
+    write_atomic(dir, &file_name(trace, tag), &trace.encode())
+}
+
+/// Writes `bytes` into `dir/name` atomically: unique temporary first,
+/// then rename, so a crash never leaves a torn file. Shared by trace and
+/// checkpoint persistence.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<PathBuf> {
     static SEQ: AtomicU64 = AtomicU64::new(0);
     std::fs::create_dir_all(dir)?;
-    let name = file_name(trace, tag);
-    let path = dir.join(&name);
+    let path = dir.join(name);
     let tmp = dir.join(format!(
         ".{name}.tmp-{}-{}",
         std::process::id(),
         SEQ.fetch_add(1, Relaxed)
     ));
-    std::fs::write(&tmp, trace.encode())?;
+    std::fs::write(&tmp, bytes)?;
     match std::fs::rename(&tmp, &path) {
         Ok(()) => Ok(path),
         Err(e) => {
@@ -59,6 +65,75 @@ pub fn save_in(dir: &Path, trace: &RunTrace, tag: &str) -> std::io::Result<PathB
             Err(e)
         }
     }
+}
+
+/// The canonical file name of a checkpoint: the run key (the FNV of the
+/// run's schedule-determining inputs) plus the epoch, so the chain of
+/// one run sorts lexicographically and crash recovery can find the
+/// latest epoch by name alone.
+#[must_use]
+pub fn ckpt_file_name(ckpt: &Checkpoint) -> String {
+    format!("{:016x}.e{:06}.ckpt", ckpt.run_key(), ckpt.epoch)
+}
+
+/// Saves `ckpt` into [`trace_dir`] under its canonical name, atomically.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write, rename).
+pub fn save_checkpoint(ckpt: &Checkpoint) -> std::io::Result<PathBuf> {
+    save_checkpoint_in(&trace_dir(), ckpt)
+}
+
+/// Saves `ckpt` into `dir` under its canonical name, atomically.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write, rename).
+pub fn save_checkpoint_in(dir: &Path, ckpt: &Checkpoint) -> std::io::Result<PathBuf> {
+    write_atomic(dir, &ckpt_file_name(ckpt), &ckpt.encode())
+}
+
+/// Loads and decodes a checkpoint file.
+///
+/// # Errors
+/// Returns [`LoadError::Io`] when the file cannot be read and
+/// [`LoadError::Codec`] when its contents are not a valid checkpoint.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, LoadError> {
+    let bytes = std::fs::read(path).map_err(LoadError::Io)?;
+    Checkpoint::decode(&bytes).map_err(LoadError::Codec)
+}
+
+/// The on-disk checkpoint chain of one run in `dir`: every
+/// `<run_key>.e*.ckpt`, as `(epoch, path)` ascending by epoch. Files
+/// that fail to parse by name are skipped (they are not chain members).
+#[must_use]
+pub fn checkpoint_chain(dir: &Path, run_key: u64) -> Vec<(u64, PathBuf)> {
+    let prefix = format!("{run_key:016x}.e");
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some(epoch_str) = rest.strip_suffix(".ckpt") else {
+            continue;
+        };
+        if let Ok(epoch) = epoch_str.parse::<u64>() {
+            out.push((epoch, entry.path()));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The latest on-disk checkpoint of a run — crash recovery's resume
+/// point. `None` when the run has no checkpoints in `dir`.
+#[must_use]
+pub fn latest_checkpoint(dir: &Path, run_key: u64) -> Option<(u64, PathBuf)> {
+    checkpoint_chain(dir, run_key).into_iter().next_back()
 }
 
 /// Why a trace file failed to load.
@@ -180,5 +255,59 @@ mod tests {
             load(Path::new("/nonexistent/zzz.trace")),
             Err(LoadError::Io(_))
         ));
+    }
+
+    fn sample_ckpt(epoch: u64) -> Checkpoint {
+        Checkpoint {
+            epoch,
+            backend: "RFDet-ci".into(),
+            workload: "chaos.long_haul@4".into(),
+            seed: Some(1),
+            config: test_config(),
+            upper: vec![1, 2],
+            sync_vars: Vec::new(),
+            finished: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_save_load_round_trip() {
+        let dir = tmpdir("ckpt-roundtrip");
+        let c = sample_ckpt(2);
+        let path = save_checkpoint_in(&dir, &c).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .ends_with(".e000002.ckpt"));
+        assert_eq!(load_checkpoint(&path).unwrap(), c);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_chain_sorts_and_finds_latest() {
+        let dir = tmpdir("ckpt-chain");
+        for epoch in [3, 1, 2] {
+            save_checkpoint_in(&dir, &sample_ckpt(epoch)).unwrap();
+        }
+        // A foreign run's checkpoint and junk files are not chain members.
+        let mut other = sample_ckpt(9);
+        other.seed = Some(99);
+        save_checkpoint_in(&dir, &other).unwrap();
+        std::fs::write(dir.join("junk.ckpt"), b"x").unwrap();
+        let key = sample_ckpt(1).run_key();
+        let chain = checkpoint_chain(&dir, key);
+        assert_eq!(chain.iter().map(|(e, _)| *e).collect::<Vec<_>>(), [1, 2, 3]);
+        let (latest, path) = latest_checkpoint(&dir, key).unwrap();
+        assert_eq!(latest, 3);
+        assert_eq!(load_checkpoint(&path).unwrap().epoch, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_save_into_unwritable_dir_is_an_error_not_a_panic() {
+        let c = sample_ckpt(1);
+        assert!(save_checkpoint_in(Path::new("/proc/nonexistent-rfdet"), &c).is_err());
     }
 }

@@ -333,6 +333,16 @@ impl VClock {
         }
     }
 
+    /// The stored components, exactly as held (including interior
+    /// zeros). This is the codec projection: feeding the result back
+    /// through [`VClock::from_components`] reconstructs an equal clock,
+    /// which [`VClock::iter`] (skips zeros) cannot guarantee on its own
+    /// because equality and hashing are storage-sensitive.
+    #[must_use]
+    pub fn components(&self) -> Vec<LTime> {
+        self.as_slice().to_vec()
+    }
+
     /// Iterates `(tid, time)` pairs with nonzero time.
     pub fn iter(&self) -> impl Iterator<Item = (Tid, LTime)> + '_ {
         self.as_slice()

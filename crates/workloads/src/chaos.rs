@@ -11,8 +11,8 @@
 //! `chaos.lock_panic`) so the replay CLI can resolve a persisted
 //! trace's workload name back to a root function.
 
-use crate::{Params, Suite, Workload};
-use rfdet_api::{BarrierId, DmtCtx, DmtCtxExt, MutexId, ThreadFn};
+use crate::{Params, Size, Suite, Workload};
+use rfdet_api::{BarrierId, DmtCtx, DmtCtxExt, MutexId, ThreadFn, ThreadHandle, Tid};
 
 /// Contended locked counter: every thread takes the same mutex for a
 /// fixed iteration count, so per-thread sync-op indices are stable and
@@ -94,6 +94,150 @@ pub fn alloc_storm(p: Params) -> ThreadFn {
     })
 }
 
+/// Each thread's round counter: one 64-byte slot per tid on a shared
+/// page, written only by its owner.
+const LH_CELL_BASE: u64 = 0x1000;
+const LH_CELL_STRIDE: u64 = 0x40;
+/// Mutex-guarded whole-run accumulator.
+const LH_ACC: u64 = 0x2000;
+/// Per-thread racy scratch word (owner-written, owner-read).
+const LH_SCRATCH_BASE: u64 = 0x3000;
+/// Per-thread compute array: one page per tid, 64 words touched per
+/// round — the bulk of the wall time at bench scale, so shard-replay
+/// windows dwarf per-shard runtime construction.
+const LH_ARR_BASE: u64 = 0x8000;
+const LH_ARR_WORDS: u64 = 64;
+
+/// One multiply-xor-rotate step; enough diffusion that any divergence in
+/// round order or operand values lands in the final checksums.
+fn lh_mix(h: u64, v: u64) -> u64 {
+    (h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .rotate_left(27)
+        .wrapping_mul(0x0100_0000_01B3)
+}
+
+/// `(rounds, weight)` per scale: `weight` is the per-round count of
+/// read-modify-write passes over the thread's compute array.
+fn lh_scale(size: Size) -> (u64, u64) {
+    match size {
+        Size::Test => (12, 4),
+        Size::Bench => (240, 1024),
+    }
+}
+
+/// Long-haul barrier-round workload built for checkpoint/restore
+/// (DESIGN.md §4.11): `threads` workers *plus the main thread* run
+/// `rounds` barrier-delimited rounds, so every round ends in a
+/// full-membership episode — a consistent cut the core backend can
+/// checkpoint.
+///
+/// All control state lives in deterministic memory: each thread keeps
+/// its next round index in its own cell, advanced *before* the barrier.
+/// That makes the body self-resuming — the identical closure serves as
+/// fresh root, spawned worker, and per-tid resume body — and, because
+/// the cell read also happens at the top of every fresh round, a resumed
+/// thread replays the exact post-cut op sequence (same Kendo ticks, same
+/// sync ops), which is what makes continuation digests byte-identical.
+pub fn long_haul(p: Params) -> ThreadFn {
+    let (rounds, weight) = lh_scale(p.size);
+    long_haul_body(p.threads.max(1), rounds, weight, p.seed)
+}
+
+/// `chaos.long_haul.bench`: the same program pinned to bench scale
+/// regardless of `p.size`. Registered separately because checkpoints
+/// and traces record only `name@threads` — a resume must rederive the
+/// round count from the name alone, so the scale has to live in it.
+pub fn long_haul_bench(p: Params) -> ThreadFn {
+    let (rounds, weight) = lh_scale(Size::Bench);
+    long_haul_body(p.threads.max(1), rounds, weight, p.seed)
+}
+
+/// The shared body. `workers` excludes main; barrier parties are
+/// `workers + 1`. The `tid == 0 && r == 0` spawn gate costs zero ops
+/// when not taken, preserving tick parity between a fresh thread's round
+/// `r` and a resumed thread starting at round `r`.
+fn long_haul_body(workers: usize, rounds: u64, weight: u64, seed: u64) -> ThreadFn {
+    Box::new(move |ctx: &mut dyn DmtCtx| {
+        let tid = u64::from(ctx.tid());
+        let m = MutexId(1);
+        let bar = BarrierId(1);
+        let parties = workers + 1;
+        let cell = LH_CELL_BASE + LH_CELL_STRIDE * tid;
+        let scratch = LH_SCRATCH_BASE + 8 * tid;
+        let arr = LH_ARR_BASE + 0x1000 * tid;
+        loop {
+            let r: u64 = ctx.read(cell);
+            if tid == 0 && r == 0 {
+                for _ in 0..workers {
+                    ctx.spawn(long_haul_body(workers, rounds, weight, seed));
+                }
+            }
+            if r >= rounds {
+                break;
+            }
+            // Compute phase: `weight` read-modify-write passes over the
+            // thread's own array page. Pure per-thread work — the knob
+            // that makes bench-scale shard windows dominate per-shard
+            // runtime-construction cost.
+            for i in 0..weight {
+                let a = arr + 8 * (i % LH_ARR_WORDS);
+                let v: u64 = ctx.read(a);
+                ctx.write(a, lh_mix(v, seed ^ (r << 20) ^ i));
+            }
+            // Racy per-thread traffic: exercises slice propagation and
+            // page capture without cross-thread nondeterminism.
+            let s: u64 = ctx.read(scratch);
+            ctx.write(scratch, lh_mix(s, seed ^ (r << 8) ^ tid));
+            ctx.tick(1 + tid);
+            // Locked shared traffic: acquisition order is part of the
+            // checksum, so a schedule divergence after resume shows up.
+            ctx.lock(m);
+            let acc: u64 = ctx.read(LH_ACC);
+            ctx.write(LH_ACC, lh_mix(acc, (tid << 32) | r));
+            ctx.unlock(m);
+            ctx.write(cell, r + 1);
+            ctx.barrier(bar, parties);
+        }
+        let mut s: u64 = ctx.read(scratch);
+        for i in 0..LH_ARR_WORDS {
+            let v: u64 = ctx.read(arr + 8 * i);
+            s = lh_mix(s, v);
+        }
+        ctx.emit_str(&format!("t{tid}:{s:016x};"));
+        if tid == 0 {
+            // Join order is tid order; handles are reconstructible
+            // because spawn assigns dense deterministic tids.
+            for t in 1..=workers {
+                ctx.join(ThreadHandle(u32::try_from(t).expect("tid fits u32")));
+            }
+            let acc: u64 = ctx.read(LH_ACC);
+            ctx.emit_str(&format!("acc={acc:016x}"));
+        }
+    })
+}
+
+/// Per-tid resume bodies for `chaos.long_haul`, shaped for
+/// checkpoint-restore entry points (one body per live thread). The body
+/// is tid-independent — each thread reads its own round cell from
+/// restored memory — so every tid gets the same closure.
+#[must_use]
+pub fn long_haul_resume(p: Params) -> Box<dyn Fn(Tid) -> ThreadFn + Send + Sync> {
+    let workers = p.threads.max(1);
+    let (rounds, weight) = lh_scale(p.size);
+    let seed = p.seed;
+    Box::new(move |_tid| long_haul_body(workers, rounds, weight, seed))
+}
+
+/// [`long_haul_resume`] pinned to bench scale, mirroring
+/// [`long_haul_bench`].
+#[must_use]
+pub fn long_haul_bench_resume(p: Params) -> Box<dyn Fn(Tid) -> ThreadFn + Send + Sync> {
+    let workers = p.threads.max(1);
+    let (rounds, weight) = lh_scale(Size::Bench);
+    let seed = p.seed;
+    Box::new(move |_tid| long_haul_body(workers, rounds, weight, seed))
+}
+
 /// The chaos scenario registry (names carry the `chaos.` prefix).
 #[must_use]
 pub fn scenarios() -> Vec<Workload> {
@@ -113,7 +257,30 @@ pub fn scenarios() -> Vec<Workload> {
             suite: Suite::Stress,
             factory: alloc_storm,
         },
+        Workload {
+            name: "chaos.long_haul",
+            suite: Suite::Stress,
+            factory: long_haul,
+        },
+        Workload {
+            name: "chaos.long_haul.bench",
+            suite: Suite::Stress,
+            factory: long_haul_bench,
+        },
     ]
+}
+
+/// Resolves a workload name to its per-tid resume-body provider, when
+/// the workload is resumable (keeps all control state in deterministic
+/// memory). Non-resumable workloads return `None` — resuming them would
+/// rerun pre-cut effects and silently diverge.
+#[must_use]
+pub fn resume_bodies(name: &str, p: Params) -> Option<Box<dyn Fn(Tid) -> ThreadFn + Send + Sync>> {
+    match name {
+        "chaos.long_haul" => Some(long_haul_resume(p)),
+        "chaos.long_haul.bench" => Some(long_haul_bench_resume(p)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +297,33 @@ mod tests {
         assert_eq!(out.output, b"count=64");
         let out = DthreadsBackend.run_expect(&rfdet_api::RunConfig::small(), alloc_storm(p));
         assert_eq!(out.output, b"allocs done");
+    }
+
+    #[test]
+    fn long_haul_output_is_schedule_and_backend_stable() {
+        let p = Params::new(3, Size::Test);
+        let base = DthreadsBackend.run_expect(&rfdet_api::RunConfig::small(), long_haul(p));
+        let text = String::from_utf8(base.output.clone()).expect("utf8 checksums");
+        assert!(text.starts_with("t0:"), "main checksum leads: {text}");
+        assert!(
+            text.contains("acc="),
+            "whole-run accumulator emitted: {text}"
+        );
+        for t in 1..=3 {
+            assert!(
+                text.contains(&format!("t{t}:")),
+                "worker {t} checksum: {text}"
+            );
+        }
+        let again = DthreadsBackend.run_expect(&rfdet_api::RunConfig::small(), long_haul(p));
+        assert_eq!(base.output, again.output, "long_haul must be deterministic");
+    }
+
+    #[test]
+    fn resume_bodies_resolve_only_resumable_workloads() {
+        let p = Params::new(2, Size::Test);
+        assert!(resume_bodies("chaos.long_haul", p).is_some());
+        assert!(resume_bodies("chaos.lock_panic", p).is_none());
     }
 
     #[test]

@@ -95,6 +95,18 @@ impl std::fmt::Debug for Workload {
     }
 }
 
+/// Resolves a workload name to its per-tid resume-body provider, when
+/// the workload keeps all control state in deterministic memory (and so
+/// can continue from a restored checkpoint). Currently only the
+/// purpose-built `chaos.long_haul` qualifies.
+#[must_use]
+pub fn resume_bodies(
+    name: &str,
+    p: Params,
+) -> Option<Box<dyn Fn(rfdet_api::Tid) -> ThreadFn + Send + Sync>> {
+    chaos::resume_bodies(name, p)
+}
+
 /// Every benchmark application, in the paper's Table 1 order.
 #[must_use]
 pub fn benchmarks() -> Vec<Workload> {

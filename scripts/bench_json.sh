@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_7.json — machine-readable micro-bench numbers for
+# Regenerates BENCH_8.json — machine-readable micro-bench numbers for
 # the memory-pipeline fast path (chunked diff kernel, zero-copy
 # propagation, snapshot pooling) plus the turn-arbitration A/B
 # (successor handoff vs broadcast spin-scan on sync-heavy, with the
@@ -11,13 +11,16 @@
 # budget <2% collecting, one branch per timed site disabled, see
 # DESIGN.md §4.9), and the lazy-vs-eager writes A/B with its
 # 2/4/8/16-thread scaling curve (budget: lazy ≤ 1.05× eager on
-# propagate-heavy at 4 threads, see DESIGN.md §4.5). Also writes the
+# propagate-heavy at 4 threads, see DESIGN.md §4.5), and the
+# sharded-replay wall-time A/B (serial vs parallel per-window shard
+# replay of a checkpointed long-haul run, digest-verified; budget:
+# sharded ≤ 1.15× serial, see DESIGN.md §4.11). Also writes the
 # human-readable curves to results/thread_scaling.txt and
 # results/sync_heavy_scaling.txt.
 #
 # Usage: scripts/bench_json.sh [--quick] [--out PATH] [--enforce]
 #   --quick    shrink measurement time for CI smoke runs
-#   --out      output path (default: BENCH_7.json at the repo root)
+#   --out      output path (default: BENCH_8.json at the repo root)
 #   --enforce  exit non-zero on any within-run budget breach (the CI
 #              scaling job's regression gate)
 set -euo pipefail
