@@ -181,6 +181,16 @@ pub trait DmtCtx {
 
     /// Atomic store with release semantics.
     fn atomic_store(&mut self, addr: Addr, value: u64);
+
+    /// Records application-level degradation events (§4.12): `retries`
+    /// requests re-attempted under a [`crate::RetryPolicy`] backoff and
+    /// `shed` requests dropped after the budget ran out. Pure
+    /// bookkeeping — no logical-clock cost, no sync op — so counting is
+    /// digest-neutral. Backends fold these into [`crate::Stats`]; the
+    /// default is a no-op for contexts that don't carry counters.
+    fn count_app_events(&mut self, retries: u64, shed: u64) {
+        let _ = (retries, shed);
+    }
 }
 
 /// Typed convenience accessors over any [`DmtCtx`].

@@ -29,6 +29,7 @@ mod fault;
 mod metrics;
 mod pod;
 mod record;
+mod retry;
 mod rng;
 mod stats;
 
@@ -40,6 +41,7 @@ pub use fault::{FaultAction, FaultPlan, FaultSpec, SyncOpFault};
 pub use metrics::{finish_metrics, obs_sink};
 pub use pod::Pod;
 pub use record::{finish_trace, trace_sink};
+pub use retry::RetryPolicy;
 pub use rng::DetRng;
 pub use stats::Stats;
 

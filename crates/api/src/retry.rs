@@ -1,0 +1,120 @@
+//! Deterministic bounded retry with logical-clock-keyed backoff.
+//!
+//! Services built on a DMT runtime cannot back off on wall-clock time:
+//! the digest must stay a pure function of the input, and a physical
+//! sleep turns host speed into an input. [`RetryPolicy`] keys backoff to
+//! the *logical* clock instead — a rejected request charges
+//! [`crate::DmtCtx::tick`] ticks and retries, so the retry schedule is
+//! part of the deterministic schedule: same input, same schedule, same
+//! retries, same digest, on every host. Past `max_attempts` the caller
+//! sheds the request deterministically (graceful degradation), counting
+//! it via [`crate::DmtCtx::count_app_events`] so the loss is visible in
+//! [`crate::Stats`] rather than silent.
+
+/// A bounded, deterministic retry schedule.
+///
+/// `backoff_ticks(attempt)` yields the logical-clock charge before retry
+/// number `attempt + 1` (exponential, capped), or `None` once the
+/// attempt budget is exhausted — the caller's cue to shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the initial attempt. `0` means try once
+    /// and shed immediately on rejection.
+    pub max_attempts: u32,
+    /// Logical ticks charged before the first retry.
+    pub base_backoff_ticks: u64,
+    /// Ceiling on the per-retry charge (the exponential curve saturates
+    /// here instead of overflowing).
+    pub max_backoff_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_ticks: 64,
+            max_backoff_ticks: 1024,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The logical-clock charge before retry `attempt` (0-based: the
+    /// value for the first retry is `backoff_ticks(0)`). `None` when
+    /// `attempt` exceeds the budget — give up and shed.
+    #[must_use]
+    pub fn backoff_ticks(&self, attempt: u32) -> Option<u64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        // 128-bit intermediate: `checked_shl` only guards the shift
+        // *count*, not value overflow, and the curve must saturate at
+        // the cap rather than wrap.
+        let shifted = u128::from(self.base_backoff_ticks) << attempt.min(64);
+        let capped = shifted.min(u128::from(self.max_backoff_ticks));
+        Some(
+            u64::try_from(capped)
+                .expect("capped at a u64 ceiling")
+                .max(1),
+        )
+    }
+
+    /// Total retries this policy will ever grant.
+    #[must_use]
+    pub fn budget(&self) -> u32 {
+        self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_capped_then_exhausted() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 10,
+            max_backoff_ticks: 35,
+        };
+        assert_eq!(p.backoff_ticks(0), Some(10));
+        assert_eq!(p.backoff_ticks(1), Some(20));
+        assert_eq!(p.backoff_ticks(2), Some(35), "capped");
+        assert_eq!(p.backoff_ticks(3), Some(35));
+        assert_eq!(p.backoff_ticks(4), None, "budget exhausted");
+    }
+
+    #[test]
+    fn zero_attempts_sheds_immediately() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_ticks(0), None);
+    }
+
+    #[test]
+    fn charge_is_never_zero() {
+        let p = RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ticks: 0,
+            max_backoff_ticks: 0,
+        };
+        assert_eq!(
+            p.backoff_ticks(0),
+            Some(1),
+            "a zero charge would make backoff a no-op in the logical schedule"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_index_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_ticks: 1 << 60,
+            max_backoff_ticks: 1 << 61,
+        };
+        assert_eq!(p.backoff_ticks(63), Some(1 << 61));
+        assert_eq!(p.backoff_ticks(200), Some(1 << 61));
+    }
+}

@@ -119,6 +119,14 @@ pub struct Stats {
     /// per captured epoch; `captured epochs = this / live threads`).
     pub checkpoints_contributed: u64,
 
+    // ---- application-level degradation (RetryPolicy, §4.12) ----
+    /// Requests that were retried after a deterministic backoff (each
+    /// retry attempt counts once, however many a single request needs).
+    pub app_retries: u64,
+    /// Requests shed after the retry budget was exhausted — graceful
+    /// degradation the digest accounts for instead of hiding.
+    pub app_shed: u64,
+
     // ---- turn arbitration (Kendo successor handoff) ----
     /// Successor scans run by turn holders at release (handoff mode: one
     /// per turn transition; zero in spin-scan mode).
@@ -217,6 +225,8 @@ impl AddAssign for Stats {
             shard_lock_contended,
             queue_lock_contended,
             checkpoints_contributed,
+            app_retries,
+            app_shed,
             handoff_scans,
             handoff_wakes,
             turn_parks

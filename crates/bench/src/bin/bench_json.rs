@@ -1,4 +1,4 @@
-//! Emits `BENCH_8.json`: machine-readable numbers for the memory-
+//! Emits `BENCH_9.json`: machine-readable numbers for the memory-
 //! pipeline fast path — chunked vs scalar diff kernel, gap coalescing,
 //! the propagate-heavy workload swept over {2, 4, 8, 16} threads as a
 //! paired eager-vs-lazy thread-scaling curve (the paper's Figure-6 axis;
@@ -13,10 +13,15 @@
 //! DESIGN.md §4.8 budgets recording at <5%, and the disabled path at
 //! one branch per sync op, ~0%), and the metrics-layer A/B
 //! (`cfg.metrics` on vs off; DESIGN.md §4.9 budgets collection at <2%,
-//! disabled path at one branch per timed site), and — new in BENCH_8 —
-//! the sharded-replay wall-time cell (§4.11): serial full replay of a
-//! checkpointed bench-scale `chaos.long_haul` run vs parallel
-//! per-window shard replay, digest-verified against the recorded chain.
+//! disabled path at one branch per timed site), the sharded-replay
+//! wall-time cell (§4.11): serial full replay of a checkpointed
+//! bench-scale `chaos.long_haul` run vs parallel per-window shard
+//! replay, digest-verified against the recorded chain — plus, new in
+//! BENCH_9 (§4.12), the replicated-service throughput sweep
+//! (`service.ledger` at bench scale, ≥1M requests ingested per run,
+//! req/s over {2, 4, 8, 16} threads) and the crash-failover recovery
+//! cell (kill a worker in the last request round, restore the newest
+//! checkpoint, replay the tail; budgeted at ≤0.6× the full re-run).
 //!
 //! Usage: `bench_json [--out PATH] [--quick] [--enforce]`. `--quick`
 //! shrinks the measurement target so CI can smoke-test the emission
@@ -229,7 +234,7 @@ fn sharded_replay_ab(quick: bool, jobs: usize, reps: u32) -> (f64, f64, usize) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut quick = false;
     let mut enforce = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -483,6 +488,68 @@ fn main() {
     let (shard_serial_ms, shard_sharded_ms, shard_count) =
         sharded_replay_ab(quick, shard_jobs, if quick { 1 } else { 3 });
 
+    // Service throughput (§4.12): the replicated-ledger service on
+    // RFDet-ci, swept over the same thread counts. Full mode runs bench
+    // scale — ≥1M requests ingested per run by construction
+    // (`requests_per_run` is pure, so the floor is checked analytically
+    // below even in quick mode); quick runs test scale, plumbing only.
+    use rfdet_workloads::{service, Params, Size};
+    let svc_size = if quick { Size::Test } else { Size::Bench };
+    let svc_reps: u64 = if quick { 1 } else { 3 };
+    let svc_cfg = {
+        let mut c = RunConfig::small();
+        c.space_bytes = 4 << 20;
+        c.rfdet.fault_cost_spins = 0;
+        c
+    };
+    let mut service_scaling: Vec<(usize, u64, f64)> = Vec::new();
+    for &t in &thread_counts {
+        let params = Params::new(t, svc_size);
+        let requests = service::requests_per_run(t, svc_size);
+        let mut best = f64::INFINITY;
+        for _ in 0..svc_reps {
+            let t0 = Instant::now();
+            black_box(RfdetBackend::ci().run_expect(&svc_cfg, service::ledger(params)));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        results.push((format!("rfdet/{t}t_service_ledger"), best * 1e9, svc_reps));
+        service_scaling.push((t, requests, best));
+    }
+
+    // Crash-failover recovery (§4.12): kill worker 2 in the last request
+    // round, restore the newest checkpoint, replay the tail, and compare
+    // the recovery's wall time against the full unfaulted re-run the
+    // checkpoint chain replaces. Cadence scales with the round count so
+    // the chain stays ~8 checkpoints deep at any scale.
+    let failover = {
+        let workers = 4usize;
+        let rounds = service::request_rounds_per_run(workers, svc_size);
+        let every = (rounds / 8).max(2);
+        let crash_op =
+            service::OPS_INIT_ROUND + (rounds - 1) * service::ops_per_request_round(workers) + 2;
+        let mut cfg = svc_cfg.clone();
+        cfg.checkpoint_every = every;
+        cfg.trace = Some(format!("service.ledger@{workers}"));
+        cfg.fault_plan = rfdet_api::FaultPlan::new().panic_at(2, crash_op);
+        let params = Params::new(workers, svc_size);
+        let bodies = service::ledger_resume(params);
+        let r = rfdet_core::run_failover(
+            &RfdetBackend::ci(),
+            &cfg,
+            &move || service::ledger(params),
+            &*bodies,
+        );
+        assert!(
+            r.crash.is_some(),
+            "failover cell: the injected fault must fire"
+        );
+        assert!(
+            r.converged,
+            "failover cell: recovered replica must match the reference"
+        );
+        r
+    };
+
     // One instrumented run for the fast-path counters, and one lazy
     // metered run for the `lazy_fault` phase attribution and lazy stats.
     let mut cfg = RunConfig::small();
@@ -702,6 +769,47 @@ fn main() {
          arbitration park/wake gaps\""
     );
     json.push_str("  },\n");
+    json.push_str("  \"service_throughput\": [\n");
+    for (idx, &(t, requests, secs)) in service_scaling.iter().enumerate() {
+        let comma = if idx + 1 < service_scaling.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {t}, \"requests_per_run\": {requests}, \"secs\": {secs:.4}, \"req_per_s\": {:.0}}}{comma}",
+            requests as f64 / secs
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"failover_recovery\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"bench\": \"service.ledger{}@4\",",
+        if quick { "" } else { ".bench" }
+    );
+    let _ = writeln!(
+        json,
+        "    \"crash\": \"panic, worker 2, last request round\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"recovered_from_epoch\": {},",
+        failover
+            .recovered_from_epoch
+            .map_or("null".to_owned(), |e| e.to_string())
+    );
+    let _ = writeln!(json, "    \"full_run_ms\": {:.2},", failover.full_run_ms);
+    let _ = writeln!(json, "    \"recovery_ms\": {:.2},", failover.recovery_ms);
+    let _ = writeln!(json, "    \"ratio\": {:.4},", failover.recovery_ratio());
+    let _ = writeln!(json, "    \"budget_ratio\": 0.6,");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"recovery = restore newest checkpoint + replay the tail; \
+         ratio is against the full unfaulted re-run it replaces\""
+    );
+    json.push_str("  },\n");
     json.push_str("  \"counters\": {\n");
     let _ = writeln!(
         json,
@@ -808,7 +916,16 @@ fn main() {
     // cells measured in this process; the cross-run reference-host
     // baseline in `arbitration` is reported, not gated). A NaN — a cell
     // that never got measured — counts as a breach.
-    let checks: [(&str, f64, f64); 5] = [
+    // Analytic floor: `requests_per_run` is pure, so the ≥1M-requests
+    // guarantee for bench scale is checkable without running bench scale
+    // (the value below is `1M / min(requests)` — ≤1.0 iff the floor
+    // holds at every swept width).
+    let min_bench_requests = thread_counts
+        .iter()
+        .map(|&t| service::requests_per_run(t, Size::Bench))
+        .min()
+        .unwrap_or(0);
+    let checks: Vec<(&str, f64, f64)> = vec![
         (
             "lazy_vs_eager ratio",
             lazy_pair_lazy / lazy_pair_eager,
@@ -829,6 +946,15 @@ fn main() {
         // serial even on a 1-CPU host (it should win outright wherever
         // shards can actually overlap).
         ("sharded_replay ratio", shard_ratio, 1.15),
+        // The §4.12 gates: recovering through a checkpoint must beat a
+        // full re-run by a wide margin, and the bench-scale service must
+        // actually ingest its advertised request volume.
+        ("failover_recovery ratio", failover.recovery_ratio(), 0.6),
+        (
+            "service_requests floor (1M/min_requests)",
+            1_000_000.0 / min_bench_requests as f64,
+            1.0,
+        ),
     ];
     let mut breached = false;
     for (name, value, limit) in checks {

@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! replay record <workload>[@threads] [--backend NAME] [--seed S]
-//!               [--checkpoint-every N] [--ckpt-dir DIR]
+//!               [--checkpoint-every N] [--ckpt-dir DIR] [--timeout MS]
 //!               [--panic TID:OP]... [--jitter TID:OP:TICKS]...
 //!               [--fail-alloc TID:NTH]...
 //! replay replay <trace-file> [--timeout MS]
 //! replay shrink <trace-file>
 //! replay resume <ckpt-file> [--every N] [--timeout MS]
 //! replay shard  <ckpt-file> [-j N] [--timeout MS]
+//! replay failover <workload>[@threads] [--backend NAME] [--every N]
+//!               [--ckpt-dir DIR] [--timeout MS] [--panic TID:OP]...
+//!               [--fail-alloc TID:NTH]...
+//! replay sweep <workload>[@threads] [--backend NAME] [--plans N]
+//!              [--every N] [--timeout MS] [--out PATH]
 //! replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]
 //! ```
 //!
@@ -29,6 +34,17 @@
 //! replays every inter-checkpoint window in parallel (`-j`), and proves
 //! each shard's terminal checkpoint bit-identical to the recorded chain
 //! — the serial replay runs too, for the wall-time comparison.
+//!
+//! `failover` runs the full crash-failover cycle (DESIGN.md §4.12):
+//! an unfaulted reference replica, a faulted replica killed at the
+//! given FaultPlan coordinate, restore from the last checkpoint, tail
+//! replay, and a byte-identical convergence check — exit 0 only when
+//! the recovered digest matches the reference. `sweep` enumerates a
+//! whole fault-plan grid (panic/fail_alloc/jitter × thread × sync-op
+//! strata), runs every plan under supervision, classifies each outcome
+//! into {converged, recovered, diverged, wedged}, and writes a JSON
+//! report (default under `results/`); diverged or wedged outcomes fail
+//! the sweep.
 //!
 //! `metrics` runs a workload once with the deterministic-safe metrics
 //! layer enabled and prints the phase rollup — `json` (default) for
@@ -66,12 +82,16 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          replay record <workload>[@threads] [--backend NAME] [--seed S]\n    \
-           [--checkpoint-every N] [--ckpt-dir DIR]\n    \
+           [--checkpoint-every N] [--ckpt-dir DIR] [--timeout MS]\n    \
            [--panic TID:OP]... [--jitter TID:OP:TICKS]... [--fail-alloc TID:NTH]...\n  \
          replay replay <trace-file> [--timeout MS]\n  \
          replay shrink <trace-file>\n  \
          replay resume <ckpt-file> [--every N] [--timeout MS]\n  \
          replay shard  <ckpt-file> [-j N] [--timeout MS]\n  \
+         replay failover <workload>[@threads] [--backend NAME] [--every N]\n    \
+           [--ckpt-dir DIR] [--timeout MS] [--panic TID:OP]... [--fail-alloc TID:NTH]...\n  \
+         replay sweep <workload>[@threads] [--backend NAME] [--plans N]\n    \
+           [--every N] [--timeout MS] [--out PATH]\n  \
          replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]\n\
          exit codes: 0 ok, 1 diverged, 2 usage, 3 io, 4 wedged"
     );
@@ -222,6 +242,7 @@ fn cmd_record(args: &[String]) -> i32 {
     let mut seed = None;
     let mut checkpoint_every = 0u64;
     let mut ckpt_dir: Option<PathBuf> = None;
+    let mut timeout = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -231,6 +252,14 @@ fn cmd_record(args: &[String]) -> i32 {
             }
             "--seed" => {
                 seed = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--timeout" => {
+                timeout = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
                 i += 2;
             }
             "--checkpoint-every" => {
@@ -289,7 +318,9 @@ fn cmd_record(args: &[String]) -> i32 {
         eprintln!("error: backend {backend_name:?} does not support checkpoints");
         return EXIT_USAGE;
     }
-    let run = backend.run_traced(&cfg, make_root(&workload, params));
+    let run = run_with_timeout(timeout, "record", move || {
+        backend.run_traced(&cfg, make_root(&workload, params))
+    });
     for w in &run.warnings {
         eprintln!("warning: {w}");
     }
@@ -317,7 +348,7 @@ fn cmd_record(args: &[String]) -> i32 {
             } else {
                 eprintln!("warning: run failed but no trace was persisted");
             }
-            1
+            failure_code(e)
         }
     }
 }
@@ -639,6 +670,454 @@ fn cmd_shrink(args: &[String]) -> i32 {
     }
 }
 
+/// Like [`run_with_timeout`] but non-fatal: returns `None` on timeout
+/// (the stuck worker thread is leaked) so a sweep can classify one
+/// wedged plan and keep going instead of killing the whole process.
+fn try_with_timeout<T: Send + 'static>(
+    ms: u64,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_millis(ms)).ok()
+}
+
+/// `replay failover <workload>`: the full record/kill/restore/replay
+/// cycle via [`rfdet_core::run_failover`], reported and exit-coded on
+/// byte-identical convergence.
+fn cmd_failover(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else { usage() };
+    let Some((workload, params)) = resolve_workload(spec) else {
+        eprintln!("error: unknown workload {spec:?}");
+        return EXIT_USAGE;
+    };
+    let mut backend_name = "RFDet-ci".to_owned();
+    let mut plan = FaultPlan::new();
+    let mut every = 2u64;
+    let mut ckpt_dir: Option<PathBuf> = None;
+    let mut timeout = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend_name = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--every" => {
+                every = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(PathBuf::from(
+                    args.get(i + 1).cloned().unwrap_or_else(|| usage()),
+                ));
+                i += 2;
+            }
+            "--timeout" => {
+                timeout = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--panic" => {
+                let (tid, op) = args
+                    .get(i + 1)
+                    .and_then(|s| parse_pair(s))
+                    .unwrap_or_else(|| usage());
+                plan = plan.panic_at(tid, op);
+                i += 2;
+            }
+            "--fail-alloc" => {
+                let (tid, nth) = args
+                    .get(i + 1)
+                    .and_then(|s| parse_pair(s))
+                    .unwrap_or_else(|| usage());
+                plan = plan.fail_alloc(tid, nth);
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(backend) = core_backend(&backend_name) else {
+        eprintln!("error: backend {backend_name:?} does not support checkpoint restore");
+        return EXIT_USAGE;
+    };
+    let Some(bodies) = rfdet_workloads::resume_bodies(workload.name, params) else {
+        eprintln!("error: workload {:?} is not resumable", workload.name);
+        return EXIT_USAGE;
+    };
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.deadlock_after_ms = Some(5_000);
+    cfg.fault_plan = plan;
+    cfg.trace = Some(format!("{}@{}", workload.name, params.threads));
+    cfg.checkpoint_every = every;
+    if let Some(dir) = ckpt_dir {
+        cfg.persist_checkpoints = true;
+        cfg.checkpoint_dir = Some(dir);
+    }
+    let report = run_with_timeout(timeout, "failover", move || {
+        rfdet_core::run_failover(
+            &backend,
+            &cfg,
+            &move || make_root(&workload, params),
+            &*bodies,
+        )
+    });
+    match &report.crash {
+        Some(r) => println!("crash: tid {} ({:?})", r.tid, r.kind),
+        None => println!("crash: fault plan never fired (clean run)"),
+    }
+    match report.recovered_from_epoch {
+        Some(e) => println!("recovered from checkpoint epoch {e}"),
+        None => println!("recovered from scratch (no checkpoint before the crash)"),
+    }
+    println!(
+        "reference digest {:#018x}, recovered digest {:#018x}",
+        report.reference_digest, report.recovered_digest
+    );
+    println!(
+        "full run {:.1} ms, recovery {:.1} ms (ratio {:.2})",
+        report.full_run_ms,
+        report.recovery_ms,
+        report.recovery_ratio()
+    );
+    if report.converged {
+        println!("FAILOVER CONVERGED");
+        0
+    } else {
+        println!("FAILOVER DIVERGED");
+        EXIT_DIVERGED
+    }
+}
+
+/// One sweep row: a fault-plan coordinate and its classified outcome.
+struct PlanRow {
+    kind: &'static str,
+    tid: u32,
+    op: u64,
+    outcome: &'static str,
+    epoch: Option<u64>,
+}
+
+/// Classifies one non-jitter plan: converged (clean, digest matches the
+/// reference), recovered (typed failure, checkpoint-restored replay
+/// matches), diverged, or wedged.
+fn classify_kill_plan(
+    backend: &RfdetBackend,
+    cfg: &RunConfig,
+    reference: &[u8],
+    workload: Workload,
+    params: Params,
+) -> (&'static str, Option<u64>) {
+    let run = backend.run_traced(cfg, make_root(&workload, params));
+    match run.result {
+        Ok(out) => {
+            if out.output == reference {
+                ("converged", None)
+            } else {
+                ("diverged", None)
+            }
+        }
+        Err(RunError::Wedged(_)) => ("wedged", None),
+        Err(_) => {
+            let mut clean = cfg.clone();
+            clean.fault_plan = FaultPlan::new();
+            let (resumed, epoch) = match run.checkpoints.last() {
+                Some(ckpt) => {
+                    let bodies = rfdet_workloads::resume_bodies(workload.name, params)
+                        .expect("sweep workloads are resumable");
+                    (
+                        backend.run_resumed(&clean, ckpt, &|tid| bodies(tid)),
+                        Some(ckpt.epoch),
+                    )
+                }
+                None => (
+                    backend.run_traced(&clean, make_root(&workload, params)),
+                    None,
+                ),
+            };
+            match resumed.result {
+                Ok(out) if out.output == reference => ("recovered", epoch),
+                Ok(_) => ("diverged", epoch),
+                Err(_) => ("diverged", epoch),
+            }
+        }
+    }
+}
+
+/// Classifies one jitter plan. Jitter legitimately perturbs the
+/// deterministic schedule, so the run may differ from the unjittered
+/// reference; the contract is *rerun stability* — the identical plan
+/// run twice must produce byte-identical results. A typed failure
+/// under jitter must still checkpoint-recover to a clean completion.
+fn classify_jitter_plan(
+    backend: &RfdetBackend,
+    cfg: &RunConfig,
+    workload: Workload,
+    params: Params,
+) -> (&'static str, Option<u64>) {
+    let a = backend.run_traced(cfg, make_root(&workload, params));
+    let b = backend.run_traced(cfg, make_root(&workload, params));
+    match (&a.result, &b.result) {
+        (Ok(x), Ok(y)) => {
+            if x.output == y.output {
+                ("converged", None)
+            } else {
+                ("diverged", None)
+            }
+        }
+        (Err(RunError::Wedged(_)), _) | (_, Err(RunError::Wedged(_))) => ("wedged", None),
+        (Err(x), Err(y)) => {
+            if x.report().report_digest() != y.report().report_digest() {
+                return ("diverged", None);
+            }
+            let mut clean = cfg.clone();
+            clean.fault_plan = FaultPlan::new();
+            match a.checkpoints.last() {
+                Some(ckpt) => {
+                    let bodies = rfdet_workloads::resume_bodies(workload.name, params)
+                        .expect("sweep workloads are resumable");
+                    let resumed = backend.run_resumed(&clean, ckpt, &|tid| bodies(tid));
+                    match resumed.result {
+                        Ok(_) => ("recovered", Some(ckpt.epoch)),
+                        Err(_) => ("diverged", Some(ckpt.epoch)),
+                    }
+                }
+                None => ("recovered", None),
+            }
+        }
+        _ => ("diverged", None),
+    }
+}
+
+/// `replay sweep <workload>`: enumerate the fault-plan grid
+/// (kind × thread × sync-op stratum), classify every plan, write the
+/// JSON report, and fail on any diverged or wedged outcome.
+fn cmd_sweep(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else { usage() };
+    let Some((workload, params)) = resolve_workload(spec) else {
+        eprintln!("error: unknown workload {spec:?}");
+        return EXIT_USAGE;
+    };
+    let mut backend_name = "RFDet-ci".to_owned();
+    let mut every = 2u64;
+    let mut timeout_ms = 10_000u64;
+    let mut max_plans: Option<usize> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend_name = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--every" => {
+                every = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--timeout" => {
+                timeout_ms = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--plans" => {
+                max_plans = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(PathBuf::from(
+                    args.get(i + 1).cloned().unwrap_or_else(|| usage()),
+                ));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if core_backend(&backend_name).is_none() {
+        eprintln!("error: sweep needs a checkpoint-capable backend (RFDet*), got {backend_name:?}");
+        return EXIT_USAGE;
+    }
+    if rfdet_workloads::resume_bodies(workload.name, params).is_none() {
+        eprintln!("error: workload {:?} is not resumable", workload.name);
+        return EXIT_USAGE;
+    }
+
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.deadlock_after_ms = Some(5_000);
+    cfg.trace = Some(format!("{}@{}", workload.name, params.threads));
+    cfg.checkpoint_every = every;
+
+    // The unfaulted reference replica every kill plan must converge to.
+    let reference = {
+        let backend = core_backend(&backend_name).expect("checked above");
+        let cfg = cfg.clone();
+        let Some(run) = try_with_timeout(timeout_ms, move || {
+            backend.run_traced(&cfg, make_root(&workload, params))
+        }) else {
+            eprintln!("error: unfaulted reference run wedged");
+            return EXIT_WEDGED;
+        };
+        match run.result {
+            Ok(out) => out.output,
+            Err(e) => {
+                eprintln!("error: unfaulted reference run failed: {e}");
+                return EXIT_DIVERGED;
+            }
+        }
+    };
+
+    // The grid: every fault kind × every thread (main included) × a
+    // Fibonacci ladder of sync-op (or allocation) strata, so plans land
+    // in the init round, every request-round phase, and past the end.
+    const STRATA: [u64; 14] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610];
+    const JITTER_TICKS: u64 = 17;
+    let kinds = ["panic", "fail_alloc", "jitter"];
+    let mut coords: Vec<(&'static str, u32, u64)> = Vec::new();
+    for kind in kinds {
+        for tid in 0..=u32::try_from(params.threads).unwrap_or(u32::MAX) {
+            for op in STRATA {
+                coords.push((kind, tid, op));
+            }
+        }
+    }
+    if let Some(n) = max_plans {
+        coords.truncate(n);
+    }
+
+    println!(
+        "sweep: {} plans on {}@{} ({backend_name}, checkpoint every {every}, {timeout_ms} ms/plan)",
+        coords.len(),
+        workload.name,
+        params.threads
+    );
+    let mut rows: Vec<PlanRow> = Vec::new();
+    let mut counts = [0usize; 4]; // converged, recovered, diverged, wedged
+    for (kind, tid, op) in coords {
+        let mut plan_cfg = cfg.clone();
+        plan_cfg.fault_plan = match kind {
+            "panic" => FaultPlan::new().panic_at(tid, op),
+            "fail_alloc" => FaultPlan::new().fail_alloc(tid, op),
+            _ => FaultPlan::new().jitter_at(tid, op, JITTER_TICKS),
+        };
+        let reference = reference.clone();
+        let backend_name = backend_name.clone();
+        let (outcome, epoch) = try_with_timeout(timeout_ms, move || {
+            let backend = core_backend(&backend_name).expect("checked above");
+            if kind == "jitter" {
+                classify_jitter_plan(&backend, &plan_cfg, workload, params)
+            } else {
+                classify_kill_plan(&backend, &plan_cfg, &reference, workload, params)
+            }
+        })
+        .unwrap_or(("wedged", None));
+        let slot = match outcome {
+            "converged" => 0,
+            "recovered" => 1,
+            "diverged" => 2,
+            _ => 3,
+        };
+        counts[slot] += 1;
+        if outcome == "diverged" || outcome == "wedged" {
+            eprintln!("plan {kind} tid={tid} op={op}: {outcome}");
+        }
+        rows.push(PlanRow {
+            kind,
+            tid,
+            op,
+            outcome,
+            epoch,
+        });
+    }
+
+    let out_path = out_path.unwrap_or_else(|| {
+        PathBuf::from(format!(
+            "results/sweep_{}_{}t.json",
+            workload.name, params.threads
+        ))
+    });
+    let mut json = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"workload\": \"{}\",", workload.name);
+    let _ = writeln!(json, "  \"threads\": {},", params.threads);
+    let _ = writeln!(json, "  \"backend\": \"{backend_name}\",");
+    let _ = writeln!(json, "  \"checkpoint_every\": {every},");
+    let _ = writeln!(json, "  \"timeout_ms\": {timeout_ms},");
+    let _ = writeln!(
+        json,
+        "  \"grid\": {{\"kinds\": [\"panic\", \"fail_alloc\", \"jitter\"], \
+         \"jitter_ticks\": {JITTER_TICKS}, \"tids\": {}, \"op_strata\": {STRATA:?}}},",
+        params.threads + 1
+    );
+    let _ = writeln!(json, "  \"plans\": {},", rows.len());
+    let _ = writeln!(
+        json,
+        "  \"outcomes\": {{\"converged\": {}, \"recovered\": {}, \"diverged\": {}, \"wedged\": {}}},",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+    let _ = writeln!(json, "  \"rows\": [");
+    for (k, r) in rows.iter().enumerate() {
+        let epoch = r.epoch.map_or("null".to_owned(), |e| e.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"{}\", \"tid\": {}, \"op\": {}, \"outcome\": \"{}\", \
+             \"recovered_from_epoch\": {}}}{}",
+            r.kind,
+            r.tid,
+            r.op,
+            r.outcome,
+            epoch,
+            if k + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!(
+            "error: cannot write sweep report {}: {e}",
+            out_path.display()
+        );
+        return EXIT_IO;
+    }
+    println!(
+        "SWEEP {}: {} converged, {} recovered, {} diverged, {} wedged -> {}",
+        if counts[2] == 0 && counts[3] == 0 {
+            "OK"
+        } else {
+            "FAILED"
+        },
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        out_path.display()
+    );
+    if counts[3] > 0 {
+        EXIT_WEDGED
+    } else if counts[2] > 0 {
+        EXIT_DIVERGED
+    } else {
+        0
+    }
+}
+
 fn cmd_metrics(args: &[String]) -> i32 {
     let Some(spec) = args.first() else { usage() };
     let Some((workload, params)) = resolve_workload(spec) else {
@@ -701,6 +1180,8 @@ fn main() {
         Some("shrink") => cmd_shrink(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
+        Some("failover") => cmd_failover(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => usage(),
     };

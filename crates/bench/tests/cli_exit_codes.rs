@@ -1,0 +1,103 @@
+//! Direct coverage of the replay CLI's exit-code contract, in
+//! particular the wedged path (code 4): a deliberately-hung workload
+//! under `--timeout` must exit 4 — not 1 (diverged) and not 3 (io).
+//! Exercised against the real binary so the process-level `exit` calls
+//! are what's tested, not library plumbing.
+
+use std::process::Command;
+
+fn replay(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_replay"))
+        .args(args)
+        .env("RUST_BACKTRACE", "0")
+        .output()
+        .expect("spawn replay binary")
+}
+
+#[test]
+fn hung_workload_under_timeout_exits_wedged_not_diverged() {
+    let out = replay(&["record", "chaos.hang@2", "--timeout", "500"]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("wedged"),
+        "the wedged verdict is stated"
+    );
+}
+
+#[test]
+fn clean_run_exits_zero() {
+    let out = replay(&["record", "chaos.lock_panic@2", "--timeout", "30000"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean run"));
+}
+
+#[test]
+fn injected_failure_exits_diverged() {
+    let out = replay(&["record", "chaos.lock_panic@2", "--panic", "1:3"]);
+    assert_eq!(out.status.code(), Some(1), "typed failure is class 1");
+}
+
+#[test]
+fn unknown_workload_exits_usage() {
+    let out = replay(&["record", "nonesuch@2"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unreadable_trace_exits_io() {
+    let out = replay(&["replay", "/nonexistent/trace.bin"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn failover_on_the_service_ledger_converges() {
+    // Crash worker 2 in the last request round at 4 threads (op
+    // 1 + 5·23 + 2): restore from epoch 6, replay the tail, converge.
+    let out = replay(&[
+        "failover",
+        "service.ledger@4",
+        "--panic",
+        "2:118",
+        "--every",
+        "2",
+        "--timeout",
+        "60000",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("FAILOVER CONVERGED"), "{stdout}");
+    assert!(
+        stdout.contains("recovered from checkpoint epoch 6"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn tiny_sweep_classifies_without_wedge_or_divergence() {
+    let dir = std::env::temp_dir().join(format!("rfdet-sweep-test-{}", std::process::id()));
+    let out_path = dir.join("sweep.json");
+    std::fs::create_dir_all(&dir).expect("create sweep dir");
+    let out = replay(&[
+        "sweep",
+        "service.ledger@2",
+        "--plans",
+        "12",
+        "--timeout",
+        "30000",
+        "--out",
+        out_path.to_str().expect("utf8 path"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("SWEEP OK"), "{stdout}");
+    let report = std::fs::read_to_string(&out_path).expect("sweep report written");
+    assert!(report.contains("\"diverged\": 0"), "{report}");
+    assert!(report.contains("\"wedged\": 0"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -621,6 +621,11 @@ impl DmtCtx for RfdetCtx {
     fn atomic_store(&mut self, addr: Addr, value: u64) {
         self.sync_timed(|ctx| crate::sync::atomic_impl(ctx, addr, None, Some(value)));
     }
+
+    fn count_app_events(&mut self, retries: u64, shed: u64) {
+        self.stats.app_retries += retries;
+        self.stats.app_shed += shed;
+    }
 }
 
 #[cfg(test)]

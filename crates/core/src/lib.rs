@@ -54,6 +54,7 @@
 mod backend;
 mod checkpoint;
 mod ctx;
+pub mod failover;
 mod handoff;
 mod pending;
 mod propagation;
@@ -65,3 +66,4 @@ mod sync;
 
 pub use backend::RfdetBackend;
 pub use ctx::RfdetCtx;
+pub use failover::{run_failover, FailoverReport};

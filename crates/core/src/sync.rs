@@ -452,8 +452,9 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
     // Lazy pending must be materialized before the child inherits the
     // space, or the child would read stale bytes.
     ctx.flush_pending();
-    op_boundary(ctx, None); // create is a release; the child inherits
-                            // memory directly, no sync var needed (§4.1)
+    let lower = op_boundary(ctx, None); // create is a release; the child
+                                        // inherits memory directly, no
+                                        // sync var needed (§4.1)
     ctx.meta_thread.set_turn_vc(&ctx.vc);
 
     // Deterministic registration inside the parent's turn.
@@ -462,7 +463,15 @@ pub(crate) fn spawn_impl(ctx: &mut RfdetCtx, f: ThreadFn) -> ThreadHandle {
     let child_kendo = ctx.shared.kendo.register(ctx.kendo.clock() + 1);
     assert_eq!(child_kendo.tid(), child_tid, "registry tid mismatch");
     let child_mailbox = ctx.shared.register_mailbox();
-    let mut child_vc = ctx.vc.clone();
+    // The child's clock starts from the *pre-tick* boundary clock, not
+    // the parent's post-tick `vc`: slices are stamped with their start
+    // time, so the slice the parent opens right after this boundary will
+    // carry exactly the post-tick clock. A child seeded with that value
+    // would claim the slice as already-seen — yet its writes happen
+    // after the fork, so every later filter would drop it and the
+    // child would read stale memory forever. Same off-by-one discipline
+    // as the pre-merge bound (propagation.rs): exclude the open slice.
+    let mut child_vc = lower;
     child_vc.tick(child_tid);
     // The child inherits the parent's memory (COW fork) and, for
     // transitive propagation, the parent's slice-pointer list.

@@ -236,6 +236,44 @@ fn barrier_phases_see_all_prior_writes() {
     assert_eq!(again.output, out.output);
 }
 
+/// Regression test: the parent's writes *around* a spawn must reach
+/// every child through the next sync edge. The child's initial clock is
+/// seeded from the spawn boundary; seeding it from the parent's
+/// post-tick clock instead made the child claim the parent's next slice
+/// (stamped with exactly that clock) as already-seen, so its writes —
+/// which happen after the memory fork — were filtered as redundant at
+/// every later edge and lost forever. Two windows are exercised: writes
+/// between two spawns (missable by the first child) and writes after
+/// the last spawn (missable by the last child, the shape that lost
+/// ledger deposits in `service.ledger`).
+#[test]
+fn children_see_parent_writes_made_after_their_fork() {
+    fn root(ctx: &mut dyn DmtCtx) {
+        let b = BarrierId(9);
+        let child = |i: u64| {
+            Box::new(move |ctx: &mut dyn DmtCtx| {
+                ctx.barrier(b, 3);
+                let between: u64 = ctx.read(512);
+                let after: u64 = ctx.read(520);
+                ctx.emit_str(&format!("t{i}:{between},{after};"));
+            })
+        };
+        let h1 = ctx.spawn(child(1));
+        ctx.write(512u64, 0xBE7_u64); // between the two spawns
+        let h2 = ctx.spawn(child(2));
+        ctx.write(520u64, 0xAF7E2_u64); // after the last spawn
+        ctx.barrier(b, 3);
+        ctx.join(h1);
+        ctx.join(h2);
+    }
+    let backend = RfdetBackend::ci();
+    let out = backend.run_expect(&cfg(None), Box::new(root));
+    assert_eq!(
+        String::from_utf8_lossy(&out.output),
+        format!("t1:{0},{1};t2:{0},{1};", 0xBE7, 0xAF7E2)
+    );
+}
+
 #[test]
 fn unsynchronized_thread_never_blocks_on_others_locks() {
     // The §3.1 scenario: T1 and T3 fight over a lock while T2 only

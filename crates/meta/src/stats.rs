@@ -81,6 +81,8 @@ atomic_stats!(
     shard_lock_contended,
     queue_lock_contended,
     checkpoints_contributed,
+    app_retries,
+    app_shed,
     handoff_scans,
     handoff_wakes,
     turn_parks,

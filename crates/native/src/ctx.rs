@@ -400,4 +400,9 @@ impl DmtCtx for NativeCtx {
             }
         });
     }
+
+    fn count_app_events(&mut self, retries: u64, shed: u64) {
+        self.stats.app_retries += retries;
+        self.stats.app_shed += shed;
+    }
 }

@@ -94,6 +94,19 @@ pub fn alloc_storm(p: Params) -> ThreadFn {
     })
 }
 
+/// A workload that never terminates: the root thread spins on `tick`,
+/// making steady logical-clock progress with no sync ops — so no
+/// deadlock or wedge detector ever fires and only a wall-clock timeout
+/// (the replay CLI's `--timeout`, exit code 4) can end the run.
+/// Deliberately *not* in [`scenarios`]: anything that enumerates the
+/// registry would hang on it. It is resolvable only by name
+/// (`chaos.hang`) through [`crate::by_name`].
+pub fn hang(_p: Params) -> ThreadFn {
+    Box::new(|ctx: &mut dyn DmtCtx| loop {
+        ctx.tick(1);
+    })
+}
+
 /// Each thread's round counter: one 64-byte slot per tid on a shared
 /// page, written only by its owner.
 const LH_CELL_BASE: u64 = 0x1000;

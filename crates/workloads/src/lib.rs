@@ -24,6 +24,7 @@ pub mod chaos;
 pub mod parsec;
 pub mod phoenix;
 pub mod racey;
+pub mod service;
 pub mod splash;
 pub mod stress;
 pub mod util;
@@ -97,14 +98,14 @@ impl std::fmt::Debug for Workload {
 
 /// Resolves a workload name to its per-tid resume-body provider, when
 /// the workload keeps all control state in deterministic memory (and so
-/// can continue from a restored checkpoint). Currently only the
-/// purpose-built `chaos.long_haul` qualifies.
+/// can continue from a restored checkpoint): the purpose-built
+/// `chaos.long_haul` and the `service.*` family.
 #[must_use]
 pub fn resume_bodies(
     name: &str,
     p: Params,
 ) -> Option<Box<dyn Fn(rfdet_api::Tid) -> ThreadFn + Send + Sync>> {
-    chaos::resume_bodies(name, p)
+    chaos::resume_bodies(name, p).or_else(|| service::resume_bodies(name, p))
 }
 
 /// Every benchmark application, in the paper's Table 1 order.
@@ -220,8 +221,22 @@ pub fn by_name(name: &str) -> Option<Workload> {
             factory: stress::sync_heavy,
         });
     }
+    if name == "chaos.hang" {
+        // Deliberately never terminates — resolvable by name for the
+        // replay CLI's `--timeout` wedged-exit path, but kept out of
+        // `chaos::scenarios()` so nothing that enumerates the registry
+        // (conformance, sweeps) ever runs it.
+        return Some(Workload {
+            name: "chaos.hang",
+            suite: Suite::Stress,
+            factory: chaos::hang,
+        });
+    }
     if name.starts_with("chaos.") {
         return chaos::scenarios().into_iter().find(|w| w.name == name);
+    }
+    if name.starts_with("service.") {
+        return service::scenarios().into_iter().find(|w| w.name == name);
     }
     benchmarks().into_iter().find(|w| w.name == name)
 }

@@ -6,112 +6,102 @@
 //! cargo run --release --example replicated_ledger
 //! ```
 //!
-//! A multithreaded "bank" applies a stream of transfer commands with
-//! per-account locks and answers audit queries concurrently. Three
-//! replicas run the same program with the same input on separate RFDet
-//! instances (imagine separate machines); their final ledger hashes must
-//! match bit-for-bit — no interleaving log shipped anywhere.
+//! The replica program is the registered `service.ledger` workload
+//! (DESIGN.md §4.12): a sharded in-memory ledger where N workers and the
+//! main thread each own an account stripe, ingesting a deterministic
+//! request stream of point gets, puts, cross-shard transfers and scans.
+//! Three replicas run the same program with the same input on separate
+//! RFDet instances under *different* physical conditions (distinct
+//! jitter seeds — imagine separate machines); their final state must
+//! match bit-for-bit, with no interleaving log shipped anywhere.
+//!
+//! Everything goes through the typed `run` API: a failed replica
+//! surfaces as a `RunError` carrying a structured `FailureReport`, which
+//! this example prints (rather than panicking) before demonstrating the
+//! recovery story — crash a worker mid-stream, restore the newest
+//! checkpoint, replay the tail, and converge with the unfaulted replica.
 
-use rfdet::{DmtBackend, DmtCtx, DmtCtxExt, MutexId, RfdetBackend, RunConfig};
+use rfdet::core::run_failover;
+use rfdet::workloads::{service, Params, Size};
+use rfdet::{FaultPlan, RfdetBackend, RunConfig};
 
-const ACCOUNTS: u64 = 64;
-const BALANCES: u64 = 4096; // u64 per account
-const AUDITS: u64 = 8192; // audit results
+const WORKERS: usize = 4;
 
-fn account_lock(a: u64) -> MutexId {
-    MutexId(100 + a as u32)
-}
-
-/// The replicated service. `input_seed` is the *only* input.
-fn replica(input_seed: u64) -> rfdet::ThreadFn {
-    Box::new(move |ctx: &mut dyn DmtCtx| {
-        for a in 0..ACCOUNTS {
-            ctx.write_idx::<u64>(BALANCES, a, 1_000);
-        }
-        // Two transfer workers share the command stream (odd/even split),
-        // plus one auditor thread that sums balances under locks.
-        let workers: Vec<_> = (0..2u64)
-            .map(|w| {
-                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
-                    let mut rng = rfdet::api::DetRng::new(input_seed);
-                    for k in 0..600u64 {
-                        let from = rng.next_below(ACCOUNTS);
-                        let to = rng.next_below(ACCOUNTS);
-                        let amount = rng.next_below(50);
-                        if k % 2 != w || from == to {
-                            continue; // not this worker's command
-                        }
-                        // Ordered two-lock transfer (no deadlock).
-                        let (lo, hi) = (from.min(to), from.max(to));
-                        ctx.lock(account_lock(lo));
-                        ctx.lock(account_lock(hi));
-                        let f: u64 = ctx.read_idx(BALANCES, from);
-                        if f >= amount {
-                            let t: u64 = ctx.read_idx(BALANCES, to);
-                            ctx.write_idx::<u64>(BALANCES, from, f - amount);
-                            ctx.write_idx::<u64>(BALANCES, to, t + amount);
-                        }
-                        ctx.unlock(account_lock(hi));
-                        ctx.unlock(account_lock(lo));
-                        ctx.tick(20);
-                    }
-                }))
-            })
-            .collect();
-        let auditor = ctx.spawn(Box::new(|ctx: &mut dyn DmtCtx| {
-            for round in 0..10u64 {
-                let mut total = 0u64;
-                for a in 0..ACCOUNTS {
-                    ctx.lock(account_lock(a));
-                    total += ctx.read_idx::<u64>(BALANCES, a);
-                    ctx.unlock(account_lock(a));
-                }
-                ctx.write_idx::<u64>(AUDITS, round, total);
-                ctx.tick(100);
-            }
-        }));
-        for w in workers {
-            ctx.join(w);
-        }
-        ctx.join(auditor);
-        // Ledger digest + the audit trail (audits interleave with
-        // transfers, so their values depend on scheduling — which DMT
-        // makes a pure function of the input).
-        let mut h: u64 = 0xcbf29ce484222325;
-        for a in 0..ACCOUNTS {
-            let b: u64 = ctx.read_idx(BALANCES, a);
-            h = (h ^ b).wrapping_mul(0x100000001B3);
-        }
-        let audits: Vec<String> = (0..10)
-            .map(|r| ctx.read_idx::<u64>(AUDITS, r).to_string())
-            .collect();
-        ctx.emit_str(&format!("ledger={h:016x} audits=[{}]", audits.join(",")));
-    })
+fn replica_cfg(jitter_seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.jitter_seed = Some(jitter_seed);
+    cfg
 }
 
 fn main() {
-    let input_seed = 0xFEED_BEEF;
+    use rfdet::DmtBackend as _;
+    let params = Params::new(WORKERS, Size::Test);
+    let backend = RfdetBackend::ci();
+
     println!("three replicas, same input, independent executions:");
     let mut states = std::collections::HashSet::new();
-    for replica_id in 0..3 {
+    for replica_id in 0..3u64 {
         // Different physical conditions per "machine".
-        let cfg = RunConfig {
-            jitter_seed: Some(replica_id * 7 + 1),
-            ..RunConfig::default()
-        };
-        let out = RfdetBackend::ci().run_expect(&cfg, replica(input_seed));
-        let text = String::from_utf8_lossy(&out.output).into_owned();
-        println!("  replica {replica_id}: {text}");
-        states.insert(text);
+        let cfg = replica_cfg(replica_id * 7 + 1);
+        match backend.run(&cfg, service::ledger(params)) {
+            Ok(out) => {
+                let text = String::from_utf8_lossy(&out.output).into_owned();
+                println!("  replica {replica_id}: {text}");
+                states.insert(text);
+            }
+            Err(e) => {
+                // A replica failure is a first-class, typed outcome —
+                // render the structured report and bail.
+                eprintln!("replica {replica_id} failed:\n{}", e.report().render());
+                std::process::exit(1);
+            }
+        }
     }
     assert_eq!(states.len(), 1, "replicas diverged!");
     println!(
-        "\nAll replicas reached the identical state — including the audit\n\
-         totals, whose values depend on how audits interleave with\n\
-         transfers. Only the input (one seed) was shared; no interleaving\n\
-         log, no coordination. A different input gives a different (but\n\
-         equally replicated) history:"
+        "\nAll replicas reached the identical state — including the\n\
+         per-worker checksums, whose values depend on the order\n\
+         cross-shard transfers land in each mailbox. Only the input was\n\
+         shared; no interleaving log, no coordination.\n"
     );
-    let out = RfdetBackend::ci().run_expect(&RunConfig::default(), replica(42));
-    println!("  input 42: {}", String::from_utf8_lossy(&out.output));
+
+    // The failover story: crash worker 2 in the last request round,
+    // restore the newest checkpoint, replay the input tail, and compare
+    // against an unfaulted replica.
+    let rounds = service::request_rounds_per_run(WORKERS, Size::Test);
+    let crash_op =
+        service::OPS_INIT_ROUND + (rounds - 1) * service::ops_per_request_round(WORKERS) + 2;
+    let mut cfg = replica_cfg(1);
+    cfg.checkpoint_every = 2;
+    cfg.trace = Some(format!("service.ledger@{WORKERS}"));
+    cfg.fault_plan = FaultPlan::new().panic_at(2, crash_op);
+    let bodies = service::ledger_resume(params);
+    let report = run_failover(&backend, &cfg, &move || service::ledger(params), &*bodies);
+    match &report.crash {
+        Some(crash) => println!(
+            "crash injected: {:?} on thread {} at sync op {crash_op}",
+            crash.kind, crash.tid
+        ),
+        None => println!("crash plan never fired (unexpected at this coordinate)"),
+    }
+    match report.recovered_from_epoch {
+        Some(epoch) => println!("recovered from checkpoint epoch {epoch}, replayed the tail"),
+        None => println!("no checkpoint available; replayed from scratch"),
+    }
+    assert!(
+        report.converged,
+        "recovered replica diverged: {:016x} != {:016x}",
+        report.recovered_digest, report.reference_digest
+    );
+    println!(
+        "recovered replica digest {:016x} == unfaulted replica digest {:016x}",
+        report.recovered_digest, report.reference_digest
+    );
+    println!(
+        "recovery cost {:.1} ms vs {:.1} ms for a full re-run ({:.0}% of it)",
+        report.recovery_ms,
+        report.full_run_ms,
+        report.recovery_ratio() * 100.0
+    );
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_8.json — machine-readable micro-bench numbers for
+# Regenerates BENCH_9.json — machine-readable micro-bench numbers for
 # the memory-pipeline fast path (chunked diff kernel, zero-copy
 # propagation, snapshot pooling) plus the turn-arbitration A/B
 # (successor handoff vs broadcast spin-scan on sync-heavy, with the
@@ -14,13 +14,17 @@
 # propagate-heavy at 4 threads, see DESIGN.md §4.5), and the
 # sharded-replay wall-time A/B (serial vs parallel per-window shard
 # replay of a checkpointed long-haul run, digest-verified; budget:
-# sharded ≤ 1.15× serial, see DESIGN.md §4.11). Also writes the
-# human-readable curves to results/thread_scaling.txt and
+# sharded ≤ 1.15× serial, see DESIGN.md §4.11), the replicated-service
+# throughput sweep (service.ledger at bench scale, ≥1M requests per
+# run, req/s over 2/4/8/16 threads) and the crash-failover recovery
+# cell (restore newest checkpoint + replay the tail; budget ≤0.6× the
+# full re-run, see DESIGN.md §4.12). Also writes the human-readable
+# curves to results/thread_scaling.txt and
 # results/sync_heavy_scaling.txt.
 #
 # Usage: scripts/bench_json.sh [--quick] [--out PATH] [--enforce]
 #   --quick    shrink measurement time for CI smoke runs
-#   --out      output path (default: BENCH_8.json at the repo root)
+#   --out      output path (default: BENCH_9.json at the repo root)
 #   --enforce  exit non-zero on any within-run budget breach (the CI
 #              scaling job's regression gate)
 set -euo pipefail

@@ -19,7 +19,7 @@
 //!   report `Deadlock` with a rerun-stable report digest; pthreads
 //!   surfaces the stall as `Wedged` via the wall-clock fallback.
 
-use rfdet::workloads::{benchmarks, chaos, Params, Size, Workload};
+use rfdet::workloads::{benchmarks, chaos, service, Params, Size, Workload};
 use rfdet::{all_backends, DmtBackend, FailureKind, RunConfig, RunOutput};
 
 /// What conformance means for one workload.
@@ -45,6 +45,12 @@ fn expectation(w: &Workload) -> Expectation {
         // backends must reproduce it run-to-run; pthreads, which fixes
         // no order, is exempt.
         "chaos.long_haul" => Expectation::PerBackendStable,
+        // Race-free but schedule-shaped: the per-worker checksums fold
+        // in the order cross-shard transfers land in each mailbox, which
+        // each backend's arbitration fixes differently. Deterministic
+        // backends must replicate it run-to-run (the replica-equivalence
+        // row below goes further: independent replicas, byte-identical).
+        "service.ledger" => Expectation::PerBackendStable,
         "chaos.abba_deadlock" => Expectation::DeterministicFailure,
         _ => Expectation::CrossBackendIdentical,
     }
@@ -57,13 +63,20 @@ fn table() -> Vec<Workload> {
     t.push(rfdet::workloads::by_name("propagate_heavy").expect("stress registered"));
     // Visible opt-out: `chaos.long_haul.bench` is `chaos.long_haul`
     // pinned to bench scale (240 rounds × 1024-word working set) for the
-    // BENCH_8 sharded-replay cell. The test-scale variant already covers
+    // BENCH_9 sharded-replay cell. The test-scale variant already covers
     // the program in every cell below; re-running the same body at bench
     // scale adds minutes per backend and zero conformance signal.
     t.extend(
         chaos::scenarios()
             .into_iter()
             .filter(|w| w.name != "chaos.long_haul.bench"),
+    );
+    // Same visible opt-out for `service.ledger.bench`: ≥1M requests per
+    // run is a throughput cell, not a conformance cell.
+    t.extend(
+        service::scenarios()
+            .into_iter()
+            .filter(|w| w.name != "service.ledger.bench"),
     );
     t
 }
@@ -211,6 +224,48 @@ fn checkpoint_support_is_pinned_to_the_core_backend() {
             assert!(
                 run.checkpoints.is_empty(),
                 "{}: claims no checkpoint support but produced checkpoints",
+                b.name()
+            );
+        }
+    }
+}
+
+/// The replica-equivalence row (DESIGN.md §4.12): the service ledger run
+/// as two *independently executed* replicas — same input, different
+/// physical conditions (distinct jitter seeds, standing in for distinct
+/// machines) — must reach byte-identical state on every deterministic
+/// backend, at 2, 4 and 8 threads. This is the property the crash-
+/// failover driver banks on: a restored replica re-deriving the tail
+/// lands on the same bytes the primary would have produced.
+#[test]
+fn service_ledger_replica_equivalence() {
+    let w = rfdet::workloads::by_name("service.ledger").expect("registered");
+    for threads in [2usize, 4, 8] {
+        for b in all_backends().into_iter().filter(|b| b.is_deterministic()) {
+            let replicas: Vec<Vec<u8>> = [3u64, 11]
+                .iter()
+                .map(|&seed| {
+                    let mut c = cfg(false);
+                    c.jitter_seed = Some(seed);
+                    b.run_expect(&c, (w.factory)(Params::new(threads, Size::Test)))
+                        .output
+                })
+                .collect();
+            assert_eq!(
+                replicas[0],
+                replicas[1],
+                "{}@{threads}: independent replicas diverged on {}",
+                w.name,
+                b.name()
+            );
+            // Determinism alone is not correctness: replicas can agree
+            // on a wrong answer. The ledger's own audit (balances +
+            // in-flight == minted + puts − shed) must also hold.
+            let text = String::from_utf8_lossy(&replicas[0]);
+            assert!(
+                text.contains("conserve=ok"),
+                "{}@{threads}: conservation audit failed on {}: {text}",
+                w.name,
                 b.name()
             );
         }
