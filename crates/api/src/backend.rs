@@ -1,6 +1,6 @@
 //! The backend abstraction: anything that can execute a DMT workload.
 
-use crate::{FaultPlan, RunConfig, RunError, Stats, ThreadFn};
+use crate::{FaultPlan, RaceReport, RunConfig, RunError, Stats, ThreadFn};
 use rfdet_trace::{ddmin, Checkpoint, RunTrace, TraceFault};
 
 /// The result of running a workload to completion under some backend.
@@ -14,6 +14,13 @@ pub struct RunOutput {
     /// Deliberately excluded from [`Self::output_digest`]: timing varies
     /// run to run, program results must not.
     pub metrics: Option<Box<rfdet_obs::MetricsSnapshot>>,
+    /// Data races detected during the run, present only when
+    /// [`RunConfig::detect_races`] was on, in canonical order (sorted by
+    /// address, then site keys). Excluded from [`Self::output_digest`]
+    /// like `metrics` — detection is an observer, and the digest-neutral
+    /// invariant (detector on/off runs produce identical digests) is
+    /// pinned by the race test suite.
+    pub races: Vec<RaceReport>,
 }
 
 impl RunOutput {
@@ -105,6 +112,14 @@ pub trait DmtBackend: Send + Sync {
     /// report `false` and ignore the checkpoint knobs, and the
     /// conformance matrix pins that split.
     fn supports_checkpoints(&self) -> bool {
+        false
+    }
+
+    /// Whether the backend implements happens-before race detection
+    /// ([`RunConfig::detect_races`]). All deterministic backends do; the
+    /// native backend has no happens-before substrate to check against
+    /// and reports `false` (the conformance matrix pins that split).
+    fn supports_race_detection(&self) -> bool {
         false
     }
 
@@ -235,5 +250,37 @@ mod tests {
     fn empty_digest_is_fnv_offset_basis() {
         let empty = RunOutput::default();
         assert_eq!(empty.output_digest(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn races_never_enter_the_output_digest() {
+        use crate::{AccessKind, RaceSite};
+        let clean = RunOutput {
+            output: b"result".to_vec(),
+            ..RunOutput::default()
+        };
+        let mut racy = clean.clone();
+        racy.races.push(RaceReport {
+            addr: 0x1040,
+            page: 1,
+            offset: 0x40,
+            first: RaceSite {
+                tid: 1,
+                sync_op: 3,
+                kind: AccessKind::Write,
+                clock: 0,
+            },
+            second: RaceSite {
+                tid: 2,
+                sync_op: 5,
+                kind: AccessKind::Read,
+                clock: 0,
+            },
+        });
+        assert_eq!(
+            clean.output_digest(),
+            racy.output_digest(),
+            "reports are observations, not results"
+        );
     }
 }

@@ -177,6 +177,21 @@ pub struct RunConfig {
     /// them in-memory only (`TracedRun::checkpoints`) — sharded replay
     /// uses this so verification shards do not re-write the chain.
     pub persist_checkpoints: bool,
+    /// Happens-before data-race detection (deterministic backends with
+    /// [`crate::DmtBackend::supports_race_detection`] only): track
+    /// word-granular read/write epochs over every slice's accesses and
+    /// attach a [`crate::RaceReport`] to the [`crate::RunOutput`] for
+    /// each conflicting, unordered pair. Detection is *digest-neutral* —
+    /// output and failure digests are identical with the detector on or
+    /// off (reports live outside `output_digest`), so, like `metrics`,
+    /// this knob stays out of the trace projection and a replay decides
+    /// for itself whether to re-detect. Backends force `supervise` on
+    /// (sync-op coordinates ride the supervision counter) and disable
+    /// the slice-merging and gap-coalescing optimizations (both are
+    /// semantics-neutral but change slice granularity, which would skew
+    /// cross-backend coordinates). `false` (the default) keeps the cost
+    /// at one branch per slice.
+    pub detect_races: bool,
 }
 
 impl Default for RunConfig {
@@ -203,6 +218,7 @@ impl Default for RunConfig {
             stop_at_checkpoint: None,
             checkpoint_dir: None,
             persist_checkpoints: true,
+            detect_races: false,
         }
     }
 }
@@ -315,6 +331,10 @@ impl RunConfig {
             stop_at_checkpoint: None,
             checkpoint_dir: None,
             persist_checkpoints: true,
+            // Race detection is digest-neutral, so whether to re-detect
+            // on replay is the replayer's choice (`replay races` turns it
+            // back on explicitly), not a recorded input.
+            detect_races: false,
         }
     }
 
@@ -497,6 +517,31 @@ mod tests {
         assert_eq!(back.stop_at_checkpoint, None);
         assert_eq!(back.checkpoint_dir, None);
         assert!(back.persist_checkpoints);
+    }
+
+    #[test]
+    fn race_detection_stays_out_of_the_trace_projection() {
+        let mut cfg = RunConfig::small();
+        cfg.detect_races = true;
+        cfg.trace = Some("w".to_owned());
+        let trace = rfdet_trace::RunTrace {
+            backend: "b".into(),
+            workload: "w".into(),
+            seed: None,
+            config: cfg.trace_config(),
+            faults: Vec::new(),
+            events: Vec::new(),
+            failure: rfdet_trace::FailureSummary {
+                kind: rfdet_trace::KIND_NONE,
+                tid: 0,
+                report_digest: 0,
+            },
+        };
+        let back = RunConfig::from_trace(&trace);
+        assert!(
+            !back.detect_races,
+            "detection is digest-neutral: re-detecting is replay-side policy"
+        );
     }
 
     #[test]

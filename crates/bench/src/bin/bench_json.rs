@@ -1,4 +1,4 @@
-//! Emits `BENCH_9.json`: machine-readable numbers for the memory-
+//! Emits `BENCH_10.json`: machine-readable numbers for the memory-
 //! pipeline fast path — chunked vs scalar diff kernel, gap coalescing,
 //! the propagate-heavy workload swept over {2, 4, 8, 16} threads as a
 //! paired eager-vs-lazy thread-scaling curve (the paper's Figure-6 axis;
@@ -21,7 +21,11 @@
 //! (`service.ledger` at bench scale, ≥1M requests ingested per run,
 //! req/s over {2, 4, 8, 16} threads) and the crash-failover recovery
 //! cell (kill a worker in the last request round, restore the newest
-//! checkpoint, replay the tail; budgeted at ≤0.6× the full re-run).
+//! checkpoint, replay the tail; budgeted at ≤0.6× the full re-run) —
+//! plus, new in BENCH_10 (§4.13), the race-detector A/B
+//! (`cfg.detect_races` on vs off on 4-thread propagate-heavy, the
+//! worst case: detection observes every diffed word at propagation
+//! time; budgeted at ≤10%, and the disabled path at one branch).
 //!
 //! Usage: `bench_json [--out PATH] [--quick] [--enforce]`. `--quick`
 //! shrinks the measurement target so CI can smoke-test the emission
@@ -234,7 +238,7 @@ fn sharded_replay_ab(quick: bool, jobs: usize, reps: u32) -> (f64, f64, usize) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut quick = false;
     let mut enforce = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -419,6 +423,39 @@ fn main() {
         results.push((
             "rfdet/4t_propagate_heavy_untraced".to_owned(),
             untraced_ns,
+            iters,
+        ));
+    }
+
+    // Race-detector A/B on the contended workload: `detect_races` on
+    // (every diffed word's write epoch checked and recorded at
+    // propagation time, plus read tracking) vs off (one branch per
+    // propagation site). propagate-heavy is the worst case by
+    // construction — its whole runtime is the propagation machinery the
+    // detector instruments. §4.13 budgets detection at ≤10% here.
+    {
+        let mut detect_cfg = RunConfig::small();
+        detect_cfg.rfdet.fault_cost_spins = 0;
+        detect_cfg.detect_races = true;
+        let mut nodetect_cfg = detect_cfg.clone();
+        nodetect_cfg.detect_races = false;
+        let (detect_ns, nodetect_ns, iters) = measure_ab(
+            target * 6,
+            || {
+                black_box(RfdetBackend::ci().run_expect(&detect_cfg, propagate_heavy(4)));
+            },
+            || {
+                black_box(RfdetBackend::ci().run_expect(&nodetect_cfg, propagate_heavy(4)));
+            },
+        );
+        results.push((
+            "rfdet/4t_propagate_heavy_detect".to_owned(),
+            detect_ns,
+            iters,
+        ));
+        results.push((
+            "rfdet/4t_propagate_heavy_nodetect".to_owned(),
+            nodetect_ns,
             iters,
         ));
     }
@@ -718,6 +755,19 @@ fn main() {
     );
     let _ = writeln!(json, "    \"budget_frac\": 0.05");
     json.push_str("  },\n");
+    let detect_ns = lookup("rfdet/4t_propagate_heavy_detect");
+    let nodetect_ns = lookup("rfdet/4t_propagate_heavy_nodetect");
+    json.push_str("  \"race_detector_overhead\": {\n");
+    let _ = writeln!(json, "    \"bench\": \"rfdet/4t_propagate_heavy\",");
+    let _ = writeln!(json, "    \"detect_ns\": {detect_ns:.1},");
+    let _ = writeln!(json, "    \"nodetect_ns\": {nodetect_ns:.1},");
+    let _ = writeln!(
+        json,
+        "    \"overhead_frac\": {:.4},",
+        detect_ns / nodetect_ns - 1.0
+    );
+    let _ = writeln!(json, "    \"budget_frac\": 0.10");
+    json.push_str("  },\n");
     let metered_ns = lookup("rfdet/4t_wordcount_metered");
     let unmetered_ns = lookup("rfdet/4t_wordcount_unmetered");
     json.push_str("  \"metrics_overhead\": {\n");
@@ -932,6 +982,11 @@ fn main() {
             1.10,
         ),
         ("supervisor_overhead frac", sup_ns / unsup_ns - 1.0, 0.02),
+        (
+            "race_detector_overhead frac",
+            detect_ns / nodetect_ns - 1.0,
+            0.10,
+        ),
         (
             "metrics_overhead frac",
             metered_ns / unmetered_ns - 1.0,

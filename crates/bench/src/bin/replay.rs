@@ -16,6 +16,7 @@
 //! replay sweep <workload>[@threads] [--backend NAME] [--plans N]
 //!              [--every N] [--timeout MS] [--out PATH]
 //! replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]
+//! replay races <workload>[@threads] [--backend NAME] [--timeout MS]
 //! ```
 //!
 //! `record` runs a workload with the recorder on; if the run fails the
@@ -49,6 +50,13 @@
 //! `metrics` runs a workload once with the deterministic-safe metrics
 //! layer enabled and prints the phase rollup — `json` (default) for
 //! tooling, `prom` for a Prometheus text-format scrape body.
+//!
+//! `races` runs a workload under the deterministic race detector
+//! (DESIGN.md §4.13) and prints every typed report. The report text is
+//! persisted as a sidecar beside the flight-recorder traces (honouring
+//! `RFDET_TRACE_DIR`), and for the seeded corpus (`races.*`) the
+//! worker-enable mask is ddmin-shrunk to a 1-minimal set of workers
+//! that still reproduces the first race.
 //!
 //! Workloads resolve through `rfdet_workloads::by_name`; the `chaos.*`
 //! scenarios exist specifically to fail on demand (and
@@ -92,7 +100,8 @@ fn usage() -> ! {
            [--ckpt-dir DIR] [--timeout MS] [--panic TID:OP]... [--fail-alloc TID:NTH]...\n  \
          replay sweep <workload>[@threads] [--backend NAME] [--plans N]\n    \
            [--every N] [--timeout MS] [--out PATH]\n  \
-         replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]\n\
+         replay metrics <workload>[@threads] [--backend NAME] [--format json|prom]\n  \
+         replay races <workload>[@threads] [--backend NAME] [--timeout MS]\n\
          exit codes: 0 ok, 1 diverged, 2 usage, 3 io, 4 wedged"
     );
     exit(EXIT_USAGE);
@@ -1172,6 +1181,114 @@ fn cmd_metrics(args: &[String]) -> i32 {
     }
 }
 
+/// `replay races <workload>`: one detecting run, a printed + persisted
+/// typed race report, and — for the seeded corpus — a ddmin-shrunk
+/// 1-minimal worker set that still reproduces the first race.
+fn cmd_races(args: &[String]) -> i32 {
+    let Some(spec) = args.first() else { usage() };
+    let Some((workload, params)) = resolve_workload(spec) else {
+        eprintln!("error: unknown workload {spec:?}");
+        return EXIT_USAGE;
+    };
+    let mut backend_name = "RFDet-ci".to_owned();
+    let mut timeout = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend_name = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--timeout" => {
+                timeout = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(backend) = backend_by_name(&backend_name) else {
+        eprintln!("error: unknown backend {backend_name:?}");
+        return EXIT_USAGE;
+    };
+    if !backend.supports_race_detection() {
+        eprintln!(
+            "error: backend {backend_name:?} has no happens-before substrate to check against"
+        );
+        return EXIT_USAGE;
+    }
+    let mut cfg = RunConfig::small();
+    cfg.rfdet.fault_cost_spins = 0;
+    cfg.deadlock_after_ms = Some(5_000);
+    cfg.detect_races = true;
+    let out = {
+        let cfg = cfg.clone();
+        let root = make_root(&workload, params);
+        run_with_timeout(timeout, "race detection", move || backend.run(&cfg, root))
+    };
+    let out = match out {
+        Ok(out) => out,
+        Err(e) => {
+            println!("{e}");
+            return failure_code(&e);
+        }
+    };
+    print!("{}", rfdet_api::render_races(&out.races));
+    println!(
+        "race digest {:016x} (output digest {:#018x})",
+        rfdet_api::races_digest(&out.races),
+        out.output_digest()
+    );
+    let sidecar = format!(
+        "workload {}@{}\nbackend {}\nrace digest {:016x}\n{}",
+        workload.name,
+        params.threads,
+        backend_name,
+        rfdet_api::races_digest(&out.races),
+        rfdet_api::render_races(&out.races)
+    );
+    let name = format!(
+        "races_{}@{}.{}.races",
+        workload.name, params.threads, backend_name
+    );
+    match persist::save_sidecar(&persist::trace_dir(), &name, &sidecar) {
+        Ok(path) => println!("RACES {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot persist race report: {e}");
+            return EXIT_IO;
+        }
+    }
+    if out.races.is_empty() {
+        println!("no races detected");
+        return 0;
+    }
+    // 1-minimal reproducer, corpus entries only: every `races.*`
+    // workload takes a worker-enable mask (disabled workers still spawn,
+    // so surviving tids and sync-op counts — and hence the target race's
+    // digest — are unchanged under shrinking).
+    if rfdet_workloads::races::root_masked(workload.name, params, u64::MAX).is_some() {
+        let target = out.races[0].digest();
+        let workers: Vec<usize> = (0..params.threads).collect();
+        let mut oracle = |subset: &[usize]| {
+            let mask = subset.iter().fold(0u64, |m, &t| m | (1 << t));
+            let root = rfdet_workloads::races::root_masked(workload.name, params, mask)
+                .expect("corpus entry");
+            let b = backend_by_name(&backend_name).expect("resolved above");
+            b.run(&cfg, root)
+                .map(|out| out.races.iter().any(|r| r.digest() == target))
+                .unwrap_or(false)
+        };
+        let min = rfdet_api::trace::ddmin(&workers, &mut oracle);
+        let mask = min.iter().fold(0u64, |m, &t| m | (1 << t));
+        println!("MINWORKERS {min:?} (enable mask {mask:#x}) still reproduce race {target:016x}");
+    } else {
+        println!(
+            "(worker-mask shrinking is corpus-only; {} has no masked variant)",
+            workload.name
+        );
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -1183,6 +1300,7 @@ fn main() {
         Some("failover") => cmd_failover(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("races") => cmd_races(&args[1..]),
         _ => usage(),
     };
     exit(code);

@@ -58,10 +58,27 @@ impl DmtBackend for RfdetBackend {
         true
     }
 
+    fn supports_race_detection(&self) -> bool {
+        true
+    }
+
     fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         let mut cfg = cfg.clone();
         if let Some(m) = self.monitor_override {
             cfg.rfdet.monitor = m;
+        }
+        if cfg.detect_races {
+            // Race detection's logical coordinates ride the supervision
+            // sync-op counter, and must mean the same thing on every
+            // backend: supervision on, one sealed slice per sync op (no
+            // merged slices spanning several ops), exact byte diffs (no
+            // coalesced gap bytes widening the written-word set). All
+            // three adjustments are semantics-neutral — the schedule and
+            // every digest are unchanged — which is what lets a detecting
+            // run stand in for a plain one.
+            cfg.supervise = true;
+            cfg.rfdet.slice_merging = false;
+            cfg.rfdet.diff_gap_coalesce = 0;
         }
         let mut shared = RuntimeShared::new(cfg);
         shared.backend_name = self.name();
@@ -100,7 +117,7 @@ pub(crate) fn handle_main_unwind(
 /// The shared tail of every core-backend run (fresh or resumed): harvest
 /// workers, assemble the result, finish the trace and metrics, and drain
 /// the checkpoint collector.
-pub(crate) fn teardown(name: &str, shared: &Arc<RuntimeShared>, main: RfdetCtx) -> TracedRun {
+pub(crate) fn teardown(name: &str, shared: &Arc<RuntimeShared>, mut main: RfdetCtx) -> TracedRun {
     // Harvest every worker; children may keep spawning while we join,
     // so loop until the handle map stays empty. Workers never unwind
     // out of their closure (panics route through record_panic), so
@@ -117,6 +134,16 @@ pub(crate) fn teardown(name: &str, shared: &Arc<RuntimeShared>, main: RfdetCtx) 
             let _ = h.join();
         }
     }
+    // Harvest the detector (main-thread state) before dropping the
+    // context. By this point every joined worker's slices have been
+    // applied at main, so the report list is sealed.
+    let (races, races_truncated) = match main.detect.take() {
+        Some(det) => {
+            let (races, truncated) = det.finish();
+            (races, truncated)
+        }
+        None => (Vec::new(), false),
+    };
     // Flush the main context's trace buffer before assembling the
     // trace (worker buffers flushed when their contexts dropped).
     drop(main);
@@ -133,11 +160,18 @@ pub(crate) fn teardown(name: &str, shared: &Arc<RuntimeShared>, main: RfdetCtx) 
                 stats
             },
             metrics: None,
+            races,
         }),
     };
     let trace = rfdet_api::finish_trace(name, &shared.cfg, shared.trace_sink.as_ref(), &mut result);
     rfdet_api::finish_metrics(name, shared.obs.as_ref(), &mut result);
-    let (checkpoints, warnings) = shared.ckpt.take_results();
+    let (checkpoints, mut warnings) = shared.ckpt.take_results();
+    if races_truncated {
+        warnings.push(format!(
+            "race reports truncated at {} — distinct racy pairs beyond the cap were not materialized",
+            rfdet_mem::race::RaceCollector::DEFAULT_CAP
+        ));
+    }
     if let Err(e) = &mut result {
         e.report_mut().warnings.extend(warnings.iter().cloned());
     }

@@ -111,6 +111,24 @@ pub struct RfdetCtx {
     /// Reusable scratch buffer for propagation lower limits — avoids a
     /// fresh `VClock` allocation per mailbox source / premerge round.
     pub(crate) scratch_lower: VClock,
+    /// `cfg.detect_races`, cached: the one branch the read path pays
+    /// when detection is off.
+    pub(crate) track_reads: bool,
+    /// Word-granular read set of the in-progress slice (marked only when
+    /// `track_reads`), sealed into the published slice at `end_slice`.
+    pub(crate) read_set: rfdet_mem::ReadTracker,
+    /// `true` while executing an atomic operation's mini-slice. The
+    /// sealed mini-slice is tagged atomic so the race detector skips it
+    /// (atomics are synchronization, not data accesses).
+    pub(crate) in_atomic: bool,
+    /// The happens-before race detector — main thread (tid 0) only,
+    /// `Some` iff `cfg.detect_races`. Detection runs entirely at main:
+    /// every published slice reaches main exactly once (workloads join
+    /// their whole thread tree, and metadata GC never collects a slice
+    /// below the glb of all live published clocks, main's included), and
+    /// main applies slices in a happens-before-consistent order — the
+    /// discipline [`rfdet_mem::RaceCollector`] requires.
+    pub(crate) detect: Option<Box<crate::race::CoreDetect>>,
     exited: bool,
 }
 
@@ -125,6 +143,11 @@ impl RfdetCtx {
         let mut vc = VClock::new();
         vc.tick(0);
         let mut ctx = Self::from_parts(shared, kendo, meta_thread, mailbox, None, vc);
+        if ctx.shared.cfg.detect_races {
+            ctx.detect = Some(Box::new(crate::race::CoreDetect::new(
+                ctx.shared.cfg.page_size,
+            )));
+        }
         ctx.publish_vcs();
         ctx.begin_slice();
         ctx
@@ -180,8 +203,13 @@ impl RfdetCtx {
             slice_ops_base: 0,
             obs_boundary: None,
             scratch_lower: VClock::new(),
+            track_reads: false,
+            read_set: rfdet_mem::ReadTracker::new(),
+            in_atomic: false,
+            detect: None,
             exited: false,
         };
+        ctx.track_reads = ctx.shared.cfg.detect_races;
         ctx.trace = ctx
             .shared
             .trace_sink
@@ -406,6 +434,10 @@ impl RfdetCtx {
             }
         }
         self.stats.loads += 1;
+        if self.track_reads {
+            self.read_set
+                .mark(addr, buf.len() as u64, self.shared.cfg.page_size);
+        }
         self.space.read(addr, buf);
     }
 

@@ -58,6 +58,7 @@ pub mod failover;
 mod handoff;
 mod pending;
 mod propagation;
+mod race;
 mod resume;
 mod shared;
 mod slices;

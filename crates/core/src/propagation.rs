@@ -71,6 +71,14 @@ impl RfdetCtx {
     /// hands the whole list to the batched `apply_runs`, which resolves
     /// each target page once per group instead of once per run.
     pub(crate) fn apply_slice(&mut self, s: &SliceRef) {
+        // Race detection: main (the only thread with a detector) checks
+        // every incoming slice's accesses against its epoch table before
+        // merging the bytes. Application order at a thread respects
+        // happens-before, which is exactly the discipline the collector
+        // needs for its one-directional check.
+        if let Some(det) = self.detect.as_mut() {
+            det.observe_slice(s);
+        }
         if self.shared.cfg.rfdet.lazy_writes {
             let runs = &s.mods;
             let mut k = 0;
@@ -108,6 +116,11 @@ impl RfdetCtx {
     /// pages first so per-page application order stays propagation
     /// order.
     pub(crate) fn apply_slice_idle(&mut self, s: &SliceRef) {
+        // Premerge applies slices main would otherwise apply at the
+        // acquire — same happens-before-consistent order, same check.
+        if let Some(det) = self.detect.as_mut() {
+            det.observe_slice(s);
+        }
         if self.shared.cfg.rfdet.lazy_writes && !self.pending.is_empty() {
             let runs = &s.mods;
             let mut k = 0;

@@ -1,0 +1,71 @@
+//! The core backend's race-detection harness.
+//!
+//! Detection runs entirely at the main thread (tid 0), piggybacking on
+//! work DLRC does anyway: every published slice is eventually applied at
+//! main (or observed locally, for main's own slices), in an order
+//! consistent with happens-before — each thread's slice list is causally
+//! ordered, mailbox propagation filters already-seen slices by the lower
+//! limit, and barrier batches deduplicate by `(tid, seq)`. Under that
+//! discipline the [`RaceCollector`]'s one-directional epoch check is
+//! sound (see `rfdet_mem::race` module docs).
+//!
+//! Completeness within a run: workloads join their whole thread tree, so
+//! every worker's exit release (and with it the worker's full slice
+//! list) propagates to main before main's own exit seals detection.
+//! Slices of threads that were never joined may go unchecked — exactly
+//! the slices whose effects the program also never observed.
+
+use rfdet_api::RaceReport;
+use rfdet_mem::race::{RaceCollector, SliceAccess};
+use rfdet_meta::SliceRec;
+use rfdet_vclock::Tid;
+use std::collections::HashMap;
+
+/// Main-thread detector state: the shared epoch table plus a per-thread
+/// sequence guard that makes re-observation of a slice (which the
+/// propagation invariants already rule out) a no-op instead of a
+/// soundness hazard.
+pub(crate) struct CoreDetect {
+    collector: RaceCollector,
+    /// Next expected slice seq per tid; slices arrive in seq order
+    /// (application order is causal, and one thread's slices are totally
+    /// ordered), so anything below the cursor was already observed.
+    next_seq: HashMap<Tid, u64>,
+}
+
+impl CoreDetect {
+    pub(crate) fn new(page_size: u64) -> Self {
+        Self {
+            collector: RaceCollector::new(page_size),
+            next_seq: HashMap::new(),
+        }
+    }
+
+    /// Observes one published slice (called at `apply_slice` for remote
+    /// slices, and from `end_slice` for main's own). Atomic mini-slices
+    /// carry synchronization, not data accesses — skipped entirely.
+    pub(crate) fn observe_slice(&mut self, s: &SliceRec) {
+        if s.atomic {
+            return;
+        }
+        let next = self.next_seq.entry(s.tid).or_insert(0);
+        if s.seq < *next {
+            return;
+        }
+        *next = s.seq + 1;
+        self.collector.observe(&SliceAccess {
+            tid: s.tid,
+            time: &s.time,
+            sync_op: s.sync_op,
+            writes: &s.mods,
+            reads: &s.reads,
+        });
+    }
+
+    /// Seals detection: canonically-sorted reports plus whether the
+    /// report cap truncated the list.
+    pub(crate) fn finish(self) -> (Vec<RaceReport>, bool) {
+        let truncated = self.collector.truncated();
+        (self.collector.finish(), truncated)
+    }
+}

@@ -55,8 +55,26 @@ impl RfdetCtx {
         }
         self.stats.slices += 1;
         self.obs_since_boundary(Phase::Diff, diff_t0);
-        if !mods.is_empty() {
-            let rec = SliceRec::new(self.tid, self.slice_seq, self.slice_start.clone(), mods);
+        // Race detection seals the slice's word-read set alongside the
+        // diff. Read-only slices must then publish too — a remote read
+        // can race a write, and the detecting thread only sees accesses
+        // that reach it as published slices. Their empty mod list applies
+        // as a no-op everywhere, so propagation results are unchanged.
+        let reads = if self.track_reads {
+            self.read_set.seal(self.shared.cfg.page_size)
+        } else {
+            Vec::new()
+        };
+        if !mods.is_empty() || !reads.is_empty() {
+            let mut rec = SliceRec::new(self.tid, self.slice_seq, self.slice_start.clone(), mods);
+            if self.track_reads {
+                rec = rec.with_access(reads, self.sync_ops, self.in_atomic);
+            }
+            // Main's own slices never come back to it through propagation
+            // — observe them at the seal (the detector lives on tid 0).
+            if let Some(det) = self.detect.as_mut() {
+                det.observe_slice(&rec);
+            }
             let (_slice, gc_needed) = self.shared.meta.publish_slice_for(&self.meta_thread, rec);
             // Defer the pass itself: end_slice runs inside the Kendo
             // turn, and a GC scan there would serialize every thread.

@@ -607,6 +607,11 @@ pub(crate) fn atomic_impl(
         ctx.vc.join(&time);
         ctx.propagate_from(from, &time, &lower);
     }
+    // The mini-slice between the two boundaries holds only the atomic
+    // access itself; tag it so the race detector skips it (an atomic is
+    // synchronization — its ordering flows through the release clock
+    // recorded below, not through the data-race check).
+    ctx.in_atomic = true;
     ctx.begin_slice();
     // The modification itself, through the instrumented in-turn path (a
     // normal write would tick the Kendo clock and release the turn).
@@ -621,6 +626,7 @@ pub(crate) fn atomic_impl(
     }
     // Release boundary: publish the one-op slice and record the release.
     op_boundary(ctx, Some(key));
+    ctx.in_atomic = false;
     ctx.meta_thread.set_turn_vc(&ctx.vc);
     ctx.release_turn();
     op_epilogue(ctx);

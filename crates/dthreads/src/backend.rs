@@ -41,6 +41,14 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, backend: &str, root: Thre
     // Flush the main context's trace buffer before assembly (worker
     // buffers flushed when their contexts dropped).
     drop(main);
+    let (races, races_truncated) = engine.take_races();
+    let mut warnings = Vec::new();
+    if races_truncated {
+        warnings.push(format!(
+            "race reports truncated at {} — epoch checks continued, but later races went unrecorded",
+            rfdet_mem::race::RaceCollector::DEFAULT_CAP
+        ));
+    }
     let mut result = match engine.take_run_error(backend) {
         Some(err) => Err(err),
         None => {
@@ -55,6 +63,7 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, backend: &str, root: Thre
                 output: engine.meta.collect_output(),
                 stats: engine.meta.stats.snapshot(),
                 metrics: None,
+                races,
             })
         }
     };
@@ -64,7 +73,7 @@ pub fn run_lockstep(cfg: &RunConfig, mode: EngineMode, backend: &str, root: Thre
         result,
         trace,
         checkpoints: Vec::new(),
-        warnings: Vec::new(),
+        warnings,
     }
 }
 
@@ -80,6 +89,10 @@ impl DmtBackend for DthreadsBackend {
     }
 
     fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn supports_race_detection(&self) -> bool {
         true
     }
 

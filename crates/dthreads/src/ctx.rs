@@ -5,6 +5,7 @@ use rfdet_api::{
     Addr, BarrierId, CondId, DmtCtx, FaultPlan, MutexId, Stats, ThreadFn, ThreadHandle,
     ThreadReport, Tid,
 };
+use rfdet_mem::race::{ReadRun, ReadTracker};
 use rfdet_mem::{diff, ModRun, PrivateSpace, ThreadHeap};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -21,6 +22,13 @@ pub(crate) struct DtCtx {
     snapshots: BTreeMap<usize, Box<[u8]>>,
     /// Remaining tick budget in quantum mode.
     budget: u64,
+    /// Whether the engine is detecting races (word-read sets are sealed
+    /// into every arrival). One branch per load when off.
+    track_reads: bool,
+    /// Word-granular read set of the current parallel interval.
+    reads: ReadTracker,
+    /// Cached page size for the read tracker's bitmap geometry.
+    page_size: u64,
     /// Tid of the child created by the most recent `Spawn` op.
     last_spawned_tid: Option<Tid>,
     pub heap: ThreadHeap,
@@ -52,12 +60,17 @@ impl DtCtx {
             .obs
             .as_ref()
             .map(|s| rfdet_api::obs::ObsRecorder::new(Arc::clone(s)));
+        let track_reads = engine.detect_races;
+        let page_size = space.page_size() as u64;
         Self {
             engine,
             tid,
             space,
             snapshots: BTreeMap::new(),
             budget,
+            track_reads,
+            reads: ReadTracker::new(),
+            page_size,
             last_spawned_tid: None,
             heap,
             stats: Stats::default(),
@@ -183,13 +196,24 @@ impl DtCtx {
         mods
     }
 
+    /// Seals the current interval's word-read set (empty when detection
+    /// is off).
+    fn take_reads(&mut self) -> Vec<ReadRun> {
+        if self.track_reads {
+            self.reads.seal(self.page_size)
+        } else {
+            Vec::new()
+        }
+    }
+
     /// Arrives at a synchronization point and re-bases on the returned
     /// global image.
     fn sync_point(&mut self, op: PendingOp) -> Option<u64> {
         let diff = self.take_diff();
+        let reads = self.take_reads();
         // The fence stall: from arrival to the serial phase releasing us.
         let t0 = self.obs_start();
-        let (image, seed, value) = self.engine.arrive(self.tid, op, diff);
+        let (image, seed, value) = self.engine.arrive(self.tid, op, diff, reads, self.sync_ops);
         self.obs_since(rfdet_api::obs::Phase::FenceWait, t0);
         if let Some(img) = image {
             self.space = img;
@@ -230,7 +254,10 @@ impl DtCtx {
     pub fn exit(&mut self) {
         self.fault_point("exit", None);
         let diff = self.take_diff();
-        let (_, _, _) = self.engine.arrive(self.tid, PendingOp::Exit, diff);
+        let reads = self.take_reads();
+        let (_, _, _) = self
+            .engine
+            .arrive(self.tid, PendingOp::Exit, diff, reads, self.sync_ops);
         self.stats.private_pages = self.space.materialized_pages() as u64;
         self.engine.meta.stats.merge(&self.stats);
     }
@@ -272,6 +299,9 @@ impl DmtCtx for DtCtx {
     fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
         self.stats.loads += 1;
         self.charge(1);
+        if self.track_reads {
+            self.reads.mark(addr, buf.len() as u64, self.page_size);
+        }
         self.space.read(addr, buf);
     }
 

@@ -1,10 +1,12 @@
 //! The lockstep engine: global fence + serial token-order commit.
 
+use crate::detect::EngineDetect;
 use parking_lot::{Condvar, Mutex};
 use rfdet_api::{
-    AtomicOp, FailureKind, FailureReport, FaultPlan, RunConfig, RunError, ThreadFn, ThreadReport,
-    Tid, WaitEdge, WaitTarget,
+    AtomicOp, FailureKind, FailureReport, FaultPlan, RaceReport, RunConfig, RunError, ThreadFn,
+    ThreadReport, Tid, WaitEdge, WaitTarget,
 };
+use rfdet_mem::race::ReadRun;
 use rfdet_mem::{ModRun, PrivateSpace};
 use rfdet_meta::MetaSpace;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -82,6 +84,12 @@ pub(crate) struct Arrival {
     /// Taken (applied to the global store) at most once, on the first
     /// serial phase that processes this arrival.
     pub diff: Option<Vec<ModRun>>,
+    /// The interval's word-read set, sealed alongside the diff for race
+    /// detection. Empty unless [`RunConfig::detect_races`] is on.
+    pub reads: Option<Vec<ReadRun>>,
+    /// The arriving thread's sync-op count at the seal — the
+    /// backend-invariant logical coordinate stamped on race reports.
+    pub sync_op: u64,
 }
 
 /// Result delivered back to an arrived thread.
@@ -114,6 +122,9 @@ pub(crate) struct EngineState {
     join_waiters: HashMap<Tid, Vec<Tid>>,
     finished: HashSet<Tid>,
     phase: u64,
+    /// Race-detection shadow state (`RunConfig::detect_races`); lives
+    /// under the monitor so serial phases mutate it race-free.
+    detect: Option<Box<EngineDetect>>,
 }
 
 /// The engine: one big monitor. Parallel-phase memory accesses never touch
@@ -130,6 +141,9 @@ pub(crate) struct Engine {
 
     /// Fault-injection / bookkeeping gate (`RunConfig::supervise`).
     pub supervise: bool,
+    /// Whether contexts should collect word-read sets for the detector
+    /// (`RunConfig::detect_races`).
+    pub detect_races: bool,
     pub fault_plan: FaultPlan,
     /// Wall-clock fallback for runs that stall without a provable
     /// structural deadlock (`RunConfig::deadlock_after_ms`).
@@ -173,13 +187,20 @@ impl Engine {
                 join_waiters: HashMap::new(),
                 finished: HashSet::new(),
                 phase: 0,
+                detect: cfg
+                    .detect_races
+                    .then(|| Box::new(EngineDetect::new(cfg.page_size))),
             }),
             cv: Condvar::new(),
             meta: MetaSpace::new(cfg.meta_capacity_bytes as usize, cfg.gc_threshold),
             mode,
             handles: Mutex::new(HashMap::new()),
             strips: rfdet_mem::StripAllocator::new(heap_base, cfg.space_bytes - heap_base),
-            supervise: cfg.supervise,
+            // Detection needs the per-thread sync-op counters that give
+            // race reports their backend-invariant coordinates, so it
+            // forces supervision on (semantics- and digest-neutral).
+            supervise: cfg.supervise || cfg.detect_races,
+            detect_races: cfg.detect_races,
             fault_plan: cfg.fault_plan.clone(),
             wedge_after: cfg.deadlock_after(),
             poisoned: AtomicBool::new(false),
@@ -347,8 +368,20 @@ impl Engine {
         let mut st = self.state.lock();
         st.active.insert(tid);
         st.slots.push(Slot::default());
+        if let Some(det) = st.detect.as_mut() {
+            det.register(tid);
+        }
         let img = st.global.clone();
         (tid, img)
+    }
+
+    /// Harvests the run's race reports at teardown (empty when detection
+    /// was off). The second value reports cap truncation.
+    pub fn take_races(&self) -> (Vec<RaceReport>, bool) {
+        match self.state.lock().detect.take() {
+            Some(det) => det.finish(),
+            None => (Vec::new(), false),
+        }
     }
 
     /// A thread arrives at a synchronization point with its interval diff
@@ -359,6 +392,8 @@ impl Engine {
         tid: Tid,
         op: PendingOp,
         diff: Vec<ModRun>,
+        reads: Vec<ReadRun>,
+        sync_op: u64,
     ) -> (Option<PrivateSpace>, Option<ChildSeed>, Option<u64>) {
         let mut st = self.state.lock();
         st.arrived.insert(
@@ -366,6 +401,8 @@ impl Engine {
             Arrival {
                 op,
                 diff: Some(diff),
+                reads: Some(reads),
+                sync_op,
             },
         );
         self.maybe_phases(&mut st);
@@ -439,8 +476,19 @@ impl Engine {
         let mut spawned = 0usize;
 
         for tid in order {
+            // The interval's pre-tick clock, sealed at first processing;
+            // release-side happens-before edges publish it below. Ops
+            // that can re-process (a retried `Lock`) are acquire-only,
+            // so a missing seal never loses a release edge.
+            let mut sealed = None;
             // Commit the interval's modifications (once).
             if let Some(diff) = st.arrived.get_mut(&tid).and_then(|a| a.diff.take()) {
+                if let Some(det) = st.detect.as_mut() {
+                    let a = st.arrived.get_mut(&tid).expect("arrival present");
+                    let reads = a.reads.take().unwrap_or_default();
+                    let sync_op = a.sync_op;
+                    sealed = Some(det.seal_interval(tid, sync_op, &reads, &diff));
+                }
                 if !diff.is_empty() {
                     self.meta.stats.serial_commits.fetch_add(1, Relaxed);
                     let bytes: u64 = diff.iter().map(|r| r.len() as u64).sum();
@@ -459,6 +507,9 @@ impl Engine {
                     let owner = st.lock_owner.entry(m).or_insert(None);
                     if owner.is_none() {
                         *owner = Some(tid);
+                        if let Some(det) = st.detect.as_mut() {
+                            det.lock_acquired(tid, m);
+                        }
                         done.push(tid);
                     } else {
                         // Retry next phase (stay arrived, diff consumed).
@@ -473,12 +524,18 @@ impl Engine {
                         "thread {tid} unlocking mutex {m} it does not hold"
                     );
                     *owner = None;
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        det.mutex_released(m, s);
+                    }
                     done.push(tid);
                 }
                 PendingOp::Wait(c, m) => {
                     let owner = st.lock_owner.entry(m).or_insert(None);
                     assert_eq!(*owner, Some(tid), "cond_wait without holding mutex {m}");
                     *owner = None;
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        det.mutex_released(m, s);
+                    }
                     st.cond_waiters.entry(c).or_default().push_back((tid, m));
                     st.active.remove(&tid);
                     st.arrived.remove(&tid);
@@ -492,6 +549,10 @@ impl Engine {
                         usize::from(!queue.is_empty())
                     };
                     let woken: Vec<(Tid, u32)> = queue.drain(..n).collect();
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        let tids: Vec<Tid> = woken.iter().map(|&(w, _)| w).collect();
+                        det.signalled(&tids, s);
+                    }
                     for (w, m) in woken {
                         // Re-arm as a mutex acquisition next phase.
                         st.active.insert(w);
@@ -500,16 +561,24 @@ impl Engine {
                             Arrival {
                                 op: PendingOp::Lock(m),
                                 diff: None,
+                                reads: None,
+                                sync_op: 0,
                             },
                         );
                     }
                     done.push(tid);
                 }
                 PendingOp::Barrier(b, parties) => {
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        det.barrier_arrived(b, s);
+                    }
                     let waiters = st.barrier_waiters.entry(b).or_default();
                     waiters.push(tid);
                     if waiters.len() == parties {
                         let all = std::mem::take(waiters);
+                        if let Some(det) = st.detect.as_mut() {
+                            det.barrier_released(b, &all);
+                        }
                         for w in all {
                             if w != tid {
                                 st.active.insert(w);
@@ -526,6 +595,9 @@ impl Engine {
                     let child = self.meta.register_thread().tid;
                     st.slots.push(Slot::default());
                     st.active.insert(child);
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        det.spawned(child, s);
+                    }
                     let seed = ChildSeed {
                         tid: child,
                         // The child inherits the global store as of the
@@ -539,6 +611,9 @@ impl Engine {
                 }
                 PendingOp::Join(target) => {
                     if st.finished.contains(&target) {
+                        if let Some(det) = st.detect.as_mut() {
+                            det.join_acquired(tid, target);
+                        }
                         done.push(tid);
                     } else {
                         st.join_waiters.entry(target).or_default().push(tid);
@@ -548,6 +623,9 @@ impl Engine {
                     }
                 }
                 PendingOp::Atomic { addr, op, store } => {
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        det.atomic_op(tid, addr, s);
+                    }
                     let mut buf = [0u8; 8];
                     st.global.read(addr, &mut buf);
                     let old = u64::from_le_bytes(buf);
@@ -567,6 +645,9 @@ impl Engine {
                     st.finished.insert(tid);
                     st.active.remove(&tid);
                     let joiners = st.join_waiters.remove(&tid).unwrap_or_default();
+                    if let (Some(det), Some(s)) = (st.detect.as_mut(), sealed.as_ref()) {
+                        det.exited(tid, s, &joiners);
+                    }
                     for j in joiners {
                         st.active.insert(j);
                         st.arrived.insert(
@@ -574,6 +655,8 @@ impl Engine {
                             Arrival {
                                 op: PendingOp::Noop,
                                 diff: None,
+                                reads: None,
+                                sync_op: 0,
                             },
                         );
                     }
@@ -643,6 +726,8 @@ impl Engine {
                 Arrival {
                     op: PendingOp::Noop,
                     diff: None,
+                    reads: None,
+                    sync_op: 0,
                 },
             );
         }

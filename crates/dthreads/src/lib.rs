@@ -25,6 +25,7 @@
 
 mod backend;
 mod ctx;
+mod detect;
 mod engine;
 
 pub use backend::DthreadsBackend;

@@ -24,6 +24,7 @@ pub mod diff;
 mod overlay;
 mod page;
 mod prot;
+pub mod race;
 mod space;
 
 pub use alloc::{HeapState, StripAllocator, ThreadHeap, MAX_HEAP_THREADS};
@@ -31,6 +32,7 @@ pub use diff::{ModRun, RunHandle, RunList, RunRange};
 pub use overlay::PageOverlay;
 pub use page::Page;
 pub use prot::PageFlags;
+pub use race::{RaceCollector, ReadRun, ReadTracker, SliceAccess, WORD_BYTES};
 pub use space::PrivateSpace;
 
 /// Returns the base address of the heap area managed by the shared

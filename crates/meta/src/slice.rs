@@ -1,7 +1,7 @@
 //! Published slices.
 
 use rfdet_mem::diff;
-use rfdet_mem::{ModRun, RunList};
+use rfdet_mem::{ModRun, ReadRun, RunList};
 use rfdet_vclock::{Tid, VClock};
 use std::sync::Arc;
 
@@ -22,6 +22,21 @@ pub struct SliceRec {
     /// transitive propagation — shares the one run list instead of deep-
     /// copying runs.
     pub mods: RunList,
+    /// Word-granular read runs, recorded only when the run detects races
+    /// (empty otherwise — read sets never influence propagation, they
+    /// ride the slice so the detecting thread can check them against its
+    /// epoch table).
+    pub reads: Arc<[ReadRun]>,
+    /// Per-thread sync-op index of the operation that sealed the slice —
+    /// the race detector's backend-independent logical coordinate. Zero
+    /// when detection is off (the counter still exists, but stamping it
+    /// is detection-only bookkeeping).
+    pub sync_op: u64,
+    /// `true` for the mini-slice an atomic RMW executes in. Atomics are
+    /// synchronization, not data accesses — the detector skips atomic
+    /// slices entirely (their happens-before edges still flow through
+    /// the recorded release clocks).
+    pub atomic: bool,
     heap_bytes: usize,
 }
 
@@ -42,8 +57,23 @@ impl SliceRec {
             seq,
             time,
             mods: mods.into(),
+            reads: Arc::from([]),
+            sync_op: 0,
+            atomic: false,
             heap_bytes,
         }
+    }
+
+    /// Attaches the race detector's access metadata (read set, sealing
+    /// sync-op coordinate, atomic-slice flag), charging the read runs to
+    /// the slice's metadata-space footprint.
+    #[must_use]
+    pub fn with_access(mut self, reads: Vec<ReadRun>, sync_op: u64, atomic: bool) -> Self {
+        self.heap_bytes += reads.len() * std::mem::size_of::<ReadRun>();
+        self.reads = reads.into();
+        self.sync_op = sync_op;
+        self.atomic = atomic;
+        self
     }
 
     /// Metadata-space bytes consumed by this slice (used for the GC
@@ -79,6 +109,22 @@ mod tests {
         assert_eq!(s.mod_bytes(), 3);
         assert!(s.heap_bytes() > 3);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn access_metadata_rides_and_is_accounted() {
+        let plain = SliceRec::new(1, 0, VClock::new(), vec![]);
+        assert!(plain.reads.is_empty());
+        assert!(!plain.atomic);
+        let tagged = SliceRec::new(1, 0, VClock::new(), vec![]).with_access(
+            vec![ReadRun { addr: 64, words: 2 }],
+            7,
+            true,
+        );
+        assert_eq!(tagged.reads.len(), 1);
+        assert_eq!(tagged.sync_op, 7);
+        assert!(tagged.atomic);
+        assert!(tagged.heap_bytes() > plain.heap_bytes());
     }
 
     #[test]

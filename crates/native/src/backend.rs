@@ -53,6 +53,7 @@ impl DmtBackend for NativeBackend {
                 output: shared.meta.collect_output(),
                 stats: shared.meta.stats.snapshot(),
                 metrics: None,
+                races: Vec::new(),
             }),
         };
         let trace =

@@ -28,6 +28,10 @@ impl DmtBackend for QuantumBackend {
         true
     }
 
+    fn supports_race_detection(&self) -> bool {
+        true
+    }
+
     fn run_traced(&self, cfg: &RunConfig, root: ThreadFn) -> TracedRun {
         run_lockstep(
             cfg,

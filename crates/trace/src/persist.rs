@@ -45,6 +45,16 @@ pub fn save_in(dir: &Path, trace: &RunTrace, tag: &str) -> std::io::Result<PathB
     write_atomic(dir, &file_name(trace, tag), &trace.encode())
 }
 
+/// Saves a human-readable sidecar (e.g. the race report the `replay
+/// races` verb emits) beside the traces in `dir`, with the same
+/// torn-write guarantee the binary artifacts get.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write, rename).
+pub fn save_sidecar(dir: &Path, name: &str, text: &str) -> std::io::Result<PathBuf> {
+    write_atomic(dir, name, text.as_bytes())
+}
+
 /// Writes `bytes` into `dir/name` atomically: unique temporary first,
 /// then rename, so a crash never leaves a torn file. Shared by trace and
 /// checkpoint persistence.
@@ -302,6 +312,26 @@ mod tests {
         let (latest, path) = latest_checkpoint(&dir, key).unwrap();
         assert_eq!(latest, 3);
         assert_eq!(load_checkpoint(&path).unwrap().epoch, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_lands_atomically_beside_traces() {
+        let dir = tmpdir("sidecar");
+        let path = save_sidecar(&dir, "races_demo@4.races", "1 race(s)\n").unwrap();
+        assert_eq!(path.file_name().unwrap(), "races_demo@4.races");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1 race(s)\n");
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains("tmp")
+            })
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -299,6 +299,19 @@ impl VClock {
         !self.leq(other) && !other.leq(self)
     }
 
+    /// Scalar-epoch inclusion: `true` iff an event stamped `time` on
+    /// `tid`'s clock happens-before-or-at this clock — FastTrack's
+    /// `e ⊑ V` check, the race detector's one comparison per epoch. An
+    /// epoch `(tid, time)` stands for the full clock of the access that
+    /// created it; since that access's own component was `time` and every
+    /// later access by `tid` only grows it, `time ≤ self[tid]` is exactly
+    /// "this clock has propagated past the access".
+    #[inline]
+    #[must_use]
+    pub fn includes(&self, tid: Tid, time: LTime) -> bool {
+        self.get(tid) >= time
+    }
+
     /// Full causal comparison.
     #[must_use]
     pub fn causal_cmp(&self, other: &Self) -> CausalOrder {

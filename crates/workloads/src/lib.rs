@@ -23,6 +23,7 @@
 pub mod chaos;
 pub mod parsec;
 pub mod phoenix;
+pub mod races;
 pub mod racey;
 pub mod service;
 pub mod splash;
@@ -234,6 +235,9 @@ pub fn by_name(name: &str) -> Option<Workload> {
     }
     if name.starts_with("chaos.") {
         return chaos::scenarios().into_iter().find(|w| w.name == name);
+    }
+    if name.starts_with("races.") {
+        return races::corpus().into_iter().find(|w| w.name == name);
     }
     if name.starts_with("service.") {
         return service::scenarios().into_iter().find(|w| w.name == name);

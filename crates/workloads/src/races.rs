@@ -1,0 +1,488 @@
+//! The seeded-race corpus: eight small programs that each contain one
+//! deliberately planted data race, paired with a *clean twin* that fixes
+//! the race with real synchronization and must report zero races.
+//!
+//! Every variant is built so its race reports are **backend-invariant**:
+//!
+//! * exactly two racy participants per word — with three or more, which
+//!   pair gets recorded first depends on observation order, which
+//!   differs between DLRC propagation and lockstep token order;
+//! * when both participants mix reads and writes on the same word (the
+//!   counter, lazy-init), the participants are synchronization-free
+//!   siblings, whose slices reach the detector in thread-id order on
+//!   every deterministic backend (join order for DLRC, token order for
+//!   the lockstep engine); single-combination races (pure write/write,
+//!   or one writer and one reader) are observation-order-independent
+//!   because reports are canonicalized;
+//! * every racy write stores a value that differs from current memory —
+//!   byte diffing is the write oracle, and a silent store produces no
+//!   diff to check;
+//! * racy reads are one-shot peeks, never spin loops — DLRC never
+//!   propagates a spin-awaited write, so a spin would hang the run;
+//! * per-worker tick counts stay far below the default quantum, so
+//!   CoreDet-q never splits an interval (a quantum break would seal an
+//!   interval at a smaller sync-op count than the other backends).
+//!
+//! Workers are always spawned and joined in thread-id order, and the
+//! `mask` parameter disables workers *without unspawning them* — tids
+//! and sync-op counts of the survivors are unchanged, so a race digest
+//! found with all workers enabled is still the digest the minimized
+//! reproducer reports. `replay races` ddmin-shrinks over this mask.
+
+use crate::{Params, Suite, Workload};
+use rfdet_api::{BarrierId, DmtCtx, DmtCtxExt, MutexId, ThreadFn};
+
+/// First byte of the corpus's raced-on region (page 1 by default).
+const BASE: u64 = 4096;
+
+/// All-workers-enabled mask.
+const ALL: u64 = u64::MAX;
+
+fn on(mask: u64, t: usize) -> bool {
+    mask & (1u64 << (t as u32 & 63)) != 0
+}
+
+/// A nonzero, per-worker, seed-derived value — never equal to current
+/// (zeroed or differently-seeded) memory, so every store survives the
+/// byte diff.
+fn val(seed: u64, t: u64, salt: u64) -> u64 {
+    seed.wrapping_mul(2 * t + 3)
+        .wrapping_add(salt << 7)
+        .wrapping_add(0x9E37_79B9)
+        | 1
+}
+
+/// Spawns `threads` workers in tid order, joins them in tid order, then
+/// emits a checksum of the raced-on region (read after every join, so
+/// the checksum reads are ordered with everything).
+fn scaffold(
+    p: Params,
+    mask: u64,
+    words: u64,
+    body: impl Fn(&mut dyn DmtCtx, usize) + Send + Sync + Clone + 'static,
+    pre: impl Fn(&mut dyn DmtCtx) + Send + 'static,
+    peek: impl Fn(&mut dyn DmtCtx) + Send + 'static,
+) -> ThreadFn {
+    Box::new(move |ctx: &mut dyn DmtCtx| {
+        pre(ctx);
+        let handles: Vec<_> = (0..p.threads)
+            .map(|t| {
+                let body = body.clone();
+                let enabled = on(mask, t);
+                ctx.spawn(Box::new(move |ctx: &mut dyn DmtCtx| {
+                    if enabled {
+                        body(ctx, t);
+                    }
+                }))
+            })
+            .collect();
+        peek(ctx);
+        for h in handles {
+            ctx.join(h);
+        }
+        let sig = crate::util::checksum_u64s(ctx, BASE, words);
+        ctx.emit_str(&format!("races signature: {sig:016x}\n"));
+    })
+}
+
+fn no_pre(_: &mut dyn DmtCtx) {}
+fn no_peek(_: &mut dyn DmtCtx) {}
+
+/// `counter` — the classic unsynchronized shared counter: each worker
+/// pair read-modify-writes one word with no synchronization at all.
+/// One report per pair (the survivors' slices arrive in tid order, so
+/// the recorded conflict is the lower tid's write against the higher
+/// tid's read on every backend).
+fn counter(p: Params, mask: u64, locked: bool) -> ThreadFn {
+    let seed = p.seed;
+    scaffold(
+        p,
+        mask,
+        (p.threads as u64).div_ceil(2),
+        move |ctx, t| {
+            let pair = (t / 2) as u64;
+            let w = BASE + 8 * pair;
+            let bump = val(seed, t as u64, 1);
+            if locked {
+                let m = MutexId(pair as u32);
+                ctx.lock(m);
+                let v: u64 = ctx.read(w);
+                ctx.write(w, v.wrapping_add(bump));
+                ctx.unlock(m);
+            } else {
+                let v: u64 = ctx.read(w);
+                ctx.write(w, v.wrapping_add(bump));
+            }
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `handoff` — a racy flag handoff: the even worker of each pair writes
+/// a data word then raises a flag; the odd worker peeks the flag once
+/// and reads the data unconditionally. Two reports per pair (flag and
+/// data, each writer-vs-reader). The clean twin does both sides under
+/// the pair's mutex.
+fn handoff(p: Params, mask: u64, locked: bool) -> ThreadFn {
+    let seed = p.seed;
+    scaffold(
+        p,
+        mask,
+        2 * (p.threads as u64).div_ceil(2),
+        move |ctx, t| {
+            let pair = (t / 2) as u64;
+            let data = BASE + 16 * pair;
+            let flag = data + 8;
+            let m = MutexId(pair as u32);
+            if t % 2 == 0 {
+                if locked {
+                    ctx.lock(m);
+                }
+                ctx.write(data, val(seed, t as u64, 2));
+                ctx.write(flag, 1u64);
+                if locked {
+                    ctx.unlock(m);
+                }
+            } else {
+                if locked {
+                    ctx.lock(m);
+                }
+                let _f: u64 = ctx.read(flag);
+                let _d: u64 = ctx.read(data);
+                if locked {
+                    ctx.unlock(m);
+                }
+            }
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `lazy_init` — racy double-checked initialization: both workers of a
+/// pair peek the init word, see it unset, and both initialize it plus a
+/// value word. Two reports per pair (init word and value word). The
+/// clean twin does the check-and-set under a mutex.
+fn lazy_init(p: Params, mask: u64, locked: bool) -> ThreadFn {
+    let seed = p.seed;
+    scaffold(
+        p,
+        mask,
+        2 * (p.threads as u64).div_ceil(2),
+        move |ctx, t| {
+            let pair = (t / 2) as u64;
+            let init = BASE + 16 * pair;
+            let value = init + 8;
+            let m = MutexId(pair as u32);
+            if locked {
+                ctx.lock(m);
+            }
+            let seen: u64 = ctx.read(init);
+            if seen == 0 {
+                ctx.write(value, val(seed, t as u64, 3));
+                ctx.write(init, 1u64);
+            }
+            if locked {
+                ctx.unlock(m);
+            }
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `barrier_miss` — an off-by-one barrier: each worker writes its own
+/// word, crosses a barrier, then reads its neighbour's word. In the
+/// racy variant worker 0 skips the barrier (and the others' barrier
+/// only counts themselves), so exactly two edges are missing: worker
+/// 0's read of word 1, and the last worker's read of word 0. Two
+/// reports at any thread count.
+fn barrier_miss(p: Params, mask: u64, everyone: bool) -> ThreadFn {
+    let seed = p.seed;
+    let n = p.threads;
+    // Barrier parties = the enabled workers that will actually arrive;
+    // computed from the mask so a shrunk run still releases the wall.
+    let parties = (0..n)
+        .filter(|&t| on(mask, t) && (everyone || t != 0))
+        .count();
+    scaffold(
+        p,
+        mask,
+        n as u64,
+        move |ctx, t| {
+            let mine = BASE + 8 * t as u64;
+            let next = BASE + 8 * (((t + 1) % n) as u64);
+            ctx.write(mine, val(seed, t as u64, 4));
+            if (everyone || t != 0) && parties > 0 {
+                ctx.barrier(BarrierId(0), parties);
+            }
+            let _peek: u64 = ctx.read(next);
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `torn_write` — a torn two-word write: both workers of a pair store a
+/// 16-byte "struct" (two adjacent words) with no synchronization. Two
+/// write/write reports per pair; single-combination, so observation
+/// order never matters. The clean twin stores under the pair's mutex.
+fn torn_write(p: Params, mask: u64, locked: bool) -> ThreadFn {
+    let seed = p.seed;
+    scaffold(
+        p,
+        mask,
+        2 * (p.threads as u64).div_ceil(2),
+        move |ctx, t| {
+            let pair = (t / 2) as u64;
+            let lo = BASE + 16 * pair;
+            let hi = lo + 8;
+            let v = val(seed, t as u64, 5);
+            let m = MutexId(pair as u32);
+            if locked {
+                ctx.lock(m);
+            }
+            ctx.write(lo, v);
+            ctx.write(hi, v ^ 0xFFFF);
+            if locked {
+                ctx.unlock(m);
+            }
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `mailbox_peek` — a racy mailbox peek: the producer fills a slot and
+/// bumps the count under the pair's mutex; the consumer first *peeks*
+/// the count without the lock, then re-reads it properly inside the
+/// lock. One report per pair: the producer's locked count write against
+/// the consumer's unlocked peek. The clean twin peeks under the lock.
+fn mailbox_peek(p: Params, mask: u64, locked_peek: bool) -> ThreadFn {
+    let seed = p.seed;
+    scaffold(
+        p,
+        mask,
+        2 * (p.threads as u64).div_ceil(2),
+        move |ctx, t| {
+            let pair = (t / 2) as u64;
+            let slot = BASE + 16 * pair;
+            let count = slot + 8;
+            let m = MutexId(pair as u32);
+            if t % 2 == 0 {
+                ctx.lock(m);
+                ctx.write(slot, val(seed, t as u64, 6));
+                ctx.write(count, 1u64);
+                ctx.unlock(m);
+            } else {
+                if locked_peek {
+                    ctx.lock(m);
+                }
+                let _peek: u64 = ctx.read(count);
+                if !locked_peek {
+                    ctx.lock(m);
+                }
+                let _s: u64 = ctx.read(slot);
+                let _c: u64 = ctx.read(count);
+                ctx.unlock(m);
+            }
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `shard_overlap` — an off-by-one shard split: each worker fills a
+/// four-word shard, but the racy variant's bounds overlap each shard's
+/// first word with its left neighbour's last. One write/write report
+/// per adjacent worker pair (`threads - 1` total).
+fn shard_overlap(p: Params, mask: u64, disjoint: bool) -> ThreadFn {
+    let seed = p.seed;
+    const SHARD: u64 = 4;
+    scaffold(
+        p,
+        mask,
+        SHARD * p.threads as u64,
+        move |ctx, t| {
+            let t = t as u64;
+            let start = if disjoint || t == 0 {
+                SHARD * t
+            } else {
+                SHARD * t - 1 // overlaps the left neighbour's last word
+            };
+            for i in start..SHARD * (t + 1) {
+                ctx.write(BASE + 8 * i, val(seed, t, 7 + i));
+            }
+        },
+        no_pre,
+        no_peek,
+    )
+}
+
+/// `result_peek` — harvesting a result before joining: each worker
+/// writes its result word; the racy main peeks worker 0's result
+/// *before* any join. One report (main's read vs worker 0's write),
+/// and a 1-minimal reproducer of a single worker.
+fn result_peek(p: Params, mask: u64, peek_early: bool) -> ThreadFn {
+    let seed = p.seed;
+    scaffold(
+        p,
+        mask,
+        p.threads as u64,
+        move |ctx, t| {
+            ctx.write(BASE + 8 * t as u64, val(seed, t as u64, 20));
+        },
+        no_pre,
+        move |ctx| {
+            if peek_early {
+                let _early: u64 = ctx.read(BASE);
+            }
+        },
+    )
+}
+
+macro_rules! corpus_entry {
+    ($fn_name:ident, $builder:ident, $flag:expr) => {
+        fn $fn_name(p: Params) -> ThreadFn {
+            $builder(p, ALL, $flag)
+        }
+    };
+}
+
+corpus_entry!(counter_racy, counter, false);
+corpus_entry!(counter_clean, counter, true);
+corpus_entry!(handoff_racy, handoff, false);
+corpus_entry!(handoff_clean, handoff, true);
+corpus_entry!(lazy_init_racy, lazy_init, false);
+corpus_entry!(lazy_init_clean, lazy_init, true);
+corpus_entry!(barrier_miss_racy, barrier_miss, false);
+corpus_entry!(barrier_miss_clean, barrier_miss, true);
+corpus_entry!(torn_write_racy, torn_write, false);
+corpus_entry!(torn_write_clean, torn_write, true);
+corpus_entry!(mailbox_peek_racy, mailbox_peek, false);
+corpus_entry!(mailbox_peek_clean, mailbox_peek, true);
+corpus_entry!(shard_overlap_racy, shard_overlap, false);
+corpus_entry!(shard_overlap_clean, shard_overlap, true);
+corpus_entry!(result_peek_racy, result_peek, true);
+corpus_entry!(result_peek_clean, result_peek, false);
+
+/// The full corpus: eight racy variants interleaved with their clean
+/// twins (`*_clean` suffix).
+#[must_use]
+pub fn corpus() -> Vec<Workload> {
+    fn w(name: &'static str, factory: fn(Params) -> ThreadFn) -> Workload {
+        Workload {
+            name,
+            suite: Suite::Stress,
+            factory,
+        }
+    }
+    vec![
+        w("races.counter", counter_racy),
+        w("races.counter_clean", counter_clean),
+        w("races.handoff", handoff_racy),
+        w("races.handoff_clean", handoff_clean),
+        w("races.lazy_init", lazy_init_racy),
+        w("races.lazy_init_clean", lazy_init_clean),
+        w("races.barrier_miss", barrier_miss_racy),
+        w("races.barrier_miss_clean", barrier_miss_clean),
+        w("races.torn_write", torn_write_racy),
+        w("races.torn_write_clean", torn_write_clean),
+        w("races.mailbox_peek", mailbox_peek_racy),
+        w("races.mailbox_peek_clean", mailbox_peek_clean),
+        w("races.shard_overlap", shard_overlap_racy),
+        w("races.shard_overlap_clean", shard_overlap_clean),
+        w("races.result_peek", result_peek_racy),
+        w("races.result_peek_clean", result_peek_clean),
+    ]
+}
+
+/// Builds a corpus workload with an explicit worker-enable `mask`
+/// (bit `t` enables worker `t`) — the shrink axis `replay races` runs
+/// ddmin over. `mask == u64::MAX` reproduces the registry entry.
+#[must_use]
+pub fn root_masked(name: &str, p: Params, mask: u64) -> Option<ThreadFn> {
+    Some(match name {
+        "races.counter" => counter(p, mask, false),
+        "races.counter_clean" => counter(p, mask, true),
+        "races.handoff" => handoff(p, mask, false),
+        "races.handoff_clean" => handoff(p, mask, true),
+        "races.lazy_init" => lazy_init(p, mask, false),
+        "races.lazy_init_clean" => lazy_init(p, mask, true),
+        "races.barrier_miss" => barrier_miss(p, mask, false),
+        "races.barrier_miss_clean" => barrier_miss(p, mask, true),
+        "races.torn_write" => torn_write(p, mask, false),
+        "races.torn_write_clean" => torn_write(p, mask, true),
+        "races.mailbox_peek" => mailbox_peek(p, mask, false),
+        "races.mailbox_peek_clean" => mailbox_peek(p, mask, true),
+        "races.shard_overlap" => shard_overlap(p, mask, false),
+        "races.shard_overlap_clean" => shard_overlap(p, mask, true),
+        "races.result_peek" => result_peek(p, mask, true),
+        "races.result_peek_clean" => result_peek(p, mask, false),
+        _ => return None,
+    })
+}
+
+/// How many race reports variant `name` must produce at `threads`
+/// workers with every worker enabled — the corpus's ground truth.
+/// Clean twins are always zero.
+#[must_use]
+pub fn expected_races(name: &str, threads: usize) -> Option<usize> {
+    let pairs = threads / 2;
+    Some(match name {
+        "races.counter" => pairs,
+        "races.handoff" | "races.lazy_init" | "races.torn_write" => 2 * pairs,
+        "races.barrier_miss" => 2,
+        "races.mailbox_peek" => pairs,
+        "races.shard_overlap" => threads.saturating_sub(1),
+        "races.result_peek" => 1,
+        n if n.starts_with("races.") && n.ends_with("_clean") => 0,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Size;
+
+    #[test]
+    fn corpus_is_racy_clean_pairs() {
+        let c = corpus();
+        assert_eq!(c.len(), 16, "eight variants, eight clean twins");
+        for pair in c.chunks(2) {
+            assert_eq!(format!("{}_clean", pair[0].name), pair[1].name);
+            assert_eq!(
+                expected_races(pair[1].name, 4),
+                Some(0),
+                "clean twins must expect zero races"
+            );
+            assert!(
+                expected_races(pair[0].name, 4).unwrap() > 0,
+                "racy variants must expect at least one race"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_roots_cover_the_corpus() {
+        for w in corpus() {
+            assert!(
+                root_masked(w.name, Params::new(4, Size::Test), u64::MAX).is_some(),
+                "no masked builder for {}",
+                w.name
+            );
+        }
+        assert!(root_masked("races.nonesuch", Params::new(4, Size::Test), 0).is_none());
+    }
+
+    #[test]
+    fn factories_build_at_every_oracle_thread_count() {
+        for w in corpus() {
+            for t in [2usize, 4, 8] {
+                let _ = (w.factory)(Params::new(t, Size::Test));
+            }
+        }
+    }
+}

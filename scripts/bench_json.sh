@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_9.json — machine-readable micro-bench numbers for
+# Regenerates BENCH_10.json — machine-readable micro-bench numbers for
 # the memory-pipeline fast path (chunked diff kernel, zero-copy
 # propagation, snapshot pooling) plus the turn-arbitration A/B
 # (successor handoff vs broadcast spin-scan on sync-heavy, with the
@@ -18,13 +18,15 @@
 # throughput sweep (service.ledger at bench scale, ≥1M requests per
 # run, req/s over 2/4/8/16 threads) and the crash-failover recovery
 # cell (restore newest checkpoint + replay the tail; budget ≤0.6× the
-# full re-run, see DESIGN.md §4.12). Also writes the human-readable
+# full re-run, see DESIGN.md §4.12), and the race-detector A/B
+# (cfg.detect_races on vs off on propagate-heavy; budget ≤10%, see
+# DESIGN.md §4.13). Also writes the human-readable
 # curves to results/thread_scaling.txt and
 # results/sync_heavy_scaling.txt.
 #
 # Usage: scripts/bench_json.sh [--quick] [--out PATH] [--enforce]
 #   --quick    shrink measurement time for CI smoke runs
-#   --out      output path (default: BENCH_9.json at the repo root)
+#   --out      output path (default: BENCH_10.json at the repo root)
 #   --enforce  exit non-zero on any within-run budget breach (the CI
 #              scaling job's regression gate)
 set -euo pipefail
